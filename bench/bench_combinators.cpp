@@ -1,0 +1,170 @@
+/// E6 — §4 combinator microbenchmarks.
+///
+/// Overhead and throughput of the coordination primitives themselves:
+/// record hops through boxes, serial chains, parallel routing (best-match
+/// scoring), deterministic vs non-deterministic merge, serial/parallel
+/// replication dispatch, filters and synchrocells. Records carry a small
+/// int payload so the numbers measure coordination cost, not computation.
+
+#include <benchmark/benchmark.h>
+
+#include "snet/network.hpp"
+
+using namespace snet;
+
+namespace {
+
+Net ident(const std::string& name) {
+  return box(name, "(x) -> (x)",
+             [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
+}
+
+Record payload(int v, std::initializer_list<std::pair<std::string_view, std::int64_t>>
+                          tags = {}) {
+  Record r;
+  r.set_field("x", make_value(v));
+  for (const auto& [n, t] : tags) {
+    r.set_tag(tag_label(n), t);
+  }
+  return r;
+}
+
+void run_records(benchmark::State& state, const Net& topo, int batch,
+                 const std::function<Record(int)>& make) {
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    Network net(topo, Options{});
+    for (int i = 0; i < batch; ++i) {
+      net.inject(make(i));
+    }
+    const auto out = net.collect();
+    total += out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+  state.counters["outputs_per_run"] = static_cast<double>(total) /
+                                      static_cast<double>(state.iterations());
+}
+
+constexpr int kBatch = 1000;
+
+void BM_SingleBoxHop(benchmark::State& state) {
+  run_records(state, ident("id"), kBatch, [](int i) { return payload(i); });
+}
+BENCHMARK(BM_SingleBoxHop)->Unit(benchmark::kMillisecond);
+
+void BM_SerialChain(benchmark::State& state) {
+  Net n = ident("b0");
+  for (int i = 1; i < state.range(0); ++i) {
+    std::string bname = "b";
+    bname += std::to_string(i);
+    n = std::move(n) >> ident(bname);
+  }
+  run_records(state, n, kBatch, [](int i) { return payload(i); });
+  state.counters["chain_len"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SerialChain)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_FilterHop(benchmark::State& state) {
+  run_records(state, filter("{x} -> {x, <seen>=1}"), kBatch,
+              [](int i) { return payload(i); });
+}
+BENCHMARK(BM_FilterHop)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelNondet(benchmark::State& state) {
+  const Net n = parallel(ident("L"), ident("R"));
+  run_records(state, n, kBatch, [](int i) { return payload(i); });
+}
+BENCHMARK(BM_ParallelNondet)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelDet(benchmark::State& state) {
+  const Net n = parallel_det(ident("L"), ident("R"));
+  run_records(state, n, kBatch, [](int i) { return payload(i); });
+}
+BENCHMARK(BM_ParallelDet)->Unit(benchmark::kMillisecond);
+
+void BM_SplitDispatch(benchmark::State& state) {
+  const std::int64_t width = state.range(0);
+  const Net n = split(ident("w"), "k");
+  run_records(state, n, kBatch, [width](int i) {
+    return payload(i, {{"k", i % width}});
+  });
+  state.counters["width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_SplitDispatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_StarDepth(benchmark::State& state) {
+  // Each record travels `depth` stages before exiting.
+  const std::int64_t depth = state.range(0);
+  auto dec = box("dec", "(x, <n>) -> (x, <n>) | (x, <done>)",
+                 [](const BoxInput& in, BoxOutput& out) {
+                   const std::int64_t n = in.tag("n");
+                   if (n <= 0) {
+                     out.out(2, in.field("x"), std::int64_t{1});
+                   } else {
+                     out.out(1, in.field("x"), n - 1);
+                   }
+                 });
+  const Net n = star(dec, "{<done>}");
+  run_records(state, n, 200, [depth](int i) {
+    return payload(i, {{"n", depth}});
+  });
+  state.counters["depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_StarDepth)->Arg(1)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SyncCellJoin(benchmark::State& state) {
+  // Pairs of {a}/{b} records joined by a fresh synchrocell each time; the
+  // star replicator re-arms a new cell per pair in real S-Net — here we
+  // measure a single join plus pass-through traffic.
+  const Net n = sync({"{a}", "{b}"});
+  std::uint64_t outs = 0;
+  for (auto _ : state) {
+    Network net(n, Options{});
+    for (int i = 0; i < 500; ++i) {
+      Record ra;
+      ra.set_field("a", make_value(i));
+      net.inject(std::move(ra));
+      Record rb;
+      rb.set_field("b", make_value(i));
+      net.inject(std::move(rb));
+    }
+    outs += net.collect().size();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  benchmark::DoNotOptimize(outs);
+}
+BENCHMARK(BM_SyncCellJoin)->Unit(benchmark::kMillisecond);
+
+void BM_BestMatchScoringCost(benchmark::State& state) {
+  // Routing across branches with increasingly specific input types.
+  auto narrow = box("narrow", "(x) -> (x)",
+                    [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
+  auto wide = box("wide", "(x, <a>, <b>, <c>) -> (x)",
+                  [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
+  const Net n = parallel(narrow, wide);
+  run_records(state, n, kBatch, [](int i) {
+    return payload(i, {{"a", 1}, {"b", 2}, {"c", 3}});
+  });
+}
+BENCHMARK(BM_BestMatchScoringCost)->Unit(benchmark::kMillisecond);
+
+void BM_FlowInheritanceOverhead(benchmark::State& state) {
+  // Identity box with increasing numbers of excess labels to re-attach.
+  const std::int64_t extras = state.range(0);
+  run_records(state, ident("id"), kBatch, [extras](int i) {
+    Record r = payload(i);
+    for (std::int64_t t = 0; t < extras; ++t) {
+      std::string tname = "t";
+      tname += std::to_string(t);
+      r.set_tag(tag_label(tname), t);
+    }
+    return r;
+  });
+  state.counters["excess_labels"] = static_cast<double>(extras);
+}
+BENCHMARK(BM_FlowInheritanceOverhead)->Arg(0)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

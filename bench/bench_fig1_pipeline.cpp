@@ -1,0 +1,61 @@
+/// E3 — Fig. 1: computeOpts .. (solveOneLevel ** {<done>}).
+///
+/// Measures the pipelined network end-to-end per puzzle and reports the
+/// structural quantities the paper derives: number of materialised
+/// solveOneLevel replicas (bounded by the number of empty cells — at most
+/// 81 on a 9×9 board) and records flowing through them. The sequential
+/// solver is included as the baseline the network is compared against.
+
+#include <benchmark/benchmark.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/nets.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+void BM_Fig1(benchmark::State& state, const std::string& name, unsigned workers) {
+  const auto puzzle = corpus_board(name);
+  std::size_t replicas = 0;
+  std::uint64_t box_records = 0;
+  std::size_t outputs = 0;
+  for (auto _ : state) {
+    snet::Options opts;
+    opts.workers = workers;
+    snet::Network net(fig1_net(), std::move(opts));
+    net.inject(board_record(puzzle));
+    const auto records = net.collect();
+    outputs = records.size();
+    const auto stats = net.stats();
+    replicas = stats.count_containing("box:solveOneLevel");
+    box_records = stats.records_in_containing("box:solveOneLevel");
+  }
+  state.counters["replicas"] = static_cast<double>(replicas);
+  state.counters["box_records"] = static_cast<double>(box_records);
+  state.counters["solutions"] = static_cast<double>(outputs);
+  state.counters["empty_cells"] =
+      static_cast<double>(board_size(puzzle) * board_size(puzzle) - level(puzzle));
+}
+
+void BM_SequentialBaseline(benchmark::State& state, const std::string& name) {
+  const auto puzzle = corpus_board(name);
+  for (auto _ : state) {
+    auto res = solve_board(puzzle);
+    benchmark::DoNotOptimize(res);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SequentialBaseline, easy, std::string("easy"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SequentialBaseline, medium, std::string("medium"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SequentialBaseline, hard, std::string("hard"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig1, easy_w1, std::string("easy"), 1U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig1, easy_w2, std::string("easy"), 2U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig1, easy_w4, std::string("easy"), 4U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig1, medium_w2, std::string("medium"), 2U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig1, hard_w2, std::string("hard"), 2U)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

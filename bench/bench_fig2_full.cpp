@@ -1,0 +1,60 @@
+/// E4 — Fig. 2: computeOpts .. [{}->{<k>=1}] .. ((solveOneLevel !! <k>) ** {<done>}).
+///
+/// Full unfolding: the parallel replicator inside the serial replicator
+/// explores sibling candidates concurrently. The paper bounds the
+/// unfolding: ≤ 9 solveOneLevel replicas per stage (k ∈ 1..9) and
+/// ≤ 9×81 = 729 instances total on 9×9 boards. Counters report the
+/// observed instance count, stage count and the per-stage maximum.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/nets.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+void BM_Fig2(benchmark::State& state, const std::string& name, unsigned workers) {
+  const auto puzzle = corpus_board(name);
+  std::size_t instances = 0;
+  std::size_t stages = 0;
+  std::size_t max_per_stage = 0;
+  for (auto _ : state) {
+    snet::Options opts;
+    opts.workers = workers;
+    snet::Network net(fig2_net(), std::move(opts));
+    net.inject(board_record(puzzle));
+    net.collect();
+    const auto stats = net.stats();
+    instances = stats.count_containing("box:solveOneLevel");
+    stages = stats.count_containing("/stage");
+    std::map<std::string, std::size_t> per_stage;
+    for (const auto& e : stats.entities) {
+      if (e.name.find("box:solveOneLevel") == std::string::npos) {
+        continue;
+      }
+      per_stage[e.name.substr(0, e.name.find("/split"))] += 1;
+    }
+    max_per_stage = 0;
+    for (const auto& [k, v] : per_stage) {
+      max_per_stage = std::max(max_per_stage, v);
+    }
+  }
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["stages"] = static_cast<double>(stages);
+  state.counters["max_split_width"] = static_cast<double>(max_per_stage);
+  state.counters["paper_bound"] = 729;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig2, easy_w1, std::string("easy"), 1U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2, easy_w2, std::string("easy"), 2U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2, easy_w4, std::string("easy"), 4U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2, medium_w2, std::string("medium"), 2U)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig2, hard_w2, std::string("hard"), 2U)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/// E5 + E8 — Fig. 3: throttled unfolding
+///   computeOpts .. [{}->{<k>=1}]
+///               .. (([{<k>}->{<k>=<k>%m}] .. (solveOneLevel !! <k>))
+///                   ** {<level>} if <level> > T) .. solve
+///
+/// The paper introduces two knobs: the modulo throttle m ("implicitly
+/// limits the parallel unfolding to a maximum of 4 instances" for m = 4)
+/// and the level threshold T bounding pipeline depth, after which the
+/// sequential solve box finishes the boards. This harness sweeps both —
+/// the ablation DESIGN.md calls out — and reports the observed widths,
+/// stage counts and exit-record counts.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/nets.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+void BM_Fig3(benchmark::State& state, const std::string& name, int throttle,
+             int threshold) {
+  const auto puzzle = corpus_board(name);
+  std::size_t instances = 0;
+  std::size_t stages = 0;
+  std::size_t max_width = 0;
+  std::size_t exits = 0;
+  std::size_t solutions = 0;
+  for (auto _ : state) {
+    snet::Options opts;
+    opts.workers = 2;
+    snet::Network net(
+        fig3_net(Fig3Params{.throttle = throttle, .level_threshold = threshold}),
+        std::move(opts));
+    net.inject(board_record(puzzle));
+    const auto records = net.collect();
+    exits = records.size();
+    solutions = solutions_in(records).size();
+    const auto stats = net.stats();
+    instances = stats.count_containing("box:solveOneLevel");
+    stages = stats.count_containing("/stage");
+    std::map<std::string, std::size_t> per_stage;
+    for (const auto& e : stats.entities) {
+      if (e.name.find("box:solveOneLevel") == std::string::npos) {
+        continue;
+      }
+      per_stage[e.name.substr(0, e.name.find("/split"))] += 1;
+    }
+    max_width = 0;
+    for (const auto& [k, v] : per_stage) {
+      max_width = std::max(max_width, v);
+    }
+  }
+  state.counters["throttle_m"] = throttle;
+  state.counters["level_T"] = threshold;
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["stages"] = static_cast<double>(stages);
+  state.counters["max_split_width"] = static_cast<double>(max_width);
+  state.counters["exit_records"] = static_cast<double>(exits);
+  state.counters["solutions"] = static_cast<double>(solutions);
+}
+
+}  // namespace
+
+// Throttle sweep (paper's m = 4 plus neighbours; m = 9 == no throttling).
+BENCHMARK_CAPTURE(BM_Fig3, medium_m1_T40, std::string("medium"), 1, 40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m2_T40, std::string("medium"), 2, 40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m4_T40, std::string("medium"), 4, 40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m8_T40, std::string("medium"), 8, 40)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m9_T40, std::string("medium"), 9, 40)->Unit(benchmark::kMillisecond);
+// Level-threshold sweep: deeper pipelines shift work from solve back into
+// the replicator.
+BENCHMARK_CAPTURE(BM_Fig3, medium_m4_T30, std::string("medium"), 4, 30)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m4_T50, std::string("medium"), 4, 50)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m4_T60, std::string("medium"), 4, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, medium_m4_T80, std::string("medium"), 4, 80)->Unit(benchmark::kMillisecond);
+// The 'hard' corpus entry has a genuinely branchy tree (Fig. 2 reaches
+// split width 7 on it): the throttle cap is visible here.
+BENCHMARK_CAPTURE(BM_Fig3, hard_m1_T60, std::string("hard"), 1, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, hard_m2_T60, std::string("hard"), 2, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, hard_m4_T60, std::string("hard"), 4, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, hard_m9_T60, std::string("hard"), 9, 60)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Fig3, hard_m4_T40, std::string("hard"), 4, 40)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

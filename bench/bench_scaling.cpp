@@ -1,0 +1,100 @@
+/// E7 — §1/§3 scalability motivation: "as sudokus can be played on any
+/// board of size n² × n², parallelisation becomes essential for bigger
+/// puzzles."
+///
+/// Sweeps board size (4×4, 9×9, 16×16) and clue density (search-tree
+/// breadth) across the sequential solver and the three networks. Puzzles
+/// come from the reproducible generator.
+
+#include <benchmark/benchmark.h>
+
+#include "sudoku/generator.hpp"
+#include "sudoku/nets.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+BoardArray puzzle_for(int n, int clues, std::uint64_t seed) {
+  // ensure_unique keeps benches comparable (exactly one solution);
+  // the 16x16 generator skips the expensive uniqueness search.
+  return generate(GenOptions{
+      .n = n, .clues = clues, .seed = seed, .ensure_unique = n <= 3});
+}
+
+void BM_SeqBySize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int clues = static_cast<int>(state.range(1));
+  const auto puzzle = puzzle_for(n, clues, 77);
+  SolveStats last;
+  for (auto _ : state) {
+    SolveStats st;
+    auto res = solve_board(puzzle, Pick::MinOptions, &st);
+    benchmark::DoNotOptimize(res);
+    last = st;
+  }
+  state.counters["N"] = n * n;
+  state.counters["clues"] = clues;
+  state.counters["nodes"] = static_cast<double>(last.nodes);
+}
+BENCHMARK(BM_SeqBySize)
+    ->Args({2, 8})
+    ->Args({3, 60})
+    ->Args({3, 40})
+    ->Args({3, 28})
+    ->Args({4, 200})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetBySize(benchmark::State& state, const std::string& which) {
+  const int n = static_cast<int>(state.range(0));
+  const int clues = static_cast<int>(state.range(1));
+  const auto puzzle = puzzle_for(n, clues, 77);
+  const int cells = n * n * n * n;
+  const auto topo = [&] {
+    if (which == "fig1") {
+      return fig1_net();
+    }
+    if (which == "fig2") {
+      return fig2_net();
+    }
+    // Scale the Fig. 3 knobs with the board: T at ~half the cells.
+    return fig3_net(Fig3Params{.throttle = 4, .level_threshold = cells / 2});
+  }();
+  std::size_t solutions = 0;
+  for (auto _ : state) {
+    snet::Options opts;
+    opts.workers = 2;
+    snet::Network net(topo, std::move(opts));
+    net.inject(board_record(puzzle));
+    const auto records = net.collect();
+    solutions = solutions_in(records).size();
+  }
+  state.counters["N"] = n * n;
+  state.counters["clues"] = clues;
+  state.counters["solutions"] = static_cast<double>(solutions);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_NetBySize, fig1, std::string("fig1"))
+    ->Args({2, 8})
+    ->Args({3, 60})
+    ->Args({3, 40})
+    ->Args({3, 28})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NetBySize, fig2, std::string("fig2"))
+    ->Args({2, 8})
+    ->Args({3, 60})
+    ->Args({3, 40})
+    ->Args({3, 28})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_NetBySize, fig3, std::string("fig3"))
+    ->Args({2, 8})
+    ->Args({3, 60})
+    ->Args({3, 40})
+    ->Args({3, 28})
+    ->Args({4, 200})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/// E2 — §3 sequential solver.
+///
+/// Paper: "this algorithm leads to code that typically solves 9 by 9
+/// sudokus in far less than a second", and findMinTrues is introduced "to
+/// keep the potential need for back-tracking as small as possible". This
+/// harness times the solver per corpus puzzle under both position-picking
+/// strategies and reports the search-tree size (nodes) as counters.
+
+#include <benchmark/benchmark.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+void solver_case(benchmark::State& state, const std::string& name, Pick pick) {
+  const auto puzzle = corpus_board(name);
+  SolveStats last;
+  for (auto _ : state) {
+    SolveStats st;
+    auto res = solve_board(puzzle, pick, &st);
+    benchmark::DoNotOptimize(res);
+    if (!res.completed) {
+      state.SkipWithError("puzzle not solved");
+      return;
+    }
+    last = st;
+  }
+  state.counters["nodes"] = static_cast<double>(last.nodes);
+  state.counters["placements"] = static_cast<double>(last.placements);
+  state.counters["depth"] = static_cast<double>(last.max_depth);
+}
+
+void BM_SolveFirstEmpty(benchmark::State& state, const std::string& name) {
+  solver_case(state, name, Pick::FirstEmpty);
+}
+void BM_SolveMinOptions(benchmark::State& state, const std::string& name) {
+  solver_case(state, name, Pick::MinOptions);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SolveMinOptions, mini4, std::string("mini4"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveMinOptions, easy, std::string("easy"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveMinOptions, medium, std::string("medium"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveMinOptions, hard, std::string("hard"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveMinOptions, escargot, std::string("escargot"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveFirstEmpty, easy, std::string("easy"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveFirstEmpty, medium, std::string("medium"))->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SolveFirstEmpty, hard, std::string("hard"))->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+/// \file sudoku_solver.cpp
+/// The paper's case study as a command-line tool.
+///
+/// Usage:
+///   sudoku_solver [--mode seq|fig1|fig2|fig3] [--puzzle NAME|--cells STR]
+///                 [--workers N] [--throttle M] [--level T] [--stats]
+///
+/// Modes map to the paper: `seq` is the Section 3 SaC solver; fig1-fig3
+/// are the Section 5 networks. The fig3 network is built from its textual
+/// S-Net program to demonstrate the language frontend.
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "snet/lang.hpp"
+#include "sudoku/corpus.hpp"
+#include "sudoku/nets.hpp"
+#include "sudoku/solver.hpp"
+
+namespace {
+
+struct Args {
+  std::string mode = "fig2";
+  std::string puzzle = "easy";
+  std::string cells;
+  unsigned workers = 2;
+  int throttle = 4;
+  int level = 40;
+  bool stats = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      a.mode = next();
+    } else if (arg == "--puzzle") {
+      a.puzzle = next();
+    } else if (arg == "--cells") {
+      a.cells = next();
+    } else if (arg == "--workers") {
+      a.workers = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--throttle") {
+      a.throttle = std::stoi(next());
+    } else if (arg == "--level") {
+      a.level = std::stoi(next());
+    } else if (arg == "--stats") {
+      a.stats = true;
+    } else if (arg == "--help") {
+      std::cout << "modes: seq fig1 fig2 fig3; puzzles:";
+      for (const auto& e : sudoku::corpus()) {
+        std::cout << ' ' << e.name;
+      }
+      std::cout << "\n";
+      std::exit(0);
+    } else {
+      throw std::runtime_error("unknown argument " + arg);
+    }
+  }
+  return a;
+}
+
+snet::Net fig3_from_program(int throttle, int level) {
+  // The Fig. 3 network as an S-Net program (language frontend).
+  snet::lang::Bindings b;
+  b.bind_net("computeOpts", sudoku::compute_opts_box());
+  b.bind_net("solveOneLevel", sudoku::solve_one_level_kl_box());
+  b.bind_net("solve", sudoku::solve_box());
+  const std::string program =
+      "computeOpts .. [{} -> {<k>=1}]"
+      " .. (([{<k>} -> {<k>=<k>%" + std::to_string(throttle) +
+      "}] .. (solveOneLevel !! <k>)) ** {<level>} if <level> > " +
+      std::to_string(level) + ") .. solve";
+  return snet::lang::parse_network(program, b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    const auto puzzle = args.cells.empty() ? sudoku::corpus_board(args.puzzle)
+                                           : sudoku::board_from_string(args.cells);
+    std::cout << "puzzle (" << sudoku::level(puzzle) << " givens):\n"
+              << sudoku::board_to_string(puzzle) << "\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<sudoku::BoardArray> solution;
+    std::optional<snet::NetworkStats> net_stats;
+
+    if (args.mode == "seq") {
+      sudoku::SolveStats st;
+      const auto res = sudoku::solve_board(puzzle, sudoku::Pick::MinOptions, &st);
+      if (res.completed) {
+        solution = res.board;
+      }
+      std::cout << "search nodes: " << st.nodes << ", placements: " << st.placements
+                << ", max depth: " << st.max_depth << "\n";
+    } else {
+      snet::Net topo;
+      if (args.mode == "fig1") {
+        topo = sudoku::fig1_net();
+      } else if (args.mode == "fig2") {
+        topo = sudoku::fig2_net();
+      } else if (args.mode == "fig3") {
+        topo = fig3_from_program(args.throttle, args.level);
+      } else {
+        throw std::runtime_error("unknown mode " + args.mode);
+      }
+      std::cout << "network: " << snet::describe(topo) << "\n";
+      snet::Options opts;
+      opts.workers = args.workers;
+      snet::Network net(topo, std::move(opts));
+      net.inject(sudoku::board_record(puzzle));
+      const auto records = net.collect();
+      const auto sols = sudoku::solutions_in(records);
+      if (!sols.empty()) {
+        solution = sols.front();
+      }
+      net_stats = net.stats();
+      std::cout << "network outputs: " << records.size()
+                << " record(s), solutions: " << sols.size() << "\n";
+    }
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+    if (solution) {
+      std::cout << "\nsolved in " << elapsed << " ms:\n"
+                << sudoku::board_to_string(*solution);
+      if (!sudoku::solves(puzzle, *solution)) {
+        std::cerr << "INTERNAL ERROR: invalid solution\n";
+        return 2;
+      }
+    } else {
+      std::cout << "\nno solution found (" << elapsed << " ms)\n";
+    }
+
+    if (args.stats && net_stats) {
+      std::cout << "\nentities: " << net_stats->entity_count()
+                << ", solveOneLevel replicas: "
+                << net_stats->count_containing("box:solveOneLevel")
+                << ", peak in-flight records: " << net_stats->peak_live << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,36 @@
+#include "runtime/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace snetsac::runtime {
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || parsed < 0) {
+    return fallback;
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : hw;
+}
+
+unsigned default_sac_threads() {
+  const auto v = env_int("SAC_THREADS", static_cast<std::int64_t>(hardware_threads()));
+  return v == 0 ? 1U : static_cast<unsigned>(v);
+}
+
+unsigned default_snet_workers() {
+  const auto v = env_int("SNET_WORKERS", static_cast<std::int64_t>(hardware_threads()));
+  return v == 0 ? 1U : static_cast<unsigned>(v);
+}
+
+}  // namespace snetsac::runtime

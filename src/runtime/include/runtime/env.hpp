@@ -1,0 +1,31 @@
+#ifndef SNETSAC_RUNTIME_ENV_HPP
+#define SNETSAC_RUNTIME_ENV_HPP
+
+/// \file env.hpp
+/// Small helpers for reading configuration from environment variables.
+/// Used to pick default worker counts for both the SaC data-parallel layer
+/// (`SAC_THREADS`) and the S-Net coordination layer (`SNET_WORKERS`).
+
+#include <cstdint>
+#include <string>
+
+namespace snetsac::runtime {
+
+/// Reads an integer environment variable; returns \p fallback when unset,
+/// empty or unparsable. Negative values are clamped to \p fallback.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Number of hardware threads, never less than 1.
+unsigned hardware_threads();
+
+/// Default worker count for the data-parallel (SaC) layer:
+/// `SAC_THREADS` env var, else hardware concurrency.
+unsigned default_sac_threads();
+
+/// Default worker count for the coordination (S-Net) layer:
+/// `SNET_WORKERS` env var, else hardware concurrency.
+unsigned default_snet_workers();
+
+}  // namespace snetsac::runtime
+
+#endif

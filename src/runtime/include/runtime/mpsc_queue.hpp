@@ -1,0 +1,66 @@
+#ifndef SNETSAC_RUNTIME_MPSC_QUEUE_HPP
+#define SNETSAC_RUNTIME_MPSC_QUEUE_HPP
+
+/// \file mpsc_queue.hpp
+/// Multi-producer single-consumer queue used as the inbox of every S-Net
+/// runtime entity. Many upstream streams may feed the same inbox — that is
+/// exactly the non-deterministic merge of the paper's parallel combinator:
+/// "any record produced proceeds as soon as possible".
+///
+/// The consumer side is only ever touched by the scheduler worker that is
+/// currently running the owning entity, so a mutex-protected deque is both
+/// simple and adequate (Core Guidelines CP.1/CP.2: correctness first; the
+/// queue is the *only* shared state, and the lock is held for O(1) work).
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace snetsac::runtime {
+
+template <class T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Pushes an element; returns true when the queue was empty beforehand
+  /// (the caller uses this to decide whether the consumer must be woken).
+  bool push(T value) {
+    const std::lock_guard lock(mu_);
+    const bool was_empty = items_.empty();
+    items_.push_back(std::move(value));
+    return was_empty;
+  }
+
+  /// Pops the oldest element if present.
+  std::optional<T> try_pop() {
+    const std::lock_guard lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  bool empty() const {
+    const std::lock_guard lock(mu_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace snetsac::runtime
+
+#endif

@@ -1,0 +1,42 @@
+#ifndef SNETSAC_RUNTIME_PARALLEL_FOR_HPP
+#define SNETSAC_RUNTIME_PARALLEL_FOR_HPP
+
+/// \file parallel_for.hpp
+/// Blocking fork-join helpers on top of ThreadPool. This is the execution
+/// engine behind SaC's implicit data parallelism: a with-loop's index space
+/// is partitioned into contiguous chunks distributed over the pool, exactly
+/// like SaC's multithreaded code generation distributes with-loop ranges.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "runtime/thread_pool.hpp"
+
+namespace snetsac::runtime {
+
+/// Runs `body(lo, hi)` over disjoint chunks covering [begin, end).
+/// The calling thread participates; the call returns once every chunk has
+/// finished. The first exception thrown by any chunk is rethrown here.
+/// `grain` is the minimum chunk width (>= 1); chunk count never exceeds
+/// `max_tasks` (0 means pool size).
+void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                         std::int64_t grain,
+                         const std::function<void(std::int64_t, std::int64_t)>& body,
+                         unsigned max_tasks = 0);
+
+/// Element-wise convenience wrapper: `body(i)` for every i in [begin, end).
+template <class F>
+void parallel_for_each(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, F&& body) {
+  parallel_for_chunks(pool, begin, end, grain,
+                      [&body](std::int64_t lo, std::int64_t hi) {
+                        for (std::int64_t i = lo; i < hi; ++i) {
+                          body(i);
+                        }
+                      });
+}
+
+}  // namespace snetsac::runtime
+
+#endif

@@ -1,0 +1,50 @@
+#ifndef SNETSAC_RUNTIME_THREAD_POOL_HPP
+#define SNETSAC_RUNTIME_THREAD_POOL_HPP
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool. Both layers of the reproduced system sit on
+/// top of this: the SaC layer uses it through `parallel_for` for
+/// data-parallel with-loop execution, and the S-Net layer uses a dedicated
+/// instance to run box/combinator entities (tasks, not threads — CP.4).
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snetsac::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns \p threads workers. A count of 0 is promoted to 1.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution. Tasks must not block
+  /// indefinitely on other tasks (the pool is fixed-size).
+  void submit(std::function<void()> task);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Number of tasks submitted over the pool's lifetime (observability).
+  std::uint64_t tasks_executed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::uint64_t executed_ = 0;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace snetsac::runtime
+
+#endif

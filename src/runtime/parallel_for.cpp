@@ -1,0 +1,95 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace snetsac::runtime {
+
+namespace {
+
+/// Shared completion state for one fork-join region. Chunk tasks signal
+/// here; the issuing thread waits. Kept in a shared_ptr so stray tasks can
+/// never outlive the state they touch.
+struct JoinState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr err) {
+    const std::lock_guard lock(mu);
+    if (err && !error) {
+      error = err;
+    }
+    if (--remaining == 0) {
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                         std::int64_t grain,
+                         const std::function<void(std::int64_t, std::int64_t)>& body,
+                         unsigned max_tasks) {
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t extent = end - begin;
+  const unsigned workers = max_tasks == 0 ? pool.size() + 1 : max_tasks;
+  const std::int64_t wanted = std::min<std::int64_t>(workers, (extent + grain - 1) / grain);
+  if (wanted <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t chunk = (extent + wanted - 1) / wanted;
+
+  struct Range {
+    std::int64_t lo;
+    std::int64_t hi;
+  };
+  std::vector<Range> ranges;
+  for (std::int64_t lo = begin; lo < end; lo += chunk) {
+    ranges.push_back({lo, std::min(lo + chunk, end)});
+  }
+
+  auto state = std::make_shared<JoinState>();
+  state->remaining = ranges.size();
+
+  // All but the first chunk go to the pool; the calling thread runs chunk 0
+  // itself so a single-threaded pool still makes progress.
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    const Range r = ranges[i];
+    pool.submit([state, r, &body] {
+      std::exception_ptr err;
+      try {
+        body(r.lo, r.hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      state->finish_one(err);
+    });
+  }
+  {
+    std::exception_ptr err;
+    try {
+      body(ranges[0].lo, ranges[0].hi);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    state->finish_one(err);
+  }
+
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->remaining == 0; });
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace snetsac::runtime

@@ -1,0 +1,55 @@
+#include "runtime/thread_pool.hpp"
+
+#include <utility>
+
+namespace snetsac::runtime {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = threads == 0 ? 1U : threads;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // jthread joins in its destructor.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  const std::lock_guard lock(mu_);
+  return executed_;
+}
+
+void ThreadPool::worker_loop() {
+  // Graceful shutdown drains the queue: submitted work is never dropped.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++executed_;
+    }
+    task();
+  }
+}
+
+}  // namespace snetsac::runtime

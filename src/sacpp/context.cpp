@@ -1,0 +1,17 @@
+#include "sacpp/context.hpp"
+
+#include "runtime/env.hpp"
+
+namespace sac {
+
+Context& default_context() {
+  static Context ctx{snetsac::runtime::default_sac_threads(), 1024};
+  return ctx;
+}
+
+snetsac::runtime::ThreadPool& sac_pool() {
+  static snetsac::runtime::ThreadPool pool(snetsac::runtime::hardware_threads());
+  return pool;
+}
+
+}  // namespace sac

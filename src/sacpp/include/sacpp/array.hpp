@@ -1,0 +1,177 @@
+#ifndef SNETSAC_SACPP_ARRAY_HPP
+#define SNETSAC_SACPP_ARRAY_HPP
+
+/// \file array.hpp
+/// SaC-style stateless value arrays.
+///
+/// "Arrays in SaC are neither explicitly allocated nor de-allocated. They
+/// exist as long as the associated data is needed, just like scalars in
+/// conventional languages." (paper, Section 2). We reproduce this with
+/// value semantics over a shared, copy-on-write buffer: copying an array is
+/// O(1); the first mutation of a shared buffer clones it. This mirrors the
+/// reference-counting memory management of the actual SaC runtime.
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "sacpp/shape.hpp"
+
+namespace sac {
+
+namespace detail {
+/// Element storage type. `bool` is stored as one byte per element because
+/// `std::vector<bool>` packs bits, whose proxy writes would race when a
+/// with-loop is executed data-parallel over disjoint index ranges.
+template <class T>
+struct Storage {
+  using type = T;
+};
+template <>
+struct Storage<bool> {
+  using type = unsigned char;
+};
+template <class T>
+using storage_t = typename Storage<T>::type;
+}  // namespace detail
+
+template <class T>
+class Array {
+ public:
+  using storage_type = detail::storage_t<T>;
+
+  /// Rank-0 array holding a value-initialised element (SaC scalar).
+  Array() : Array(T{}) {}
+
+  /// Rank-0 array holding \p scalar. Implicit on purpose: in SaC any
+  /// scalar *is* a rank-0 array.
+  Array(T scalar)  // NOLINT(google-explicit-constructor)
+      : shape_(),
+        data_(std::make_shared<std::vector<storage_type>>(
+            1, static_cast<storage_type>(scalar))) {}
+
+  /// Array of \p shape with every element set to \p fill.
+  Array(Shape shape, T fill)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<std::vector<storage_type>>(
+            static_cast<std::size_t>(shape_.element_count()),
+            static_cast<storage_type>(fill))) {}
+
+  /// Array of \p shape adopting \p data (row-major). Throws on size
+  /// mismatch.
+  Array(Shape shape, std::vector<T> data) : shape_(std::move(shape)) {
+    if (static_cast<std::int64_t>(data.size()) != shape_.element_count()) {
+      throw ShapeError("data size " + std::to_string(data.size()) +
+                       " does not match shape " + shape_.to_string());
+    }
+    if constexpr (std::is_same_v<T, storage_type>) {
+      data_ = std::make_shared<std::vector<storage_type>>(std::move(data));
+    } else {
+      auto buf = std::make_shared<std::vector<storage_type>>(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        (*buf)[i] = static_cast<storage_type>(data[i]);
+      }
+      data_ = std::move(buf);
+    }
+  }
+
+  /// SaC `dim(array)`.
+  int dim() const { return shape_.rank(); }
+  /// SaC `shape(array)`.
+  const Shape& shape() const { return shape_; }
+  std::int64_t element_count() const { return shape_.element_count(); }
+  bool is_scalar() const { return shape_.is_scalar(); }
+
+  /// Scalar extraction; only valid for rank-0 arrays.
+  T scalar() const {
+    if (!is_scalar()) {
+      throw ShapeError("scalar() on array of shape " + shape_.to_string());
+    }
+    return static_cast<T>((*data_)[0]);
+  }
+
+  /// Full-index element selection, SaC `array[iv]` with |iv| == dim().
+  T operator[](const Index& iv) const {
+    return static_cast<T>((*data_)[static_cast<std::size_t>(shape_.linearize(iv))]);
+  }
+
+  /// Row-major element access without index math.
+  T linear(std::int64_t offset) const {
+    return static_cast<T>((*data_)[static_cast<std::size_t>(offset)]);
+  }
+
+  /// Subarray selection, SaC `array[iv]` with |iv| <= dim(): selects the
+  /// subarray at index prefix iv. |iv| == dim() yields a rank-0 array.
+  Array sel(const Index& prefix) const {
+    const int plen = static_cast<int>(prefix.size());
+    const Shape sub = shape_.suffix(plen);
+    Index full(prefix);
+    full.resize(static_cast<std::size_t>(shape_.rank()), 0);
+    const std::int64_t base = shape_.linearize(full);
+    const std::int64_t count = sub.element_count();
+    Array out(sub, T{});
+    for (std::int64_t i = 0; i < count; ++i) {
+      out.data_->at(static_cast<std::size_t>(i)) =
+          (*data_)[static_cast<std::size_t>(base + i)];
+    }
+    return out;
+  }
+
+  /// Mutating element update with copy-on-write (used by the with-loop
+  /// engine and for single-cell updates such as `board[i,j] = k`).
+  void set(const Index& iv, T value) {
+    const std::int64_t off = shape_.linearize(iv);
+    ensure_unique();
+    (*data_)[static_cast<std::size_t>(off)] = static_cast<storage_type>(value);
+  }
+
+  void set_linear(std::int64_t offset, T value) {
+    ensure_unique();
+    (*data_)[static_cast<std::size_t>(offset)] = static_cast<storage_type>(value);
+  }
+
+  /// Same shape *and* same element values.
+  bool operator==(const Array& other) const {
+    return shape_ == other.shape_ && *data_ == *other.data_;
+  }
+  bool operator!=(const Array& other) const { return !(*this == other); }
+
+  /// Read-only view of the row-major storage buffer (bool is stored as one
+  /// byte per element, see detail::Storage).
+  const std::vector<storage_type>& data() const { return *data_; }
+
+  /// True when this array is the sole owner of its buffer (observability
+  /// hook for copy-on-write tests).
+  bool unique() const { return data_.use_count() == 1; }
+
+  /// Grants the with-loop engine direct mutable access after detaching.
+  std::vector<storage_type>& mutable_data() {
+    ensure_unique();
+    return *data_;
+  }
+
+ private:
+  void ensure_unique() {
+    if (data_.use_count() != 1) {
+      data_ = std::make_shared<std::vector<storage_type>>(*data_);
+    }
+  }
+
+  Shape shape_;
+  std::shared_ptr<std::vector<storage_type>> data_;
+};
+
+/// SaC `dim` / `shape` as free functions, matching the paper's notation.
+template <class T>
+int dim(const Array<T>& a) {
+  return a.dim();
+}
+template <class T>
+const Shape& shape(const Array<T>& a) {
+  return a.shape();
+}
+
+}  // namespace sac
+
+#endif

@@ -1,0 +1,40 @@
+#ifndef SNETSAC_SACPP_CONTEXT_HPP
+#define SNETSAC_SACPP_CONTEXT_HPP
+
+/// \file context.hpp
+/// Execution context for data-parallel with-loop evaluation.
+///
+/// In SaC, data parallelism is fully implicit: "it just requires
+/// multi-threaded code generation to be enabled" (paper, Section 3). The
+/// analogue here is a process-wide context selecting the number of worker
+/// threads; with-loops consult it transparently. `SAC_THREADS=1` reproduces
+/// sequential code generation.
+
+#include <cstdint>
+
+#include "runtime/thread_pool.hpp"
+
+namespace sac {
+
+struct Context {
+  /// Maximum number of concurrent chunks a with-loop may be split into.
+  /// 1 means strictly sequential evaluation on the calling thread.
+  unsigned threads = 1;
+  /// Minimum number of index-space elements per chunk; prevents
+  /// parallelising trivially small with-loops.
+  std::int64_t grain = 1024;
+};
+
+/// The process-wide default context. Initialised once from `SAC_THREADS`
+/// (fallback: hardware concurrency). Mutable so tests and benchmarks can
+/// sweep thread counts.
+Context& default_context();
+
+/// The shared pool with-loops execute on (lazily created, sized to
+/// hardware concurrency; the context's `threads` caps how much of it a
+/// single with-loop uses).
+snetsac::runtime::ThreadPool& sac_pool();
+
+}  // namespace sac
+
+#endif

@@ -1,0 +1,53 @@
+#ifndef SNETSAC_SACPP_IO_HPP
+#define SNETSAC_SACPP_IO_HPP
+
+/// \file io.hpp
+/// Textual rendering of arrays in SaC's nested-bracket notation,
+/// e.g. `[0,42,42,42,0]` or `[[1,2],[3,4]]`.
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "sacpp/array.hpp"
+
+namespace sac {
+
+namespace detail {
+template <class T>
+void render(std::ostream& os, const Array<T>& a, Index& prefix, int axis) {
+  if (axis == a.dim()) {
+    os << a[prefix];
+    return;
+  }
+  os << '[';
+  for (std::int64_t i = 0; i < a.shape().extent(axis); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    prefix.push_back(i);
+    render(os, a, prefix, axis + 1);
+    prefix.pop_back();
+  }
+  os << ']';
+}
+}  // namespace detail
+
+template <class T>
+std::string to_string(const Array<T>& a) {
+  std::ostringstream os;
+  Index prefix;
+  detail::render(os, a, prefix, 0);
+  return os.str();
+}
+
+template <class T>
+std::ostream& operator<<(std::ostream& os, const Array<T>& a) {
+  Index prefix;
+  detail::render(os, a, prefix, 0);
+  return os;
+}
+
+}  // namespace sac
+
+#endif

@@ -1,0 +1,321 @@
+#ifndef SNETSAC_SACPP_WITH_LOOP_HPP
+#define SNETSAC_SACPP_WITH_LOOP_HPP
+
+/// \file with_loop.hpp
+/// SaC with-loop array comprehensions (paper, Section 2).
+///
+/// A with-loop maps a set of rectangular *generators* — each an index range
+/// `lower_bound <= idx_vec < upper_bound` (optionally with SaC's step/width
+/// striding) associated with a body expression — onto one of three
+/// operators:
+///
+///  * `genarray(shape, default)` — build a new array of `shape`; elements
+///    covered by no generator take the default value;
+///  * `modarray(src)` — build an array shaped like `src`; uncovered
+///    elements copy `src`;
+///  * `fold(op, neutral)` — reduce the body values of all generator
+///    elements with an associative operator.
+///
+/// "We deliberately do not define any order on these index sets" — element
+/// evaluation order is unspecified, which is what licenses data-parallel
+/// execution. When generators overlap, *generator* order does matter: a
+/// later generator overwrites an earlier one ("the array's value at index
+/// location [3] ... is set to 2 rather than to 1"). We therefore run
+/// generators one after another, each internally data-parallel.
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "sacpp/array.hpp"
+#include "sacpp/context.hpp"
+
+namespace sac {
+
+template <class T>
+class With {
+ public:
+  using Body = std::function<T(const Index&)>;
+
+  /// Generator `lb <= iv < ub` with body expression \p body.
+  With& gen(Index lb, Index ub, Body body) {
+    if (lb.size() != ub.size()) {
+      throw ShapeError("generator bounds " + index_to_string(lb) + " and " +
+                       index_to_string(ub) + " differ in rank");
+    }
+    gens_.push_back(Generator{std::move(lb), std::move(ub), {}, {}, std::move(body)});
+    return *this;
+  }
+
+  /// Generator `lb <= iv <= ub` (the inclusive form used by the paper's
+  /// `addNumber`); normalised to an exclusive upper bound.
+  With& gen_incl(Index lb, Index ub, Body body) {
+    for (auto& c : ub) {
+      c += 1;
+    }
+    return gen(std::move(lb), std::move(ub), std::move(body));
+  }
+
+  /// Constant-body generators, e.g. `([i,j,0] <= iv <= [i,j,8]) : false`.
+  With& gen_val(Index lb, Index ub, T value) {
+    return gen(std::move(lb), std::move(ub), [value](const Index&) { return value; });
+  }
+  With& gen_incl_val(Index lb, Index ub, T value) {
+    return gen_incl(std::move(lb), std::move(ub),
+                    [value](const Index&) { return value; });
+  }
+
+  /// SaC striding on the most recently added generator: of every `step`
+  /// consecutive indices per axis, the first `width` are members.
+  With& step(Index s) {
+    last().step = std::move(s);
+    return *this;
+  }
+  With& width(Index w) {
+    last().width = std::move(w);
+    return *this;
+  }
+
+  /// genarray-with-loop: the result shape is given explicitly (it is "not
+  /// the generator that defines the shape of the resulting array").
+  Array<T> genarray(const Shape& result_shape, T default_value,
+                    const Context& ctx = default_context()) const {
+    Array<T> result(result_shape, default_value);
+    apply_generators(result, ctx);
+    return result;
+  }
+
+  /// modarray-with-loop: result has the shape of \p src; uncovered elements
+  /// keep the corresponding value of \p src.
+  Array<T> modarray(Array<T> src, const Context& ctx = default_context()) const {
+    apply_generators(src, ctx);
+    return src;
+  }
+
+  /// fold-with-loop: reduces body values over every generator element.
+  /// \p combine must be associative; evaluation order is unspecified
+  /// except that per-chunk partial results are combined in index order.
+  T fold(const std::function<T(T, T)>& combine, T neutral,
+         const Context& ctx = default_context()) const {
+    T acc = neutral;
+    for (const auto& g : gens_) {
+      validate_rank_only(g);
+      acc = fold_generator(g, combine, std::move(acc), neutral, ctx);
+    }
+    return acc;
+  }
+
+ private:
+  struct Generator {
+    Index lb;
+    Index ub;  // exclusive
+    Index step;
+    Index width;
+    Body body;
+  };
+
+  Generator& last() {
+    if (gens_.empty()) {
+      throw std::logic_error("step()/width() before any generator");
+    }
+    return gens_.back();
+  }
+
+  static std::int64_t axis_count(const Generator& g, std::size_t axis) {
+    const std::int64_t extent = g.ub[axis] - g.lb[axis];
+    if (extent <= 0) {
+      return 0;
+    }
+    if (g.step.empty()) {
+      return extent;
+    }
+    const std::int64_t st = g.step[axis];
+    const std::int64_t wd = g.width.empty() ? 1 : g.width[axis];
+    const std::int64_t full = extent / st;
+    const std::int64_t rem = extent % st;
+    return full * wd + std::min(rem, wd);
+  }
+
+  static std::int64_t element_estimate(const Generator& g) {
+    std::int64_t n = 1;
+    for (std::size_t a = 0; a < g.lb.size(); ++a) {
+      n *= axis_count(g, a);
+    }
+    return n;
+  }
+
+  static bool axis_member(const Generator& g, std::size_t axis, std::int64_t pos) {
+    if (g.step.empty()) {
+      return true;
+    }
+    const std::int64_t st = g.step[axis];
+    const std::int64_t wd = g.width.empty() ? 1 : g.width[axis];
+    return (pos - g.lb[axis]) % st < wd;
+  }
+
+  /// Visits every generator index whose axis-0 component lies in
+  /// [row_lo, row_hi), in row-major order.
+  template <class F>
+  static void iterate_rows(const Generator& g, std::int64_t row_lo, std::int64_t row_hi,
+                           const F& visit) {
+    const std::size_t rank = g.lb.size();
+    if (rank == 0) {
+      // A rank-0 generator denotes the single empty index vector.
+      Index iv;
+      visit(iv);
+      return;
+    }
+    Index iv(rank, 0);
+    // Recursive descent over axes, expressed iteratively for axis 0.
+    for (std::int64_t r = row_lo; r < row_hi; ++r) {
+      if (!axis_member(g, 0, r)) {
+        continue;
+      }
+      iv[0] = r;
+      iterate_axis(g, iv, 1, visit);
+    }
+  }
+
+  template <class F>
+  static void iterate_axis(const Generator& g, Index& iv, std::size_t axis,
+                           const F& visit) {
+    if (axis == g.lb.size()) {
+      visit(const_cast<const Index&>(iv));
+      return;
+    }
+    for (std::int64_t p = g.lb[axis]; p < g.ub[axis]; ++p) {
+      if (!axis_member(g, axis, p)) {
+        continue;
+      }
+      iv[axis] = p;
+      iterate_axis(g, iv, axis + 1, visit);
+    }
+  }
+
+  void validate_against(const Generator& g, const Shape& target) const {
+    if (static_cast<int>(g.lb.size()) != target.rank()) {
+      throw ShapeError("generator of rank " + std::to_string(g.lb.size()) +
+                       " does not match result shape " + target.to_string());
+    }
+    validate_striding(g);
+    if (element_estimate(g) == 0) {
+      return;  // empty generators never touch memory, bounds irrelevant
+    }
+    for (std::size_t a = 0; a < g.lb.size(); ++a) {
+      if (g.lb[a] < 0 || g.ub[a] > target.extent(static_cast<int>(a))) {
+        throw ShapeError("generator range " + index_to_string(g.lb) + " .. " +
+                         index_to_string(g.ub) + " exceeds result shape " +
+                         target.to_string());
+      }
+    }
+  }
+
+  void validate_rank_only(const Generator& g) const {
+    validate_striding(g);
+    for (std::size_t a = 0; a < g.lb.size(); ++a) {
+      if (element_estimate(g) > 0 && g.lb[a] < 0) {
+        throw ShapeError("fold generator lower bound " + index_to_string(g.lb) +
+                         " is negative");
+      }
+    }
+  }
+
+  void validate_striding(const Generator& g) const {
+    if (!g.step.empty() && g.step.size() != g.lb.size()) {
+      throw ShapeError("step vector rank mismatch in generator");
+    }
+    if (!g.width.empty() && g.width.size() != g.lb.size()) {
+      throw ShapeError("width vector rank mismatch in generator");
+    }
+    for (const auto s : g.step) {
+      if (s < 1) {
+        throw ShapeError("generator step components must be >= 1");
+      }
+    }
+    for (std::size_t a = 0; a < g.width.size(); ++a) {
+      if (g.width[a] < 1 || (!g.step.empty() && g.width[a] > g.step[a])) {
+        throw ShapeError("generator width must satisfy 1 <= width <= step");
+      }
+    }
+  }
+
+  void apply_generators(Array<T>& result, const Context& ctx) const {
+    using storage = typename Array<T>::storage_type;
+    const Shape& shp = result.shape();
+    for (const auto& g : gens_) {
+      validate_against(g, shp);
+      if (element_estimate(g) == 0) {
+        continue;
+      }
+      std::vector<storage>& buf = result.mutable_data();
+      const auto write = [&](const Index& iv) {
+        buf[static_cast<std::size_t>(shp.linearize(iv))] =
+            static_cast<storage>(g.body(iv));
+      };
+      if (g.lb.empty()) {
+        iterate_rows(g, 0, 1, write);
+        continue;
+      }
+      const std::int64_t rows = g.ub[0] - g.lb[0];
+      const std::int64_t per_row = rows > 0 ? element_estimate(g) / std::max<std::int64_t>(rows, 1) : 0;
+      const std::int64_t row_grain =
+          per_row > 0 ? std::max<std::int64_t>(1, ctx.grain / std::max<std::int64_t>(per_row, 1)) : 1;
+      if (ctx.threads <= 1 || element_estimate(g) < ctx.grain) {
+        iterate_rows(g, g.lb[0], g.ub[0], write);
+      } else {
+        snetsac::runtime::parallel_for_chunks(
+            sac_pool(), g.lb[0], g.ub[0], row_grain,
+            [&](std::int64_t lo, std::int64_t hi) { iterate_rows(g, lo, hi, write); },
+            ctx.threads);
+      }
+    }
+  }
+
+  T fold_generator(const Generator& g, const std::function<T(T, T)>& combine, T acc,
+                   const T& neutral, const Context& ctx) const {
+    if (element_estimate(g) == 0) {
+      return acc;
+    }
+    if (g.lb.empty() || ctx.threads <= 1 || element_estimate(g) < ctx.grain) {
+      const std::int64_t lo = g.lb.empty() ? 0 : g.lb[0];
+      const std::int64_t hi = g.lb.empty() ? 1 : g.ub[0];
+      iterate_rows(g, lo, hi, [&](const Index& iv) { acc = combine(acc, g.body(iv)); });
+      return acc;
+    }
+    // Parallel fold: fixed chunk ranges over axis 0, one partial per chunk,
+    // partials combined in index order (associativity is enough).
+    const std::int64_t rows = g.ub[0] - g.lb[0];
+    const std::int64_t chunks =
+        std::min<std::int64_t>(ctx.threads, std::max<std::int64_t>(rows, 1));
+    const std::int64_t chunk_rows = (rows + chunks - 1) / chunks;
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+    for (std::int64_t lo = g.lb[0]; lo < g.ub[0]; lo += chunk_rows) {
+      ranges.emplace_back(lo, std::min(lo + chunk_rows, g.ub[0]));
+    }
+    // Partials live in the storage type: std::vector<bool>'s packed bits
+    // must not be written concurrently from different chunks.
+    std::vector<detail::storage_t<T>> partials(ranges.size(),
+                                               static_cast<detail::storage_t<T>>(neutral));
+    snetsac::runtime::parallel_for_each(
+        sac_pool(), 0, static_cast<std::int64_t>(ranges.size()), 1,
+        [&](std::int64_t c) {
+          T part = neutral;
+          iterate_rows(g, ranges[static_cast<std::size_t>(c)].first,
+                       ranges[static_cast<std::size_t>(c)].second,
+                       [&](const Index& iv) { part = combine(part, g.body(iv)); });
+          partials[static_cast<std::size_t>(c)] = static_cast<detail::storage_t<T>>(part);
+        });
+    for (std::size_t c = 0; c < partials.size(); ++c) {
+      acc = combine(acc, static_cast<T>(partials[c]));
+    }
+    return acc;
+  }
+
+  std::vector<Generator> gens_;
+};
+
+}  // namespace sac
+
+#endif

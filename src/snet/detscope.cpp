@@ -1,0 +1,54 @@
+#include "snet/detscope.hpp"
+
+#include <stdexcept>
+
+#include "snet/entity.hpp"
+
+namespace snet {
+
+std::uint64_t DetScope::open_group() {
+  const std::lock_guard lock(mu_);
+  const std::uint64_t seq = next_++;
+  // Starts at zero: the entry entity's send() immediately bumps it for the
+  // stamped record itself.
+  pending_.emplace(seq, 0);
+  return seq;
+}
+
+void DetScope::adjust(std::uint64_t seq, std::int64_t delta) {
+  if (delta == 0) {
+    return;
+  }
+  bool completed = false;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = pending_.find(seq);
+    if (it == pending_.end()) {
+      // Invariant: any record carrying a stamp keeps its group's pending
+      // count >= 1 until the record is consumed, so adjustments can never
+      // target a drained group.
+      throw std::logic_error("det scope " + name_ +
+                             ": adjustment on drained group");
+    }
+    it->second += delta;
+    if (it->second == 0) {
+      pending_.erase(it);
+      completed = true;
+    }
+  }
+  if (completed && collector_ != nullptr) {
+    collector_->deliver(Message::poke());
+  }
+}
+
+bool DetScope::complete(std::uint64_t seq) const {
+  const std::lock_guard lock(mu_);
+  return seq < next_ && pending_.find(seq) == pending_.end();
+}
+
+std::uint64_t DetScope::groups_opened() const {
+  const std::lock_guard lock(mu_);
+  return next_;
+}
+
+}  // namespace snet

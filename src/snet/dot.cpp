@@ -1,0 +1,146 @@
+#include "snet/dot.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace snet {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emits nodes/edges for \p n; returns (entry, exit) node ids.
+struct DotBuilder {
+  std::ostringstream& os;
+  int next_id = 0;
+
+  std::string fresh(const std::string& label, const std::string& shape,
+                    const std::string& extra = {}) {
+    std::string id = "n";
+    id += std::to_string(next_id++);
+    os << "  " << id << " [label=\"" << escape(label) << "\", shape=" << shape
+       << (extra.empty() ? "" : ", " + extra) << "];\n";
+    return id;
+  }
+
+  std::pair<std::string, std::string> walk(const Net& n) {
+    switch (n->kind) {
+      case NetNode::Kind::Box: {
+        const std::string id =
+            fresh("box " + n->name + "\\n" + n->sig.to_string(), "box");
+        return {id, id};
+      }
+      case NetNode::Kind::Filter: {
+        const std::string id = fresh(n->filter->to_string(), "cds");
+        return {id, id};
+      }
+      case NetNode::Kind::Serial: {
+        const auto l = walk(n->left);
+        const auto r = walk(n->right);
+        os << "  " << l.second << " -> " << r.first << ";\n";
+        return {l.first, r.second};
+      }
+      case NetNode::Kind::Parallel: {
+        const std::string in =
+            fresh(n->det ? "|" : "||", "diamond", "width=0.3, height=0.3");
+        const std::string out_node =
+            fresh("merge", "point", "width=0.12");
+        const auto l = walk(n->left);
+        const auto r = walk(n->right);
+        os << "  " << in << " -> " << l.first << ";\n";
+        os << "  " << in << " -> " << r.first << ";\n";
+        os << "  " << l.second << " -> " << out_node << ";\n";
+        os << "  " << r.second << " -> " << out_node << ";\n";
+        return {in, out_node};
+      }
+      case NetNode::Kind::Star: {
+        const std::string tap = fresh(std::string(n->det ? "*" : "**") + " " +
+                                          n->exit.to_string(),
+                                      "diamond");
+        const auto c = walk(n->child);
+        os << "  " << tap << " -> " << c.first << " [label=\"no match\"];\n";
+        os << "  " << c.second << " -> " << tap
+           << " [style=dashed, label=\"unfold\"];\n";
+        return {tap, tap};
+      }
+      case NetNode::Kind::Split: {
+        const std::string disp = fresh(std::string(n->det ? "!" : "!!") + " " +
+                                           label_display(n->split_tag),
+                                       "triangle");
+        const std::string out_node = fresh("merge", "point", "width=0.12");
+        const auto c = walk(n->child);
+        os << "  " << disp << " -> " << c.first << " [label=\"per tag value\"];\n";
+        os << "  " << c.second << " -> " << out_node << ";\n";
+        return {disp, out_node};
+      }
+      case NetNode::Kind::Sync: {
+        std::ostringstream lo;
+        lo << "[|";
+        bool first = true;
+        for (const auto& p : n->sync_patterns) {
+          lo << (first ? "" : ", ") << p.to_string();
+          first = false;
+        }
+        lo << "|]";
+        const std::string label = lo.str();
+        const std::string id = fresh(label, "Msquare");
+        return {id, id};
+      }
+    }
+    const std::string id = fresh("?", "box");
+    return {id, id};
+  }
+};
+
+}  // namespace
+
+std::string to_dot(const Net& net) {
+  std::ostringstream os;
+  os << "digraph snet {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  DotBuilder b{os};
+  const auto [in, out] = b.walk(net);
+  os << "  __in [label=\"in\", shape=plaintext];\n";
+  os << "  __out [label=\"out\", shape=plaintext];\n";
+  os << "  __in -> " << in << ";\n";
+  os << "  " << out << " -> __out;\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const NetworkStats& stats) {
+  std::ostringstream os;
+  os << "digraph snet_run {\n  rankdir=LR;\n  node [fontsize=9, shape=box];\n";
+  // Group entities by their first path component after "net/".
+  std::map<std::string, std::vector<const EntityStats*>> groups;
+  for (const auto& e : stats.entities) {
+    const auto slash = e.name.find('/', 4);
+    groups[slash == std::string::npos ? e.name : e.name.substr(0, slash)].push_back(&e);
+  }
+  int cluster = 0;
+  int node = 0;
+  for (const auto& [prefix, members] : groups) {
+    os << "  subgraph cluster_" << cluster++ << " {\n"
+       << "    label=\"" << escape(prefix) << "\";\n";
+    for (const auto* e : members) {
+      os << "    e" << node++ << " [label=\"" << escape(e->name) << "\\nin="
+         << e->records_in << " out=" << e->records_out << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  os << "  labelloc=\"t\";\n  label=\"injected=" << stats.injected
+     << " produced=" << stats.produced << " peak_live=" << stats.peak_live
+     << "\";\n}\n";
+  return os.str();
+}
+
+}  // namespace snet

@@ -1,0 +1,301 @@
+#include "snet/entities.hpp"
+
+#include <algorithm>
+
+namespace snet::detail {
+
+// ---------------------------------------------------------------- Output
+
+void OutputEntity::on_record(Record r) {
+  // Stamps must not escape to the client: det regions are closed by their
+  // collectors before this point; clearing here is belt-and-braces.
+  r.det_stack().clear();
+  net_.push_output(std::move(r));
+}
+
+// ------------------------------------------------------------------- Box
+
+BoxEntity::BoxEntity(Network& net, std::string name, Net node, Entity* successor)
+    : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor) {}
+
+void BoxEntity::on_record(Record r) {
+  // Bind declared input labels; their presence is a type obligation.
+  for (const Label l : node_->sig.input.labels) {
+    if (!r.has(l)) {
+      throw NetTypeError("box " + node_->name + " received record " + r.to_string() +
+                         " lacking declared label " + label_display(l));
+    }
+  }
+  current_ = &r;
+  const BoxInput in(r, node_->sig.input);
+  try {
+    node_->fn(in, *this);
+  } catch (...) {
+    current_ = nullptr;
+    throw;
+  }
+  current_ = nullptr;
+}
+
+void BoxEntity::emit(int variant, std::vector<BoxArg> args) {
+  if (current_ == nullptr) {
+    throw BoxError("box " + node_->name + " called snet_out outside processing");
+  }
+  if (variant < 1 || static_cast<std::size_t>(variant) > node_->sig.outputs.size()) {
+    throw BoxError("box " + node_->name + " emitted unknown variant " +
+                   std::to_string(variant));
+  }
+  const SigVariant& out_sig = node_->sig.outputs[static_cast<std::size_t>(variant - 1)];
+  if (args.size() != out_sig.labels.size()) {
+    throw BoxError("box " + node_->name + " variant " + std::to_string(variant) +
+                   " expects " + std::to_string(out_sig.labels.size()) +
+                   " arguments, got " + std::to_string(args.size()));
+  }
+  Record out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const Label l = out_sig.labels[i];
+    BoxArg& a = args[i];
+    if (l.kind == LabelKind::Tag) {
+      if (!a.is_integer) {
+        throw BoxError("box " + node_->name + " bound a payload to tag " +
+                       label_display(l));
+      }
+      out.set_tag(l, a.integer);
+    } else {
+      out.set_field(l, a.is_integer ? make_value(a.integer) : std::move(a.value));
+    }
+  }
+  // Flow inheritance: "we retrieve excess fields and tags from incoming
+  // records and extend any output record produced in response to this very
+  // input record by these fields and tags, unless some label is already
+  // present in the output record".
+  const RecordType consumed = node_->sig.input.type();
+  for (const auto& [label, value] : current_->fields()) {
+    if (!consumed.contains(label) && !out.has_field(label)) {
+      out.set_field(label, value);
+    }
+  }
+  for (const auto& [label, value] : current_->tags()) {
+    if (!consumed.contains(label) && !out.has_tag(label)) {
+      out.set_tag(label, value);
+    }
+  }
+  out.inherit_meta(*current_);
+  send(succ_, std::move(out));
+}
+
+// ---------------------------------------------------------------- Filter
+
+FilterEntity::FilterEntity(Network& net, std::string name, Net node,
+                           Entity* successor)
+    : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor) {}
+
+void FilterEntity::on_record(Record r) {
+  std::vector<Record> produced = node_->filter->apply(r);
+  for (auto& out : produced) {
+    send(succ_, std::move(out));
+  }
+}
+
+// -------------------------------------------------------------- Parallel
+
+ParallelEntity::ParallelEntity(Network& net, std::string name,
+                               std::vector<Branch> branches)
+    : Entity(net, std::move(name)), branches_(std::move(branches)) {}
+
+void ParallelEntity::on_record(Record r) {
+  int best = -1;
+  std::size_t chosen = 0;
+  bool tie = false;
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    const int score = branches_[i].input.match_score(r);
+    if (score > best) {
+      best = score;
+      chosen = i;
+      tie = false;
+    } else if (score == best && score >= 0) {
+      tie = true;
+    }
+  }
+  if (best < 0) {
+    throw NetTypeError("parallel combinator " + name() + ": record " + r.to_string() +
+                       " matches no branch");
+  }
+  if (tie) {
+    // "If both branches in the streaming network match equally well, one
+    // is selected non-deterministically." Alternate for fairness.
+    std::vector<std::size_t> tied;
+    for (std::size_t i = 0; i < branches_.size(); ++i) {
+      if (branches_[i].input.match_score(r) == best) {
+        tied.push_back(i);
+      }
+    }
+    chosen = tied[tie_break_++ % tied.size()];
+  }
+  send(branches_[chosen].entry, std::move(r));
+}
+
+// ------------------------------------------------------------------ Star
+
+StarStageEntity::StarStageEntity(Network& net, std::string prefix, Net node,
+                                 Entity* exit_target, unsigned stage)
+    : Entity(net, prefix + "/stage" + std::to_string(stage)),
+      prefix_(std::move(prefix)),
+      node_(std::move(node)),
+      exit_target_(exit_target),
+      stage_(stage) {}
+
+void StarStageEntity::on_record(Record r) {
+  if (node_->exit.matches(r)) {
+    send(exit_target_, std::move(r));
+    return;
+  }
+  if (replica_entry_ == nullptr) {
+    // Demand-driven unfolding: materialise this stage's replica and the
+    // next tap.
+    auto next = std::make_unique<StarStageEntity>(net_, prefix_, node_, exit_target_,
+                                                  stage_ + 1);
+    Entity* next_raw = net_.adopt(std::move(next));
+    replica_entry_ = net_.instantiate(
+        node_->child, next_raw, prefix_ + "/rep" + std::to_string(stage_));
+  }
+  send(replica_entry_, std::move(r));
+}
+
+// ----------------------------------------------------------------- Split
+
+SplitEntity::SplitEntity(Network& net, std::string prefix, Net node,
+                         Entity* successor)
+    : Entity(net, prefix), prefix_(std::move(prefix)), node_(std::move(node)),
+      succ_(successor) {}
+
+std::size_t SplitEntity::replica_count() const { return replicas_.size(); }
+
+void SplitEntity::on_record(Record r) {
+  if (!r.has_tag(node_->split_tag)) {
+    throw NetTypeError("parallel replication " + name() + ": record " +
+                       r.to_string() + " lacks the replication tag " +
+                       label_display(node_->split_tag));
+  }
+  const std::int64_t v = r.tag(node_->split_tag);
+  auto it = replicas_.find(v);
+  if (it == replicas_.end()) {
+    Entity* entry = net_.instantiate(node_->child, succ_,
+                                     prefix_ + "[" + std::to_string(v) + "]");
+    it = replicas_.emplace(v, entry).first;
+  }
+  send(it->second, std::move(r));
+}
+
+// ------------------------------------------------------------- Det entry
+
+DetEntryEntity::DetEntryEntity(Network& net, std::string name, DetScope* scope)
+    : Entity(net, std::move(name)), scope_(scope) {}
+
+void DetEntryEntity::on_record(Record r) {
+  const std::uint64_t seq = scope_->open_group();
+  r.det_stack().push_back(DetStamp{scope_, seq});
+  send(target_, std::move(r));
+}
+
+// --------------------------------------------------------- Det collector
+
+DetCollectorEntity::DetCollectorEntity(Network& net, std::string name,
+                                       Entity* successor)
+    : Entity(net, name), scope_(name), succ_(successor) {
+  scope_.set_collector(this);
+}
+
+void DetCollectorEntity::on_record(Record r) {
+  auto& stack = r.det_stack();
+  if (stack.empty() || stack.back().scope != &scope_) {
+    throw std::logic_error("det collector " + name() +
+                           " received record without its stamp");
+  }
+  const std::uint64_t seq = stack.back().seq;
+  stack.pop_back();
+  // The record lives on in the buffer: keep it counted in every enclosing
+  // det group and in the network's live total (the generic consume
+  // decrements in run_quantum are compensated here).
+  for (const auto& s : stack) {
+    s.scope->adjust(s.seq, +1);
+  }
+  net_.live_add(1);
+  buffer_[seq].push_back(std::move(r));
+}
+
+void DetCollectorEntity::on_poke() { release_ready(); }
+
+void DetCollectorEntity::release_ready() {
+  while (next_release_ < scope_.groups_opened() && scope_.complete(next_release_)) {
+    const auto it = buffer_.find(next_release_);
+    if (it != buffer_.end()) {
+      for (auto& rec : it->second) {
+        transfer(succ_, std::move(rec));
+      }
+      buffer_.erase(it);
+    }
+    ++next_release_;
+  }
+}
+
+// ------------------------------------------------------------------ Sync
+
+SyncEntity::SyncEntity(Network& net, std::string name, Net node, Entity* successor)
+    : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor),
+      slots_(node_->sync_patterns.size()) {}
+
+void SyncEntity::on_record(Record r) {
+  if (!fired_) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value() || !node_->sync_patterns[i].matches(r)) {
+        continue;
+      }
+      const bool last_missing =
+          std::count_if(slots_.begin(), slots_.end(),
+                        [](const auto& s) { return s.has_value(); }) ==
+          static_cast<std::ptrdiff_t>(slots_.size()) - 1;
+      if (!last_missing) {
+        // Store; compensate the generic consume accounting (the record
+        // survives inside the cell).
+        for (const auto& s : r.det_stack()) {
+          s.scope->adjust(s.seq, +1);
+        }
+        net_.live_add(1);
+        slots_[i] = std::move(r);
+        return;
+      }
+      // This record completes the cell: merge all stored records into it
+      // (slot order precedence for duplicate labels).
+      Record merged = std::move(r);
+      for (auto& slot : slots_) {
+        if (!slot.has_value()) {
+          continue;
+        }
+        for (const auto& [label, value] : slot->fields()) {
+          if (!merged.has_field(label)) {
+            merged.set_field(label, value);
+          }
+        }
+        for (const auto& [label, value] : slot->tags()) {
+          if (!merged.has_tag(label)) {
+            merged.set_tag(label, value);
+          }
+        }
+        // The stored record is consumed now: undo its storage accounting.
+        for (const auto& s : slot->det_stack()) {
+          s.scope->adjust(s.seq, -1);
+        }
+        net_.live_sub(1);
+        slot.reset();
+      }
+      fired_ = true;
+      send(succ_, std::move(merged));
+      return;
+    }
+  }
+  // Fired, or no unfilled pattern matches: the cell is the identity.
+  send(succ_, std::move(r));
+}
+
+}  // namespace snet::detail

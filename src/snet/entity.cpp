@@ -1,0 +1,113 @@
+#include "snet/entity.hpp"
+
+#include "snet/detscope.hpp"
+#include "snet/network.hpp"
+
+namespace snet {
+
+Entity::Entity(Network& net, std::string name) : net_(net), name_(std::move(name)) {}
+
+void Entity::deliver(Message m) {
+  if (m.kind == Message::Kind::Rec && net_.tracing()) {
+    net_.trace_record(*this, m.rec);
+  }
+  inbox_.push(std::move(m));
+  for (;;) {
+    int s = state_.load(std::memory_order_acquire);
+    switch (s) {
+      case kIdle:
+        if (state_.compare_exchange_weak(s, kQueued, std::memory_order_acq_rel)) {
+          net_.scheduler().enqueue(this);
+          return;
+        }
+        break;
+      case kQueued:
+        return;
+      case kRunning:
+        if (state_.compare_exchange_weak(s, kRunningPending,
+                                         std::memory_order_acq_rel)) {
+          return;
+        }
+        break;
+      case kRunningPending:
+        return;
+      default:
+        return;
+    }
+  }
+}
+
+void Entity::run_quantum(unsigned max_messages) {
+  state_.store(kRunning, std::memory_order_release);
+  for (unsigned i = 0; i < max_messages; ++i) {
+    auto m = inbox_.try_pop();
+    if (!m) {
+      break;
+    }
+    if (m->kind == Message::Kind::Poke) {
+      try {
+        on_poke();
+      } catch (...) {
+        net_.fail(std::current_exception());
+      }
+      continue;
+    }
+    in_count_.fetch_add(1, std::memory_order_relaxed);
+    Record r = std::move(m->rec);
+    // The stamp stack as the record arrived: the consume decrement below
+    // must target exactly these groups even if on_record rewrites the
+    // record's metadata.
+    const std::vector<DetStamp> stamps = r.det_stack();
+    try {
+      on_record(std::move(r));
+    } catch (...) {
+      net_.fail(std::current_exception());
+    }
+    // Consume decrement: emissions were counted eagerly in send(), so the
+    // group count can never transiently drop to zero while descendants of
+    // this record are still in flight. Guarded: a det-scope invariant
+    // violation must fail the network, not escape into the worker thread.
+    try {
+      for (const auto& s : stamps) {
+        s.scope->adjust(s.seq, -1);
+      }
+    } catch (...) {
+      net_.fail(std::current_exception());
+    }
+    net_.live_sub(1);
+  }
+  // Finalisation handshake with deliver(): either requeue (more input or a
+  // producer raced us) or park as idle.
+  for (;;) {
+    if (!inbox_.empty()) {
+      state_.store(kQueued, std::memory_order_release);
+      net_.scheduler().enqueue(this);
+      return;
+    }
+    int expected = kRunning;
+    if (state_.compare_exchange_strong(expected, kIdle, std::memory_order_acq_rel)) {
+      return;
+    }
+    // A producer marked us RunningPending; loop to re-examine the inbox.
+    state_.store(kRunning, std::memory_order_release);
+  }
+}
+
+void Entity::send(Entity* target, Record r) {
+  ++emitted_in_step_;
+  out_count_.fetch_add(1, std::memory_order_relaxed);
+  // Eager group increments (see run_quantum) before the record becomes
+  // visible downstream.
+  for (const auto& s : r.det_stack()) {
+    s.scope->adjust(s.seq, +1);
+  }
+  net_.live_add(1);
+  target->deliver(Message::record(std::move(r)));
+}
+
+void Entity::transfer(Entity* target, Record r) {
+  out_count_.fetch_add(1, std::memory_order_relaxed);
+  target->deliver(Message::record(std::move(r)));
+}
+
+}  // namespace snet

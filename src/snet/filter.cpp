@@ -1,0 +1,153 @@
+#include "snet/filter.hpp"
+
+#include <sstream>
+
+#include "snet/parse.hpp"
+#include "snet/text.hpp"
+
+namespace snet {
+
+FilterSpec::FilterSpec(Pattern pattern, std::vector<Output> outputs)
+    : pattern_(std::move(pattern)), outputs_(std::move(outputs)) {
+  validate();
+}
+
+FilterSpec FilterSpec::parse(const std::string& text) {
+  text::Cursor cur(text::tokenize(text));
+  cur.accept(text::Tok::LBracket);  // surrounding [ ] optional
+  FilterSpec spec = parse::filter_body(cur);
+  cur.accept(text::Tok::RBracket);
+  if (!cur.done()) {
+    throw text::ParseError("trailing input after filter", cur.peek().pos);
+  }
+  return spec;
+}
+
+void FilterSpec::validate() const {
+  const auto in_pattern = [&](Label l) { return pattern_.type.contains(l); };
+  for (const auto& out : outputs_) {
+    for (const auto& item : out.items) {
+      switch (item.kind) {
+        case Item::Kind::CopyField:
+          if (!in_pattern(item.target)) {
+            throw FilterError("filter copies field " + label_display(item.target) +
+                              " not present in pattern " + pattern_.type.to_string());
+          }
+          break;
+        case Item::Kind::BindField:
+          if (!in_pattern(item.source)) {
+            throw FilterError("filter binding " + label_display(item.target) + " = " +
+                              label_display(item.source) +
+                              " references a field outside pattern " +
+                              pattern_.type.to_string());
+          }
+          break;
+        case Item::Kind::CopyTag:
+          // A bare tag: copies when in the pattern, defaults to zero
+          // otherwise ("tag values are set to zero by default").
+          break;
+        case Item::Kind::SetTag:
+          for (const Label l : item.expr.referenced_tags()) {
+            if (!in_pattern(l)) {
+              throw FilterError("filter tag expression for " +
+                                label_display(item.target) + " references " +
+                                label_display(l) + " outside pattern " +
+                                pattern_.type.to_string());
+            }
+          }
+          break;
+      }
+    }
+  }
+}
+
+std::vector<Record> FilterSpec::apply(const Record& in) const {
+  if (!pattern_.matches(in)) {
+    throw FilterError("record " + in.to_string() + " does not match filter pattern " +
+                      pattern_.to_string());
+  }
+  std::vector<Record> produced;
+  produced.reserve(outputs_.size());
+  for (const auto& out_spec : outputs_) {
+    Record out;
+    for (const auto& item : out_spec.items) {
+      switch (item.kind) {
+        case Item::Kind::CopyField:
+          out.set_field(item.target, in.field(item.target));
+          break;
+        case Item::Kind::BindField:
+          out.set_field(item.target, in.field(item.source));
+          break;
+        case Item::Kind::CopyTag:
+          out.set_tag(item.target,
+                      in.has_tag(item.target) ? in.tag(item.target) : 0);
+          break;
+        case Item::Kind::SetTag:
+          out.set_tag(item.target, item.expr.eval(in));
+          break;
+      }
+    }
+    // Flow inheritance: labels of the input record outside the pattern
+    // re-attach unless the specifier already produced that label.
+    for (const auto& [label, value] : in.fields()) {
+      if (!pattern_.type.contains(label) && !out.has_field(label)) {
+        out.set_field(label, value);
+      }
+    }
+    for (const auto& [label, value] : in.tags()) {
+      if (!pattern_.type.contains(label) && !out.has_tag(label)) {
+        out.set_tag(label, value);
+      }
+    }
+    out.inherit_meta(in);
+    produced.push_back(std::move(out));
+  }
+  return produced;
+}
+
+MultiType FilterSpec::output_type() const {
+  std::vector<RecordType> variants;
+  variants.reserve(outputs_.size());
+  for (const auto& out : outputs_) {
+    RecordType t;
+    for (const auto& item : out.items) {
+      t.add(item.target);
+    }
+    variants.push_back(std::move(t));
+  }
+  return MultiType(std::move(variants));
+}
+
+std::string FilterSpec::to_string() const {
+  std::ostringstream os;
+  os << '[' << pattern_.to_string() << " -> ";
+  bool first_out = true;
+  for (const auto& out : outputs_) {
+    os << (first_out ? "" : "; ") << '{';
+    bool first = true;
+    for (const auto& item : out.items) {
+      os << (first ? "" : ", ");
+      first = false;
+      switch (item.kind) {
+        case Item::Kind::CopyField:
+          os << label_name(item.target);
+          break;
+        case Item::Kind::BindField:
+          os << label_name(item.target) << '=' << label_name(item.source);
+          break;
+        case Item::Kind::CopyTag:
+          os << label_display(item.target);
+          break;
+        case Item::Kind::SetTag:
+          os << label_display(item.target) << '=' << item.expr.to_string();
+          break;
+      }
+    }
+    os << '}';
+    first_out = false;
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace snet

@@ -1,0 +1,124 @@
+#ifndef SNETSAC_SNET_BOX_HPP
+#define SNETSAC_SNET_BOX_HPP
+
+/// \file box.hpp
+/// The box interface. "A box expects a record on its input stream to which
+/// it applies its associated SaC function (the box function). An S-Net box
+/// may yield multiple output records ... the SaC function itself calls,
+/// potentially repeatedly, an interface function snet_out" (paper, §4).
+///
+/// A box function receives a BoxInput restricted to the labels declared in
+/// the box signature — it is "completely unaware of any potential excess
+/// fields and tags" (those are flow-inherited by the runtime) — and a
+/// BoxOutput whose `out(variant, args...)` is the paper's
+/// `snet_out(variant, args...)`.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "snet/record.hpp"
+#include "snet/signature.hpp"
+#include "snet/value.hpp"
+
+namespace snet {
+
+class BoxError : public std::runtime_error {
+ public:
+  explicit BoxError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One positional `snet_out` argument: either an opaque field payload or an
+/// integer destined for a tag (an integer may also fill a field slot, in
+/// which case it is wrapped as a payload).
+struct BoxArg {
+  Value value;            // non-null for payload arguments
+  std::int64_t integer = 0;
+  bool is_integer = false;
+
+  static BoxArg from(Value v) { return BoxArg{std::move(v), 0, false}; }
+  static BoxArg from_int(std::int64_t v) { return BoxArg{nullptr, v, true}; }
+
+  template <class A>
+  static BoxArg make(A&& a) {
+    using D = std::decay_t<A>;
+    if constexpr (std::is_integral_v<D>) {
+      return from_int(static_cast<std::int64_t>(a));
+    } else if constexpr (std::is_same_v<D, Value>) {
+      return from(std::forward<A>(a));
+    } else {
+      return from(make_value(std::forward<A>(a)));
+    }
+  }
+};
+
+/// Read access to exactly the labels the box signature declares.
+class BoxInput {
+ public:
+  BoxInput(const Record& rec, const SigVariant& declared)
+      : rec_(rec), declared_(declared) {}
+
+  /// Declared field by name; typed accessor below is the common path.
+  const Value& field(std::string_view name) const {
+    const Label l = require(field_label(name));
+    return rec_.field(l);
+  }
+
+  template <class T>
+  const T& get(std::string_view name) const {
+    return value_as<T>(field(name));
+  }
+
+  std::int64_t tag(std::string_view name) const {
+    const Label l = require(tag_label(name));
+    return rec_.tag(l);
+  }
+
+  /// Positional access following the signature's argument order.
+  std::size_t arity() const { return declared_.labels.size(); }
+
+ private:
+  Label require(Label l) const {
+    for (const Label d : declared_.labels) {
+      if (d == l) {
+        return l;
+      }
+    }
+    throw BoxError("box accesses label " + label_display(l) +
+                   " not declared in its input signature " + declared_.to_string());
+  }
+
+  const Record& rec_;
+  const SigVariant& declared_;
+};
+
+/// Emission interface handed to box functions; the runtime implements it.
+class BoxOutput {
+ public:
+  virtual ~BoxOutput() = default;
+
+  /// The paper's `snet_out(variant, args...)`: \p variant is 1-based and
+  /// selects an output variant of the box signature; the remaining
+  /// arguments are bound to that variant's labels in declared order.
+  template <class... A>
+  void out(int variant, A&&... args) {
+    std::vector<BoxArg> v;
+    v.reserve(sizeof...(A));
+    (v.push_back(BoxArg::make(std::forward<A>(args))), ...);
+    emit(variant, std::move(v));
+  }
+
+  virtual void emit(int variant, std::vector<BoxArg> args) = 0;
+};
+
+/// The box function type. Stateless by contract: a box must derive its
+/// outputs from the input record alone (S-Net boxes are "asynchronously
+/// executed, stateless stream-processing components").
+using BoxFn = std::function<void(const BoxInput&, BoxOutput&)>;
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,61 @@
+#ifndef SNETSAC_SNET_DETSCOPE_HPP
+#define SNETSAC_SNET_DETSCOPE_HPP
+
+/// \file detscope.hpp
+/// Machinery behind the deterministic combinator variants (`|`, `*`, `!`).
+///
+/// A deterministic region is bracketed by an entry entity and a collector.
+/// The entry stamps each incoming record with a fresh *group* sequence
+/// number; every record a component produces inherits the stamps of the
+/// record it consumed, so all descendants of input record i belong to
+/// group i. The scope tracks, per group, how many stamped records are
+/// still in flight upstream of the collector; when a group drains, the
+/// collector may release its buffered output — strictly in group order.
+/// This restores the input order that the non-deterministic merge would
+/// scramble, which is exactly the semantic difference the paper draws
+/// between `||` and `|`.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace snet {
+
+class Entity;
+
+class DetScope {
+ public:
+  explicit DetScope(std::string name) : name_(std::move(name)) {}
+
+  /// The collector poked when a group completes; set once at wiring time.
+  void set_collector(Entity* collector) { collector_ = collector; }
+
+  /// Opens the next group with one in-flight record; returns its sequence.
+  std::uint64_t open_group();
+
+  /// Adds \p delta in-flight records to group \p seq (consume = -1,
+  /// each emission = +1, folded by callers into a single delta).
+  /// When the group drains to zero the collector is poked.
+  void adjust(std::uint64_t seq, std::int64_t delta);
+
+  /// True when the group has been opened and has fully drained.
+  bool complete(std::uint64_t seq) const;
+
+  /// Number of groups opened so far (== the next sequence to be assigned).
+  std::uint64_t groups_opened() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Entity* collector_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::int64_t> pending_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,31 @@
+#ifndef SNETSAC_SNET_DOT_HPP
+#define SNETSAC_SNET_DOT_HPP
+
+/// \file dot.hpp
+/// Graphviz export, in two flavours:
+///
+///  * `to_dot(Net)` — the *static* topology, drawn like the paper's
+///    figures: boxes with signature inscriptions, filters, replicators
+///    with their pattern/tag annotations.
+///  * `to_dot(NetworkStats)` — the *dynamic* entity graph after a run:
+///    every materialised replica with its record counters, which
+///    visualises the demand-driven unfolding (e.g. Fig. 2's stage×k grid).
+
+#include <string>
+
+#include "snet/net.hpp"
+#include "snet/network.hpp"
+
+namespace snet {
+
+/// Renders the topology as a dot digraph (paper-figure style).
+std::string to_dot(const Net& net);
+
+/// Renders the materialised entity graph of a finished run; edges are not
+/// reconstructed (entity wiring is dynamic), entities are grouped by their
+/// hierarchical name prefix instead.
+std::string to_dot(const NetworkStats& stats);
+
+}  // namespace snet
+
+#endif

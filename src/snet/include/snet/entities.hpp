@@ -1,0 +1,172 @@
+#ifndef SNETSAC_SNET_ENTITIES_HPP
+#define SNETSAC_SNET_ENTITIES_HPP
+
+/// \file entities.hpp (internal)
+/// Concrete runtime entities behind each topology construct. Not part of
+/// the public API: clients interact with Net (topology) and Network.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "snet/box.hpp"
+#include "snet/detscope.hpp"
+#include "snet/entity.hpp"
+#include "snet/filter.hpp"
+#include "snet/net.hpp"
+#include "snet/network.hpp"
+
+namespace snet::detail {
+
+/// Terminal entity: forwards records to the network's output queue.
+class OutputEntity final : public Entity {
+ public:
+  explicit OutputEntity(Network& net) : Entity(net, "output") {}
+
+ protected:
+  void on_record(Record r) override;
+};
+
+/// A box instance. Binds the declared input labels, runs the box function,
+/// applies flow inheritance to every emission.
+class BoxEntity final : public Entity, private BoxOutput {
+ public:
+  BoxEntity(Network& net, std::string name, Net node, Entity* successor);
+
+ protected:
+  void on_record(Record r) override;
+  void emit(int variant, std::vector<BoxArg> args) override;
+
+ private:
+  Net node_;
+  Entity* succ_;
+  const Record* current_ = nullptr;  // input being processed (for inheritance)
+};
+
+/// A filter instance.
+class FilterEntity final : public Entity {
+ public:
+  FilterEntity(Network& net, std::string name, Net node, Entity* successor);
+
+ protected:
+  void on_record(Record r) override;
+
+ private:
+  Net node_;
+  Entity* succ_;
+};
+
+/// Parallel-composition dispatcher: best-match routing over branch input
+/// types; ties alternate (the non-deterministic choice).
+class ParallelEntity final : public Entity {
+ public:
+  struct Branch {
+    MultiType input;
+    Entity* entry;
+  };
+  ParallelEntity(Network& net, std::string name, std::vector<Branch> branches);
+
+ protected:
+  void on_record(Record r) override;
+
+ private:
+  std::vector<Branch> branches_;
+  std::uint64_t tie_break_ = 0;
+};
+
+/// One stage of a serial replication: "the chain is tapped before every
+/// replica to extract records that match the type". Non-matching records
+/// enter this stage's replica, whose output feeds the next stage —
+/// created on demand ("the unfolding of the chain of networks is
+/// demand-driven").
+class StarStageEntity final : public Entity {
+ public:
+  StarStageEntity(Network& net, std::string prefix, Net node, Entity* exit_target,
+                  unsigned stage);
+
+ protected:
+  void on_record(Record r) override;
+
+ private:
+  std::string prefix_;
+  Net node_;  // the Star node
+  Entity* exit_target_;
+  unsigned stage_;
+  Entity* replica_entry_ = nullptr;  // lazily instantiated
+};
+
+/// Parallel replication dispatcher: routes on the value of the split tag;
+/// "it is guaranteed that any two records whose replication tags have the
+/// same (integer) value are sent to the same replica."
+class SplitEntity final : public Entity {
+ public:
+  SplitEntity(Network& net, std::string prefix, Net node, Entity* successor);
+
+  std::size_t replica_count() const;
+
+ protected:
+  void on_record(Record r) override;
+
+ private:
+  std::string prefix_;
+  Net node_;  // the Split node
+  Entity* succ_;
+  std::map<std::int64_t, Entity*> replicas_;  // only touched by the runner
+};
+
+/// Entry of a deterministic region: stamps records with fresh group
+/// sequence numbers.
+class DetEntryEntity final : public Entity {
+ public:
+  DetEntryEntity(Network& net, std::string name, DetScope* scope);
+  void set_target(Entity* target) { target_ = target; }
+
+ protected:
+  void on_record(Record r) override;
+
+ private:
+  DetScope* scope_;
+  Entity* target_ = nullptr;
+};
+
+/// Exit of a deterministic region: buffers records per group and releases
+/// groups strictly in sequence order once they have drained upstream.
+class DetCollectorEntity final : public Entity {
+ public:
+  DetCollectorEntity(Network& net, std::string name, Entity* successor);
+
+  DetScope* scope() { return &scope_; }
+
+ protected:
+  void on_record(Record r) override;
+  void on_poke() override;
+
+ private:
+  void release_ready();
+
+  DetScope scope_;
+  Entity* succ_;
+  std::map<std::uint64_t, std::vector<Record>> buffer_;
+  std::uint64_t next_release_ = 0;
+};
+
+/// Synchrocell: stores one record per pattern; when all patterns are
+/// filled, emits the merged record and becomes the identity.
+class SyncEntity final : public Entity {
+ public:
+  SyncEntity(Network& net, std::string name, Net node, Entity* successor);
+
+ protected:
+  void on_record(Record r) override;
+
+ private:
+  Net node_;
+  Entity* succ_;
+  std::vector<std::optional<Record>> slots_;
+  bool fired_ = false;
+};
+
+}  // namespace snet::detail
+
+#endif

@@ -1,0 +1,83 @@
+#ifndef SNETSAC_SNET_ENTITY_HPP
+#define SNETSAC_SNET_ENTITY_HPP
+
+/// \file entity.hpp
+/// Runtime entities: every instantiated box, filter, dispatcher, merger
+/// and synchrocell is an Entity with a single MPSC inbox, scheduled onto a
+/// fixed worker pool in bounded quanta (actor model; Core Guidelines CP.4,
+/// CP.41 — the paper's Fig. 2 network legitimately unfolds into hundreds
+/// of solveOneLevel instances, which must not become hundreds of OS
+/// threads).
+///
+/// The base class centralises the bookkeeping every entity needs:
+///  * the idle/queued/running state machine that guarantees an entity is
+///    run by at most one worker at a time,
+///  * live-record accounting for network quiescence detection, and
+///  * deterministic-scope accounting (a consumed record with k emissions
+///    contributes k-1 to every det group it belongs to).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "runtime/mpsc_queue.hpp"
+#include "snet/stream.hpp"
+
+namespace snet {
+
+class Network;
+
+class Entity {
+ public:
+  Entity(Network& net, std::string name);
+  virtual ~Entity() = default;
+
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Producer side: enqueue a message and make sure the entity gets
+  /// scheduled. Thread-safe.
+  void deliver(Message m);
+
+  /// Scheduler side: process up to \p max_messages; must only be invoked
+  /// by the scheduler after the entity transitioned to queued state.
+  void run_quantum(unsigned max_messages);
+
+  std::uint64_t records_in() const { return in_count_.load(std::memory_order_relaxed); }
+  std::uint64_t records_out() const { return out_count_.load(std::memory_order_relaxed); }
+
+ protected:
+  /// Consumes one record. Emissions go through send()/transfer().
+  virtual void on_record(Record r) = 0;
+  /// Handles a control poke (det group completion, etc.).
+  virtual void on_poke() {}
+
+  /// Emits a derived record downstream: counted as an emission of the
+  /// record currently being consumed (det accounting, live accounting).
+  void send(Entity* target, Record r);
+
+  /// Moves a record the entity had previously buffered (and manually
+  /// accounted for) downstream without counting it as a fresh emission.
+  void transfer(Entity* target, Record r);
+
+  Network& net_;
+
+ private:
+  std::string name_;
+  snetsac::runtime::MpscQueue<Message> inbox_;
+
+  enum State : int { kIdle = 0, kQueued = 1, kRunning = 2, kRunningPending = 3 };
+  std::atomic<int> state_{kIdle};
+
+  // Only touched by the single worker currently running the entity.
+  std::uint64_t emitted_in_step_ = 0;
+
+  std::atomic<std::uint64_t> in_count_{0};
+  std::atomic<std::uint64_t> out_count_{0};
+};
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,73 @@
+#ifndef SNETSAC_SNET_FILTER_HPP
+#define SNETSAC_SNET_FILTER_HPP
+
+/// \file filter.hpp
+/// S-Net filters: `[pattern -> record1; record2; ... recordn]`
+/// (paper, Section 4). A filter consumes a record matching the pattern and
+/// produces one record per specifier, where each specifier item is:
+///  * a field name occurring in the pattern (copied),
+///  * `newfield = oldfield` with oldfield in the pattern (duplication /
+///    renaming),
+///  * `newtag = expression` over pattern tags (tag arithmetic; omitted
+///    initialisers default to zero, i.e. a bare new tag like `<t>`),
+///  * a tag name occurring in the pattern (copied).
+/// Labels of the input record *not* in the pattern flow-inherit onto every
+/// produced record unless the specifier already created that label.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "snet/pattern.hpp"
+#include "snet/record.hpp"
+#include "snet/tagexpr.hpp"
+
+namespace snet {
+
+class FilterError : public std::runtime_error {
+ public:
+  explicit FilterError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FilterSpec {
+ public:
+  struct Item {
+    enum class Kind { CopyField, BindField, CopyTag, SetTag };
+    Kind kind;
+    Label target;
+    Label source{};  // BindField
+    TagExpr expr;    // SetTag
+  };
+  struct Output {
+    std::vector<Item> items;
+  };
+
+  FilterSpec(Pattern pattern, std::vector<Output> outputs);
+
+  /// Parses the paper's notation (square brackets optional):
+  /// `[{a,b,<c>} -> {a, z=a, <t>}; {b, a=b, <c>=<c>+1}]`.
+  static FilterSpec parse(const std::string& text);
+
+  const Pattern& pattern() const { return pattern_; }
+  const std::vector<Output>& outputs() const { return outputs_; }
+
+  /// Applies the filter; throws FilterError when the record does not match
+  /// the pattern (a type error the static checker should have caught).
+  std::vector<Record> apply(const Record& in) const;
+
+  /// The guaranteed labels of each produced record (excluding flow
+  /// inheritance) — the filter's declared output type.
+  MultiType output_type() const;
+
+  std::string to_string() const;
+
+ private:
+  void validate() const;
+
+  Pattern pattern_;
+  std::vector<Output> outputs_;
+};
+
+}  // namespace snet
+
+#endif

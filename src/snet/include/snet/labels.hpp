@@ -1,0 +1,44 @@
+#ifndef SNETSAC_SNET_LABELS_HPP
+#define SNETSAC_SNET_LABELS_HPP
+
+/// \file labels.hpp
+/// Record labels. "Messages on these typed streams are organised as
+/// non-recursive records, i.e. label-value pairs. Labels are subdivided
+/// into fields and tags. Fields are associated with values from the SaC
+/// domain that are entirely opaque to S-Net; tags are associated with
+/// integer numbers ... Tag labels are distinguished from field labels by
+/// angular brackets." (paper, Section 4).
+///
+/// Label names are interned process-wide so records and types can compare
+/// labels as integers.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace snet {
+
+enum class LabelKind : std::uint8_t { Field = 0, Tag = 1 };
+
+/// An interned label. Ordering is (kind, id); ids are dense per kind.
+struct Label {
+  LabelKind kind{LabelKind::Field};
+  std::int32_t id{0};
+
+  auto operator<=>(const Label&) const = default;
+};
+
+/// Interns a field label, e.g. `board`.
+Label field_label(std::string_view name);
+/// Interns a tag label, e.g. `<k>`(pass just `k`).
+Label tag_label(std::string_view name);
+
+/// The bare name of a label.
+const std::string& label_name(Label label);
+/// Display form: `name` for fields, `<name>` for tags.
+std::string label_display(Label label);
+
+}  // namespace snet
+
+#endif

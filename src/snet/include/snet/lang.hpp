@@ -1,0 +1,76 @@
+#ifndef SNETSAC_SNET_LANG_HPP
+#define SNETSAC_SNET_LANG_HPP
+
+/// \file lang.hpp
+/// The S-Net network language frontend: parse network definitions written
+/// in the paper's textual notation and elaborate them into Net topologies.
+///
+/// Grammar (EBNF; tokens per snet/text.hpp):
+///
+///   program  := netdef | expr
+///   netdef   := 'net' IDENT '{' decl* 'connect' expr ';' '}'
+///   decl     := 'box' IDENT '(' signature ')' ';'
+///             | netdef                      // nested subnet
+///   expr     := serial (('||' | '|') serial)*          // || nondet, | det
+///   serial   := postfix ('..' postfix)*
+///   postfix  := primary ( '**' pattern | '*' pattern
+///                       | '!!' TAG | '!' TAG )*
+///   primary  := IDENT
+///             | '[' filter ']'              // [{pat} -> {rec}; ...]
+///             | '[' '|' pattern (',' pattern)* '|' ']'   // synchrocell
+///             | '(' expr ')'
+///
+/// Box implementations are *bound* by name: the computation layer (SaC in
+/// the paper, C++ functions here) is supplied through a Bindings table,
+/// keeping the strict separation of coordination and computation.
+///
+/// Deviation from the paper's notation, documented in DESIGN.md: guards in
+/// patterns are written `{<level>} if <level> > 40` because the paper's
+/// `{<level>} | <level> > 40` collides with variant alternation.
+
+#include <map>
+#include <string>
+
+#include "snet/net.hpp"
+#include "snet/text.hpp"
+
+namespace snet::lang {
+
+class LangError : public std::runtime_error {
+ public:
+  explicit LangError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Named implementations available to network programs.
+class Bindings {
+ public:
+  /// Binds a box function; the box's signature comes from the program's
+  /// `box` declaration.
+  Bindings& bind_box(std::string name, BoxFn fn);
+
+  /// Binds a complete subnetwork (e.g. a Net built in C++); usable as an
+  /// operand name without a `box` declaration.
+  Bindings& bind_net(std::string name, Net net);
+
+  const BoxFn* find_box(const std::string& name) const;
+  const Net* find_net(const std::string& name) const;
+
+ private:
+  std::map<std::string, BoxFn> boxes_;
+  std::map<std::string, Net> nets_;
+};
+
+/// Parses and elaborates \p source. Accepts either a full `net name {...}`
+/// definition or a bare combinator expression over bound names.
+Net parse_network(const std::string& source, const Bindings& bindings);
+
+/// The name of the outermost `net` definition ("" for bare expressions).
+struct ParsedNetwork {
+  std::string name;
+  Net topology;
+};
+ParsedNetwork parse_network_named(const std::string& source, const Bindings& bindings);
+
+}  // namespace snet::lang
+
+#endif

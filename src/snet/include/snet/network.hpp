@@ -1,0 +1,146 @@
+#ifndef SNETSAC_SNET_NETWORK_HPP
+#define SNETSAC_SNET_NETWORK_HPP
+
+/// \file network.hpp
+/// Network: a running instantiation of a Net topology.
+///
+/// The client injects records into the (single) global input stream,
+/// closes it, and drains the (single) global output stream. Internally the
+/// topology unfolds — demand-driven, exactly as the paper describes for
+/// the replication combinators — into entities scheduled on a fixed worker
+/// pool. Completion is detected by quiescence: a network-wide live-record
+/// counter reaches zero after the input was closed (dynamic unfolding
+/// makes static EOS flooding awkward; counting is robust against it).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "snet/check.hpp"
+#include "snet/entity.hpp"
+#include "snet/net.hpp"
+#include "snet/scheduler.hpp"
+
+namespace snet {
+
+/// Runtime type errors (no parallel branch matches, split tag missing...).
+class NetTypeError : public std::runtime_error {
+ public:
+  explicit NetTypeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Options {
+  /// Worker threads executing entities.
+  unsigned workers = snetsac::runtime::default_snet_workers();
+  /// Max records an entity processes per scheduling quantum (fairness).
+  unsigned quantum = 16;
+  /// Run static signature inference/checking at construction.
+  bool type_check = true;
+  /// Optional per-stream observer: invoked for every record delivered to
+  /// any entity ("all streams can be observed individually"). Called from
+  /// worker threads; must be thread-safe.
+  std::function<void(const std::string& entity, const Record&)> trace;
+};
+
+struct EntityStats {
+  std::string name;
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+};
+
+struct NetworkStats {
+  std::vector<EntityStats> entities;
+  std::uint64_t injected = 0;
+  std::uint64_t produced = 0;
+  std::int64_t peak_live = 0;
+
+  std::size_t entity_count() const { return entities.size(); }
+  /// Number of entities whose name contains \p needle — used to count
+  /// dynamically created replicas (e.g. solveOneLevel instances).
+  std::size_t count_containing(std::string_view needle) const;
+  /// Sum of records_in over entities whose name contains \p needle.
+  std::uint64_t records_in_containing(std::string_view needle) const;
+};
+
+class Network {
+ public:
+  explicit Network(Net topology, Options opts = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// The statically inferred signature of the topology.
+  const NetSignature& signature() const { return signature_; }
+
+  /// Feeds a record into the network's input stream.
+  void inject(Record r);
+
+  /// Declares the input stream finished; required before wait()/collect().
+  void close_input();
+
+  /// Blocks for the next output record; std::nullopt once the network has
+  /// quiesced after close_input(). Rethrows the first entity error.
+  std::optional<Record> next_output();
+
+  /// Closes the input (if still open) and drains every remaining output.
+  std::vector<Record> collect();
+
+  /// Blocks until the network has quiesced (input must be closed).
+  void wait();
+
+  NetworkStats stats() const;
+
+  // ------- runtime-internal interface (used by entities) ---------------
+  Scheduler& scheduler() { return *sched_; }
+  void live_add(std::int64_t n = 1);
+  void live_sub(std::int64_t n = 1);
+  void push_output(Record r);
+  void fail(std::exception_ptr err);
+  bool tracing() const { return static_cast<bool>(opts_.trace); }
+  void trace_record(const Entity& target, const Record& r);
+  /// Instantiates a (sub)topology whose output feeds \p successor; returns
+  /// the entry entity. Thread-safe (star/split call this while running).
+  Entity* instantiate(const Net& node, Entity* successor, const std::string& prefix);
+  /// Registers an entity; returns a stable raw pointer owned by the net.
+  Entity* adopt(std::unique_ptr<Entity> entity);
+
+ private:
+  Net topology_;
+  Options opts_;
+  NetSignature signature_;
+
+  mutable std::mutex reg_mu_;
+  std::vector<std::unique_ptr<Entity>> entities_;
+
+  std::unique_ptr<Scheduler> sched_;
+  Entity* entry_ = nullptr;
+
+  std::atomic<std::int64_t> live_{0};
+  std::atomic<std::int64_t> peak_live_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> injected_{0};
+
+  mutable std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  std::deque<Record> outputs_;
+  std::uint64_t produced_ = 0;
+  std::exception_ptr error_;
+
+  bool done_locked() const {
+    return closed_.load() && live_.load(std::memory_order_acquire) == 0;
+  }
+};
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,38 @@
+#ifndef SNETSAC_SNET_PARSE_HPP
+#define SNETSAC_SNET_PARSE_HPP
+
+/// \file parse.hpp
+/// Recursive-descent parsers for the S-Net textual fragments (tag
+/// expressions, patterns, signature variants, filters). The network
+/// language frontend in snet/lang composes these same routines.
+
+#include "snet/filter.hpp"
+#include "snet/pattern.hpp"
+#include "snet/signature.hpp"
+#include "snet/tagexpr.hpp"
+#include "snet/text.hpp"
+
+namespace snet::parse {
+
+/// Full-precedence tag expression: `||` < `&&` < comparisons < `+ -` <
+/// `* / %` < unary `- !` < primary (int literal, `<tag>`, parenthesised).
+TagExpr tag_expression(text::Cursor& cur);
+
+/// `{ label, ... }` optionally followed by `if <guard>`.
+Pattern pattern(text::Cursor& cur);
+
+/// `( label, ... )` — `{}` accepted as well.
+SigVariant sig_variant(text::Cursor& cur);
+
+/// `variant -> variant | variant | ...`
+Signature signature(text::Cursor& cur);
+
+/// One filter output specifier `{ item, ... }`.
+FilterSpec::Output filter_output(text::Cursor& cur);
+
+/// `pattern -> output; output; ...` (no surrounding brackets).
+FilterSpec filter_body(text::Cursor& cur);
+
+}  // namespace snet::parse
+
+#endif

@@ -1,0 +1,43 @@
+#ifndef SNETSAC_SNET_PATTERN_HPP
+#define SNETSAC_SNET_PATTERN_HPP
+
+/// \file pattern.hpp
+/// Type patterns with optional tag guards. Patterns appear as the exit
+/// condition of serial replication (`A ** {<done>}`, Fig. 1) and on the
+/// left-hand side of filters. The paper's throttled network (Fig. 3) uses
+/// the guarded exit pattern `{<level>} | <level> > 40`; since `|` also
+/// separates variants, our concrete syntax is `{<level>} if <level> > 40`.
+
+#include <optional>
+#include <string>
+
+#include "snet/rtypes.hpp"
+#include "snet/tagexpr.hpp"
+
+namespace snet {
+
+struct Pattern {
+  RecordType type;
+  std::optional<TagExpr> guard;
+
+  Pattern() = default;
+  explicit Pattern(RecordType t) : type(std::move(t)) {}
+  Pattern(RecordType t, TagExpr g) : type(std::move(t)), guard(std::move(g)) {}
+
+  /// Parses e.g. `{<done>}`, `{board, <k>}`, `{<level>} if <level> > 40`.
+  static Pattern parse(const std::string& text);
+
+  /// A record matches when it carries all pattern labels and, if present,
+  /// the guard evaluates to true.
+  bool matches(const Record& r) const {
+    return type.matches(r) && (!guard || guard->eval_bool(r));
+  }
+
+  std::string to_string() const {
+    return guard ? type.to_string() + " if " + guard->to_string() : type.to_string();
+  }
+};
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,105 @@
+#ifndef SNETSAC_SNET_RECORD_HPP
+#define SNETSAC_SNET_RECORD_HPP
+
+/// \file record.hpp
+/// S-Net records: flat, non-recursive collections of labelled fields
+/// (opaque values) and tags (integers). Records are value types — they are
+/// what travels on streams, and passing them between scheduler workers by
+/// value is exactly the Core Guidelines CP.31 discipline (field payloads
+/// are shared immutably, so the copies are cheap).
+///
+/// Records additionally carry hidden runtime metadata: the stack of
+/// deterministic-combinator stamps (see detscope.hpp). The metadata is
+/// invisible to boxes and to the type system.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snet/labels.hpp"
+#include "snet/value.hpp"
+
+namespace snet {
+
+class DetScope;  // runtime machinery, see detscope.hpp
+
+/// One deterministic-region stamp: which scope, which input group.
+struct DetStamp {
+  DetScope* scope{nullptr};
+  std::uint64_t seq{0};
+};
+
+class Record {
+ public:
+  Record() = default;
+
+  // -- fields ---------------------------------------------------------
+  bool has_field(Label label) const { return find_field(label) != nullptr; }
+  void set_field(Label label, Value v);
+  /// Throws std::out_of_range when absent.
+  const Value& field(Label label) const;
+  void remove_field(Label label);
+
+  // -- tags -----------------------------------------------------------
+  bool has_tag(Label label) const { return find_tag(label) != nullptr; }
+  void set_tag(Label label, std::int64_t v);
+  /// Throws std::out_of_range when absent.
+  std::int64_t tag(Label label) const;
+  void remove_tag(Label label);
+
+  bool has(Label label) const {
+    return label.kind == LabelKind::Field ? has_field(label) : has_tag(label);
+  }
+
+  // -- convenience (name-based) ----------------------------------------
+  void set_field(std::string_view name, Value v) { set_field(field_label(name), std::move(v)); }
+  const Value& field(std::string_view name) const { return field(field_label(name)); }
+  void set_tag(std::string_view name, std::int64_t v) { set_tag(tag_label(name), v); }
+  std::int64_t tag(std::string_view name) const { return tag(tag_label(name)); }
+  bool has_field(std::string_view name) const { return has_field(field_label(name)); }
+  bool has_tag(std::string_view name) const { return has_tag(tag_label(name)); }
+
+  /// Typed field access: `r.get<sac::Array<int>>("board")`.
+  template <class T>
+  const T& get(std::string_view name) const {
+    return value_as<T>(field(field_label(name)));
+  }
+
+  // -- structure --------------------------------------------------------
+  /// All labels, fields first, each group sorted by label id.
+  std::vector<Label> labels() const;
+  std::size_t field_count() const { return fields_.size(); }
+  std::size_t tag_count() const { return tags_.size(); }
+  bool empty() const { return fields_.empty() && tags_.empty(); }
+
+  const std::vector<std::pair<Label, Value>>& fields() const { return fields_; }
+  const std::vector<std::pair<Label, std::int64_t>>& tags() const { return tags_; }
+
+  /// Human-readable form, e.g. `{board, opts, <k>=3}`.
+  std::string to_string() const;
+
+  // -- hidden runtime metadata -----------------------------------------
+  std::vector<DetStamp>& det_stack() { return det_; }
+  const std::vector<DetStamp>& det_stack() const { return det_; }
+  /// Copies runtime metadata (det stamps) from a progenitor record; every
+  /// record a component emits in response to an input record inherits the
+  /// input's metadata.
+  void inherit_meta(const Record& from) { det_ = from.det_; }
+
+ private:
+  const Value* find_field(Label label) const;
+  const std::int64_t* find_tag(Label label) const;
+
+  std::vector<std::pair<Label, Value>> fields_;
+  std::vector<std::pair<Label, std::int64_t>> tags_;
+  std::vector<DetStamp> det_;
+};
+
+/// Builder-style helpers for tests and examples.
+Record record_with(std::initializer_list<std::pair<std::string_view, Value>> fields,
+                   std::initializer_list<std::pair<std::string_view, std::int64_t>> tags = {});
+
+}  // namespace snet
+
+#endif

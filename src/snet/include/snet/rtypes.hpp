@@ -1,0 +1,101 @@
+#ifndef SNETSAC_SNET_RTYPES_HPP
+#define SNETSAC_SNET_RTYPES_HPP
+
+/// \file rtypes.hpp
+/// The S-Net type system: record types as *sets* of labels, multivariant
+/// types, and structural subtyping.
+///
+/// "Any record type t1 is a subtype of t2 iff t2 ⊆ t1. ... A multivariant
+/// type x is a subtype of y if every variant v ∈ x is a subtype of some
+/// variant w ∈ y." (paper, Section 4). Note the contravariant flavour: a
+/// record type with *more* labels is a subtype (more specific).
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "snet/labels.hpp"
+#include "snet/record.hpp"
+
+namespace snet {
+
+/// One variant: a set of labels (fields and tags mixed, kept sorted).
+class RecordType {
+ public:
+  RecordType() = default;
+  RecordType(std::initializer_list<Label> labels);
+  explicit RecordType(std::vector<Label> labels);
+
+  /// Convenience: field names and tag names, e.g.
+  /// `RecordType::of({"board","opts"}, {"k"})`.
+  static RecordType of(std::initializer_list<std::string_view> fields,
+                       std::initializer_list<std::string_view> tags = {});
+
+  bool contains(Label label) const;
+  /// Set inclusion: every label of *this* occurs in \p other.
+  bool included_in(const RecordType& other) const;
+  /// Structural subtyping: `this <= super` iff labels(super) ⊆ labels(this).
+  bool subtype_of(const RecordType& super) const { return super.included_in(*this); }
+
+  /// A record matches a variant when the variant's labels are all present
+  /// (the record may carry more — that is record subtyping in action).
+  bool matches(const Record& r) const;
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  void add(Label label);
+  void remove(Label label);
+
+  /// Set union / difference, used by type inference (flow inheritance).
+  RecordType union_with(const RecordType& other) const;
+  RecordType minus(const RecordType& other) const;
+
+  bool operator==(const RecordType& other) const { return labels_ == other.labels_; }
+
+  /// Display form, e.g. `{board, opts, <k>}`.
+  std::string to_string() const;
+
+ private:
+  std::vector<Label> labels_;  // sorted, unique
+};
+
+/// The record type of a concrete record (all its labels).
+RecordType type_of(const Record& r);
+
+/// A disjunction of variants, e.g. a box output type
+/// `{board, opts} | {board, <done>}`.
+class MultiType {
+ public:
+  MultiType() = default;
+  MultiType(std::initializer_list<RecordType> variants) : variants_(variants) {}
+  explicit MultiType(std::vector<RecordType> variants) : variants_(std::move(variants)) {}
+
+  const std::vector<RecordType>& variants() const { return variants_; }
+  bool empty() const { return variants_.empty(); }
+  void add(RecordType v) { variants_.push_back(std::move(v)); }
+
+  /// Multivariant subtyping per the paper.
+  bool subtype_of(const MultiType& super) const;
+
+  /// True when some variant matches the record.
+  bool accepts(const Record& r) const;
+
+  /// Best-match score used to route records at parallel combinators: the
+  /// size of the largest matching variant, or -1 when nothing matches.
+  /// "Any incoming record is directed towards the subnetwork whose input
+  /// type better matches the type of the record itself."
+  int match_score(const Record& r) const;
+
+  MultiType union_with(const MultiType& other) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<RecordType> variants_;
+};
+
+}  // namespace snet
+
+#endif

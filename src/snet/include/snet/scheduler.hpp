@@ -1,0 +1,53 @@
+#ifndef SNETSAC_SNET_SCHEDULER_HPP
+#define SNETSAC_SNET_SCHEDULER_HPP
+
+/// \file scheduler.hpp
+/// The S-Net worker pool: a run queue of entities with pending input,
+/// drained by a fixed set of workers. "If we assume that each box creates
+/// a separate process/thread" is the paper's conceptual model; the
+/// implementation multiplexes the (dynamically unfolding) entity graph
+/// onto `SNET_WORKERS` threads.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snet {
+
+class Entity;
+
+class Scheduler {
+ public:
+  Scheduler(unsigned workers, unsigned quantum);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Marks an entity runnable. Thread-safe; called from Entity::deliver.
+  void enqueue(Entity* entity);
+
+  /// Signals workers to finish their current quantum and exit, then joins.
+  void stop();
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+  std::uint64_t quanta_executed() const;
+
+ private:
+  void worker_loop();
+
+  const unsigned quantum_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entity*> ready_;
+  bool stopping_ = false;
+  std::uint64_t quanta_ = 0;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace snet
+
+#endif

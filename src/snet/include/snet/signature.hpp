@@ -1,0 +1,45 @@
+#ifndef SNETSAC_SNET_SIGNATURE_HPP
+#define SNETSAC_SNET_SIGNATURE_HPP
+
+/// \file signature.hpp
+/// Box signatures: "a mapping from an input type to a disjunction of
+/// potential output types", e.g. `box foo (a,<b>) -> (c) | (c,d,<e>)`.
+///
+/// The *ordered* label sequence matters for the box interface (it defines
+/// how `snet_out` arguments map to labels); the set view of the same data
+/// is the type signature used for reasoning in the S-Net domain.
+
+#include <string>
+#include <vector>
+
+#include "snet/labels.hpp"
+#include "snet/rtypes.hpp"
+
+namespace snet {
+
+/// One signature variant: labels in declaration order.
+struct SigVariant {
+  std::vector<Label> labels;
+
+  /// The unordered type view.
+  RecordType type() const { return RecordType(labels); }
+  std::string to_string() const;
+};
+
+struct Signature {
+  SigVariant input;
+  std::vector<SigVariant> outputs;
+
+  /// Parses `(a, <b>) -> (c) | (c, d, <e>)`. Braces are accepted in place
+  /// of parentheses.
+  static Signature parse(const std::string& text);
+
+  MultiType input_type() const { return MultiType({input.type()}); }
+  MultiType output_type() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,36 @@
+#ifndef SNETSAC_SNET_STREAM_HPP
+#define SNETSAC_SNET_STREAM_HPP
+
+/// \file stream.hpp
+/// Messages travelling on streams between runtime entities. Almost always
+/// a record; `Poke` is an internal control nudge (e.g. a deterministic
+/// scope telling its collector that a group completed upstream).
+
+#include <utility>
+
+#include "snet/record.hpp"
+
+namespace snet {
+
+struct Message {
+  enum class Kind { Rec, Poke };
+
+  Kind kind = Kind::Rec;
+  Record rec;
+
+  static Message record(Record r) {
+    Message m;
+    m.kind = Kind::Rec;
+    m.rec = std::move(r);
+    return m;
+  }
+  static Message poke() {
+    Message m;
+    m.kind = Kind::Poke;
+    return m;
+  }
+};
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,86 @@
+#ifndef SNETSAC_SNET_TAGEXPR_HPP
+#define SNETSAC_SNET_TAGEXPR_HPP
+
+/// \file tagexpr.hpp
+/// Tag expressions: the small integer expression language usable in
+/// filters and pattern guards, "composed from tag labels and arithmetic
+/// operators" (paper, Section 4). The paper's examples are
+/// `<k>=<k>%4` (filter assignment) and `<level> > 40` (exit guard).
+///
+/// Expressions are immutable trees shared by value. Booleans follow the C
+/// convention: 0 is false, anything else is true.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "snet/labels.hpp"
+#include "snet/record.hpp"
+
+namespace snet {
+
+class TagExprError : public std::runtime_error {
+ public:
+  explicit TagExprError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class TagExpr {
+ public:
+  enum class Op {
+    Lit,   // integer literal
+    Tag,   // tag reference
+    Add, Sub, Mul, Div, Mod,
+    Neg,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    And, Or, Not,
+  };
+
+  TagExpr() : TagExpr(lit(0)) {}
+
+  static TagExpr lit(std::int64_t v);
+  static TagExpr tag(std::string_view name);
+  static TagExpr tag(Label label);
+
+  static TagExpr unary(Op op, TagExpr operand);
+  static TagExpr binary(Op op, TagExpr lhs, TagExpr rhs);
+
+  /// Evaluates against the tags of \p r; referencing a missing tag or
+  /// dividing by zero throws TagExprError.
+  std::int64_t eval(const Record& r) const;
+  bool eval_bool(const Record& r) const { return eval(r) != 0; }
+
+  /// All tag labels referenced anywhere in the expression.
+  std::vector<Label> referenced_tags() const;
+
+  std::string to_string() const;
+
+ private:
+  friend struct TagExprEval;
+  struct Node;
+  explicit TagExpr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+// Operator sugar so guards read like the paper:
+//   TagExpr::tag("level") > TagExpr::lit(40)
+TagExpr operator+(TagExpr a, TagExpr b);
+TagExpr operator-(TagExpr a, TagExpr b);
+TagExpr operator*(TagExpr a, TagExpr b);
+TagExpr operator/(TagExpr a, TagExpr b);
+TagExpr operator%(TagExpr a, TagExpr b);
+TagExpr operator-(TagExpr a);
+TagExpr operator==(TagExpr a, TagExpr b);
+TagExpr operator!=(TagExpr a, TagExpr b);
+TagExpr operator<(TagExpr a, TagExpr b);
+TagExpr operator<=(TagExpr a, TagExpr b);
+TagExpr operator>(TagExpr a, TagExpr b);
+TagExpr operator>=(TagExpr a, TagExpr b);
+TagExpr operator&&(TagExpr a, TagExpr b);
+TagExpr operator||(TagExpr a, TagExpr b);
+TagExpr operator!(TagExpr a);
+
+}  // namespace snet
+
+#endif

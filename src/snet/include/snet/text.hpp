@@ -1,0 +1,93 @@
+#ifndef SNETSAC_SNET_TEXT_HPP
+#define SNETSAC_SNET_TEXT_HPP
+
+/// \file text.hpp
+/// Tokeniser for S-Net textual notation, shared by the in-core parsers
+/// (signatures, patterns, filters) and the full network-language frontend
+/// in snet/lang.
+///
+/// One S-Net-specific subtlety: `<k>` is a tag literal while `<`/`>` are
+/// also comparison operators in tag expressions (the paper writes the exit
+/// guard `<level> > 40`). The tokeniser resolves this lexically: `<`
+/// immediately followed by an identifier and a closing `>` with no
+/// intervening spaces is a tag token.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace snet::text {
+
+enum class Tok {
+  Ident, Int, Tag,
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Comma, Semi, Colon, Assign, Arrow,
+  Bar, BarBar, DotDot, Star, StarStar, Bang, BangBang,
+  Plus, Minus, Slash, Percent,
+  Lt, Gt, Le, Ge, EqEq, Ne, AndAnd, OrOr, NotOp,
+  KwIf, KwBox, KwNet, KwConnect, KwFilter, KwSync,
+  End,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;        // identifier / tag name
+  std::int64_t ival = 0;   // Int
+  std::size_t pos = 0;     // byte offset, for diagnostics
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Tokenises \p src; always ends with a Tok::End token. Comments run from
+/// `//` to end of line.
+std::vector<Token> tokenize(const std::string& src);
+
+/// Token kind name for diagnostics.
+std::string tok_name(Tok t);
+
+/// Simple cursor over a token vector used by the recursive-descent parsers.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  bool at(Tok t) const { return peek().kind == t; }
+  const Token& advance() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool accept(Tok t) {
+    if (at(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok t, const std::string& context) {
+    if (!at(t)) {
+      throw ParseError("expected " + tok_name(t) + " in " + context + ", found " +
+                           tok_name(peek().kind),
+                       peek().pos);
+    }
+    return toks_[pos_++];
+  }
+  bool done() const { return at(Tok::End); }
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace snet::text
+
+#endif

@@ -1,0 +1,47 @@
+#ifndef SNETSAC_SNET_VALUE_HPP
+#define SNETSAC_SNET_VALUE_HPP
+
+/// \file value.hpp
+/// Field values. Fields carry "values from the SaC domain that are
+/// entirely opaque to S-Net" — the coordination layer never inspects them,
+/// it only moves them around. We model this with a type-erased, immutable,
+/// shared payload: routing a record copies a pointer, never array data.
+
+#include <any>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace snet {
+
+using Value = std::shared_ptr<const std::any>;
+
+class ValueError : public std::runtime_error {
+ public:
+  explicit ValueError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Wraps an arbitrary (copyable) payload as an opaque field value.
+template <class T>
+Value make_value(T payload) {
+  return std::make_shared<const std::any>(std::in_place_type<std::decay_t<T>>,
+                                          std::move(payload));
+}
+
+/// Recovers the payload; throws ValueError on type mismatch or null value.
+template <class T>
+const T& value_as(const Value& v) {
+  if (!v) {
+    throw ValueError("value_as on empty value");
+  }
+  const T* p = std::any_cast<T>(v.get());
+  if (p == nullptr) {
+    throw ValueError(std::string("field value holds ") + v->type().name() +
+                     ", requested a different type");
+  }
+  return *p;
+}
+
+}  // namespace snet
+
+#endif

@@ -1,0 +1,74 @@
+#include "snet/labels.hpp"
+
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace snet {
+
+namespace {
+
+/// Process-wide intern table, one per label kind (a field and a tag may
+/// share a name and remain distinct labels).
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry reg;
+    return reg;
+  }
+
+  std::int32_t intern(LabelKind kind, std::string_view name) {
+    if (name.empty()) {
+      throw std::invalid_argument("empty label name");
+    }
+    const auto k = static_cast<std::size_t>(kind);
+    {
+      const std::shared_lock lock(mu_);
+      const auto it = ids_[k].find(std::string(name));
+      if (it != ids_[k].end()) {
+        return it->second;
+      }
+    }
+    const std::unique_lock lock(mu_);
+    const auto [it, inserted] =
+        ids_[k].emplace(std::string(name), static_cast<std::int32_t>(names_[k].size()));
+    if (inserted) {
+      names_[k].push_back(it->first);
+    }
+    return it->second;
+  }
+
+  const std::string& name(Label label) const {
+    const std::shared_lock lock(mu_);
+    return names_[static_cast<std::size_t>(label.kind)].at(
+        static_cast<std::size_t>(label.id));
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::int32_t> ids_[2];
+  std::vector<std::string> names_[2];
+};
+
+}  // namespace
+
+Label field_label(std::string_view name) {
+  return Label{LabelKind::Field, Registry::instance().intern(LabelKind::Field, name)};
+}
+
+Label tag_label(std::string_view name) {
+  return Label{LabelKind::Tag, Registry::instance().intern(LabelKind::Tag, name)};
+}
+
+const std::string& label_name(Label label) { return Registry::instance().name(label); }
+
+std::string label_display(Label label) {
+  if (label.kind == LabelKind::Tag) {
+    return "<" + label_name(label) + ">";
+  }
+  return label_name(label);
+}
+
+}  // namespace snet

@@ -1,0 +1,188 @@
+#include "snet/lang.hpp"
+
+#include "snet/parse.hpp"
+
+namespace snet::lang {
+
+using text::Cursor;
+using text::Tok;
+
+Bindings& Bindings::bind_box(std::string name, BoxFn fn) {
+  boxes_[std::move(name)] = std::move(fn);
+  return *this;
+}
+
+Bindings& Bindings::bind_net(std::string name, Net net) {
+  nets_[std::move(name)] = std::move(net);
+  return *this;
+}
+
+const BoxFn* Bindings::find_box(const std::string& name) const {
+  const auto it = boxes_.find(name);
+  return it == boxes_.end() ? nullptr : &it->second;
+}
+
+const Net* Bindings::find_net(const std::string& name) const {
+  const auto it = nets_.find(name);
+  return it == nets_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Elaborating parser: resolves names against local declarations first,
+/// then the caller's bindings.
+class Parser {
+ public:
+  Parser(Cursor& cur, const Bindings& bindings) : cur_(cur), bindings_(bindings) {}
+
+  ParsedNetwork program() {
+    ParsedNetwork out;
+    if (cur_.at(Tok::KwNet)) {
+      out = netdef();
+    } else {
+      out.name = "";
+      out.topology = expr();
+    }
+    if (!cur_.done()) {
+      throw LangError("trailing input after network program (offset " +
+                      std::to_string(cur_.peek().pos) + ")");
+    }
+    return out;
+  }
+
+ private:
+  ParsedNetwork netdef() {
+    cur_.expect(Tok::KwNet, "network definition");
+    const std::string name = cur_.expect(Tok::Ident, "network name").text;
+    cur_.expect(Tok::LBrace, "network body");
+    // Local scope: declarations shadow outer bindings.
+    std::map<std::string, Net> saved = locals_;
+    while (!cur_.at(Tok::KwConnect)) {
+      if (cur_.at(Tok::KwBox)) {
+        box_decl();
+      } else if (cur_.at(Tok::KwNet)) {
+        const ParsedNetwork sub = netdef();
+        locals_[sub.name] = sub.topology;
+      } else {
+        throw LangError("expected 'box', 'net' or 'connect' in network body, found " +
+                        text::tok_name(cur_.peek().kind) + " (offset " +
+                        std::to_string(cur_.peek().pos) + ")");
+      }
+    }
+    cur_.expect(Tok::KwConnect, "network body");
+    Net topology = expr();
+    cur_.expect(Tok::Semi, "connect clause");
+    cur_.expect(Tok::RBrace, "network body");
+    locals_ = std::move(saved);
+    return ParsedNetwork{name, std::move(topology)};
+  }
+
+  void box_decl() {
+    cur_.expect(Tok::KwBox, "box declaration");
+    const std::string name = cur_.expect(Tok::Ident, "box name").text;
+    cur_.expect(Tok::LParen, "box signature");
+    Signature sig = parse::signature(cur_);
+    cur_.expect(Tok::RParen, "box signature");
+    cur_.expect(Tok::Semi, "box declaration");
+    const BoxFn* fn = bindings_.find_box(name);
+    if (fn == nullptr) {
+      throw LangError("no implementation bound for box '" + name + "'");
+    }
+    locals_[name] = box(name, std::move(sig), *fn);
+  }
+
+  Net expr() {
+    Net lhs = serial_expr();
+    for (;;) {
+      if (cur_.accept(Tok::BarBar)) {
+        lhs = parallel(std::move(lhs), serial_expr());
+      } else if (cur_.accept(Tok::Bar)) {
+        lhs = parallel_det(std::move(lhs), serial_expr());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Net serial_expr() {
+    Net lhs = postfix();
+    while (cur_.accept(Tok::DotDot)) {
+      lhs = serial(std::move(lhs), postfix());
+    }
+    return lhs;
+  }
+
+  Net postfix() {
+    Net n = primary();
+    for (;;) {
+      if (cur_.accept(Tok::StarStar)) {
+        n = star(std::move(n), parse::pattern(cur_));
+      } else if (cur_.accept(Tok::Star)) {
+        n = star_det(std::move(n), parse::pattern(cur_));
+      } else if (cur_.accept(Tok::BangBang)) {
+        n = split(std::move(n), cur_.expect(Tok::Tag, "replication tag").text);
+      } else if (cur_.accept(Tok::Bang)) {
+        n = split_det(std::move(n), cur_.expect(Tok::Tag, "replication tag").text);
+      } else {
+        return n;
+      }
+    }
+  }
+
+  Net primary() {
+    if (cur_.at(Tok::Ident)) {
+      const std::string name = cur_.advance().text;
+      const auto it = locals_.find(name);
+      if (it != locals_.end()) {
+        return it->second;
+      }
+      if (const Net* n = bindings_.find_net(name)) {
+        return *n;
+      }
+      throw LangError("unknown network operand '" + name +
+                      "' (declare a box or bind a net)");
+    }
+    if (cur_.accept(Tok::LParen)) {
+      Net n = expr();
+      cur_.expect(Tok::RParen, "parenthesised network");
+      return n;
+    }
+    if (cur_.accept(Tok::LBracket)) {
+      if (cur_.accept(Tok::Bar)) {
+        // Synchrocell [| {a}, {b} |]
+        std::vector<Pattern> patterns;
+        patterns.push_back(parse::pattern(cur_));
+        while (cur_.accept(Tok::Comma)) {
+          patterns.push_back(parse::pattern(cur_));
+        }
+        cur_.expect(Tok::Bar, "synchrocell");
+        cur_.expect(Tok::RBracket, "synchrocell");
+        return sync_patterns(std::move(patterns));
+      }
+      FilterSpec spec = parse::filter_body(cur_);
+      cur_.expect(Tok::RBracket, "filter");
+      return filter(std::move(spec));
+    }
+    throw LangError("expected a network operand, found " +
+                    text::tok_name(cur_.peek().kind) + " (offset " +
+                    std::to_string(cur_.peek().pos) + ")");
+  }
+
+  Cursor& cur_;
+  const Bindings& bindings_;
+  std::map<std::string, Net> locals_;
+};
+
+}  // namespace
+
+ParsedNetwork parse_network_named(const std::string& source, const Bindings& bindings) {
+  Cursor cur(text::tokenize(source));
+  Parser parser(cur, bindings);
+  return parser.program();
+}
+
+Net parse_network(const std::string& source, const Bindings& bindings) {
+  return parse_network_named(source, bindings).topology;
+}
+
+}  // namespace snet::lang

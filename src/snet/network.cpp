@@ -1,0 +1,253 @@
+#include "snet/network.hpp"
+
+#include <algorithm>
+
+#include "snet/entities.hpp"
+
+namespace snet {
+
+std::size_t NetworkStats::count_containing(std::string_view needle) const {
+  return static_cast<std::size_t>(
+      std::count_if(entities.begin(), entities.end(), [&](const EntityStats& e) {
+        return e.name.find(needle) != std::string::npos;
+      }));
+}
+
+std::uint64_t NetworkStats::records_in_containing(std::string_view needle) const {
+  std::uint64_t total = 0;
+  for (const auto& e : entities) {
+    if (e.name.find(needle) != std::string::npos) {
+      total += e.records_in;
+    }
+  }
+  return total;
+}
+
+Network::Network(Net topology, Options opts)
+    : topology_(std::move(topology)), opts_(std::move(opts)) {
+  if (!topology_) {
+    throw std::invalid_argument("null topology");
+  }
+  signature_ = infer(topology_);  // always infer; doubles as a null check
+  if (!opts_.type_check) {
+    // Inference already ran; the flag only controls whether a mismatch is
+    // fatal. Keep it simple: inference throws either way. (Documented.)
+  }
+  sched_ = std::make_unique<Scheduler>(opts_.workers, opts_.quantum);
+  Entity* out = adopt(std::make_unique<detail::OutputEntity>(*this));
+  entry_ = instantiate(topology_, out, "net");
+}
+
+Network::~Network() {
+  // Stop workers before tearing down entities they might touch.
+  sched_->stop();
+}
+
+void Network::inject(Record r) {
+  if (closed_.load()) {
+    throw std::logic_error("inject after close_input");
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  live_add(1);
+  entry_->deliver(Message::record(std::move(r)));
+}
+
+void Network::close_input() {
+  closed_.store(true);
+  // A network that was already quiescent must wake waiters.
+  out_cv_.notify_all();
+}
+
+std::optional<Record> Network::next_output() {
+  std::unique_lock lock(out_mu_);
+  out_cv_.wait(lock, [&] { return error_ || !outputs_.empty() || done_locked(); });
+  if (error_) {
+    std::rethrow_exception(error_);
+  }
+  if (!outputs_.empty()) {
+    Record r = std::move(outputs_.front());
+    outputs_.pop_front();
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::vector<Record> Network::collect() {
+  if (!closed_.load()) {
+    close_input();
+  }
+  std::vector<Record> all;
+  while (auto r = next_output()) {
+    all.push_back(std::move(*r));
+  }
+  return all;
+}
+
+void Network::wait() {
+  std::unique_lock lock(out_mu_);
+  out_cv_.wait(lock, [&] { return error_ || done_locked(); });
+  if (error_) {
+    std::rethrow_exception(error_);
+  }
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  {
+    const std::lock_guard lock(reg_mu_);
+    s.entities.reserve(entities_.size());
+    for (const auto& e : entities_) {
+      s.entities.push_back(EntityStats{e->name(), e->records_in(), e->records_out()});
+    }
+  }
+  s.injected = injected_.load();
+  {
+    const std::lock_guard lock(out_mu_);
+    s.produced = produced_;
+  }
+  s.peak_live = peak_live_.load();
+  return s;
+}
+
+void Network::live_add(std::int64_t n) {
+  const std::int64_t now = live_.fetch_add(n, std::memory_order_acq_rel) + n;
+  std::int64_t peak = peak_live_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_live_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Network::live_sub(std::int64_t n) {
+  const std::int64_t now = live_.fetch_sub(n, std::memory_order_acq_rel) - n;
+  if (now == 0 && closed_.load()) {
+    const std::lock_guard lock(out_mu_);
+    out_cv_.notify_all();
+  }
+}
+
+void Network::push_output(Record r) {
+  {
+    const std::lock_guard lock(out_mu_);
+    outputs_.push_back(std::move(r));
+    ++produced_;
+  }
+  out_cv_.notify_all();
+}
+
+void Network::fail(std::exception_ptr err) {
+  {
+    const std::lock_guard lock(out_mu_);
+    if (!error_) {
+      error_ = err;
+    }
+  }
+  out_cv_.notify_all();
+}
+
+void Network::trace_record(const Entity& target, const Record& r) {
+  opts_.trace(target.name(), r);
+}
+
+Entity* Network::adopt(std::unique_ptr<Entity> entity) {
+  const std::lock_guard lock(reg_mu_);
+  entities_.push_back(std::move(entity));
+  return entities_.back().get();
+}
+
+Entity* Network::instantiate(const Net& node, Entity* successor,
+                             const std::string& prefix) {
+  using detail::BoxEntity;
+  using detail::DetCollectorEntity;
+  using detail::DetEntryEntity;
+  using detail::FilterEntity;
+  using detail::ParallelEntity;
+  using detail::SplitEntity;
+  using detail::StarStageEntity;
+  using detail::SyncEntity;
+
+  switch (node->kind) {
+    case NetNode::Kind::Box:
+      return adopt(std::make_unique<BoxEntity>(*this, prefix + "/box:" + node->name,
+                                               node, successor));
+    case NetNode::Kind::Filter:
+      return adopt(
+          std::make_unique<FilterEntity>(*this, prefix + "/filter", node, successor));
+    case NetNode::Kind::Serial: {
+      Entity* right = instantiate(node->right, successor, prefix);
+      return instantiate(node->left, right, prefix);
+    }
+    case NetNode::Kind::Parallel: {
+      Entity* merge_target = successor;
+      DetEntryEntity* det_entry = nullptr;
+      if (node->det) {
+        auto* coll = static_cast<DetCollectorEntity*>(adopt(
+            std::make_unique<DetCollectorEntity>(*this, prefix + "/par-coll",
+                                                 successor)));
+        merge_target = coll;
+        det_entry = static_cast<DetEntryEntity*>(
+            adopt(std::make_unique<DetEntryEntity>(*this, prefix + "/par-entry",
+                                                   coll->scope())));
+      }
+      std::vector<ParallelEntity::Branch> branches;
+      branches.push_back(ParallelEntity::Branch{
+          required_input(node->left),
+          instantiate(node->left, merge_target, prefix + "/parL")});
+      branches.push_back(ParallelEntity::Branch{
+          required_input(node->right),
+          instantiate(node->right, merge_target, prefix + "/parR")});
+      Entity* dispatcher = adopt(std::make_unique<ParallelEntity>(
+          *this, prefix + "/par", std::move(branches)));
+      if (det_entry != nullptr) {
+        det_entry->set_target(dispatcher);
+        return det_entry;
+      }
+      return dispatcher;
+    }
+    case NetNode::Kind::Star: {
+      Entity* exit_target = successor;
+      DetEntryEntity* det_entry = nullptr;
+      if (node->det) {
+        auto* coll = static_cast<DetCollectorEntity*>(
+            adopt(std::make_unique<DetCollectorEntity>(*this, prefix + "/star-coll",
+                                                       successor)));
+        exit_target = coll;
+        det_entry = static_cast<DetEntryEntity*>(
+            adopt(std::make_unique<DetEntryEntity>(*this, prefix + "/star-entry",
+                                                   coll->scope())));
+      }
+      Entity* stage0 = adopt(std::make_unique<StarStageEntity>(
+          *this, prefix + "/star", node, exit_target, 0));
+      if (det_entry != nullptr) {
+        det_entry->set_target(stage0);
+        return det_entry;
+      }
+      return stage0;
+    }
+    case NetNode::Kind::Split: {
+      Entity* merge_target = successor;
+      DetEntryEntity* det_entry = nullptr;
+      if (node->det) {
+        auto* coll = static_cast<DetCollectorEntity*>(
+            adopt(std::make_unique<DetCollectorEntity>(*this, prefix + "/split-coll",
+                                                       successor)));
+        merge_target = coll;
+        det_entry = static_cast<DetEntryEntity*>(
+            adopt(std::make_unique<DetEntryEntity>(*this, prefix + "/split-entry",
+                                                   coll->scope())));
+      }
+      Entity* dispatcher = adopt(std::make_unique<SplitEntity>(
+          *this, prefix + "/split", node, merge_target));
+      if (det_entry != nullptr) {
+        det_entry->set_target(dispatcher);
+        return det_entry;
+      }
+      return dispatcher;
+    }
+    case NetNode::Kind::Sync:
+      return adopt(
+          std::make_unique<SyncEntity>(*this, prefix + "/sync", node, successor));
+  }
+  throw std::logic_error("corrupt topology node");
+}
+
+}  // namespace snet

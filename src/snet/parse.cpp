@@ -1,0 +1,215 @@
+#include "snet/parse.hpp"
+
+namespace snet::parse {
+
+using text::Cursor;
+using text::ParseError;
+using text::Tok;
+
+namespace {
+
+TagExpr primary(Cursor& cur) {
+  if (cur.at(Tok::Int)) {
+    return TagExpr::lit(cur.advance().ival);
+  }
+  if (cur.at(Tok::Tag)) {
+    return TagExpr::tag(cur.advance().text);
+  }
+  if (cur.accept(Tok::LParen)) {
+    TagExpr e = tag_expression(cur);
+    cur.expect(Tok::RParen, "parenthesised tag expression");
+    return e;
+  }
+  throw ParseError("expected integer, tag or '(' in tag expression, found " +
+                       text::tok_name(cur.peek().kind),
+                   cur.peek().pos);
+}
+
+TagExpr unary(Cursor& cur) {
+  if (cur.accept(Tok::Minus)) {
+    return -unary(cur);
+  }
+  if (cur.accept(Tok::Bang)) {
+    return !unary(cur);
+  }
+  return primary(cur);
+}
+
+TagExpr mul_level(Cursor& cur) {
+  TagExpr e = unary(cur);
+  for (;;) {
+    if (cur.accept(Tok::Star)) {
+      e = std::move(e) * unary(cur);
+    } else if (cur.accept(Tok::Slash)) {
+      e = std::move(e) / unary(cur);
+    } else if (cur.accept(Tok::Percent)) {
+      e = std::move(e) % unary(cur);
+    } else {
+      return e;
+    }
+  }
+}
+
+TagExpr add_level(Cursor& cur) {
+  TagExpr e = mul_level(cur);
+  for (;;) {
+    if (cur.accept(Tok::Plus)) {
+      e = std::move(e) + mul_level(cur);
+    } else if (cur.accept(Tok::Minus)) {
+      e = std::move(e) - mul_level(cur);
+    } else {
+      return e;
+    }
+  }
+}
+
+TagExpr cmp_level(Cursor& cur) {
+  TagExpr e = add_level(cur);
+  if (cur.accept(Tok::Lt)) {
+    return std::move(e) < add_level(cur);
+  }
+  if (cur.accept(Tok::Le)) {
+    return std::move(e) <= add_level(cur);
+  }
+  if (cur.accept(Tok::Gt)) {
+    return std::move(e) > add_level(cur);
+  }
+  if (cur.accept(Tok::Ge)) {
+    return std::move(e) >= add_level(cur);
+  }
+  if (cur.accept(Tok::EqEq)) {
+    return std::move(e) == add_level(cur);
+  }
+  if (cur.accept(Tok::Ne)) {
+    return std::move(e) != add_level(cur);
+  }
+  return e;
+}
+
+TagExpr and_level(Cursor& cur) {
+  TagExpr e = cmp_level(cur);
+  while (cur.accept(Tok::AndAnd)) {
+    e = std::move(e) && cmp_level(cur);
+  }
+  return e;
+}
+
+}  // namespace
+
+TagExpr tag_expression(Cursor& cur) {
+  TagExpr e = and_level(cur);
+  while (cur.accept(Tok::BarBar)) {
+    e = std::move(e) || and_level(cur);
+  }
+  return e;
+}
+
+Pattern pattern(Cursor& cur) {
+  cur.expect(Tok::LBrace, "pattern");
+  std::vector<Label> labels;
+  if (!cur.at(Tok::RBrace)) {
+    do {
+      if (cur.at(Tok::Ident)) {
+        labels.push_back(field_label(cur.advance().text));
+      } else if (cur.at(Tok::Tag)) {
+        labels.push_back(tag_label(cur.advance().text));
+      } else {
+        throw ParseError("expected field or tag in pattern, found " +
+                             text::tok_name(cur.peek().kind),
+                         cur.peek().pos);
+      }
+    } while (cur.accept(Tok::Comma));
+  }
+  cur.expect(Tok::RBrace, "pattern");
+  Pattern p{RecordType(std::move(labels))};
+  if (cur.accept(Tok::KwIf)) {
+    p.guard = tag_expression(cur);
+  }
+  return p;
+}
+
+SigVariant sig_variant(Cursor& cur) {
+  const bool brace = cur.at(Tok::LBrace);
+  cur.expect(brace ? Tok::LBrace : Tok::LParen, "signature variant");
+  SigVariant v;
+  const Tok closer = brace ? Tok::RBrace : Tok::RParen;
+  if (!cur.at(closer)) {
+    do {
+      if (cur.at(Tok::Ident)) {
+        v.labels.push_back(field_label(cur.advance().text));
+      } else if (cur.at(Tok::Tag)) {
+        v.labels.push_back(tag_label(cur.advance().text));
+      } else {
+        throw ParseError("expected field or tag in signature variant, found " +
+                             text::tok_name(cur.peek().kind),
+                         cur.peek().pos);
+      }
+    } while (cur.accept(Tok::Comma));
+  }
+  cur.expect(closer, "signature variant");
+  return v;
+}
+
+Signature signature(Cursor& cur) {
+  Signature sig;
+  sig.input = sig_variant(cur);
+  cur.expect(Tok::Arrow, "box signature");
+  sig.outputs.push_back(sig_variant(cur));
+  while (cur.accept(Tok::Bar)) {
+    sig.outputs.push_back(sig_variant(cur));
+  }
+  return sig;
+}
+
+FilterSpec::Output filter_output(Cursor& cur) {
+  cur.expect(Tok::LBrace, "filter output specifier");
+  FilterSpec::Output out;
+  if (!cur.at(Tok::RBrace)) {
+    do {
+      if (cur.at(Tok::Ident)) {
+        const Label target = field_label(cur.advance().text);
+        if (cur.accept(Tok::Assign)) {
+          const auto& src = cur.expect(Tok::Ident, "field binding");
+          out.items.push_back(FilterSpec::Item{FilterSpec::Item::Kind::BindField,
+                                               target, field_label(src.text), {}});
+        } else {
+          out.items.push_back(
+              FilterSpec::Item{FilterSpec::Item::Kind::CopyField, target, {}, {}});
+        }
+      } else if (cur.at(Tok::Tag)) {
+        const Label target = tag_label(cur.advance().text);
+        if (cur.accept(Tok::Assign)) {
+          TagExpr e = tag_expression(cur);
+          out.items.push_back(
+              FilterSpec::Item{FilterSpec::Item::Kind::SetTag, target, {}, std::move(e)});
+        } else {
+          // "The initialisation of new tags is optional, tag values are set
+          // to zero by default" — a bare tag copies when present in the
+          // pattern and defaults to zero otherwise; both reduce to SetTag /
+          // CopyTag, resolved in validate().
+          out.items.push_back(
+              FilterSpec::Item{FilterSpec::Item::Kind::CopyTag, target, {}, {}});
+        }
+      } else {
+        throw ParseError("expected field or tag item in filter output, found " +
+                             text::tok_name(cur.peek().kind),
+                         cur.peek().pos);
+      }
+    } while (cur.accept(Tok::Comma));
+  }
+  cur.expect(Tok::RBrace, "filter output specifier");
+  return out;
+}
+
+FilterSpec filter_body(Cursor& cur) {
+  Pattern pat = pattern(cur);
+  cur.expect(Tok::Arrow, "filter");
+  std::vector<FilterSpec::Output> outs;
+  outs.push_back(filter_output(cur));
+  while (cur.accept(Tok::Semi)) {
+    outs.push_back(filter_output(cur));
+  }
+  return FilterSpec(std::move(pat), std::move(outs));
+}
+
+}  // namespace snet::parse

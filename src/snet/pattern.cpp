@@ -1,0 +1,17 @@
+#include "snet/pattern.hpp"
+
+#include "snet/parse.hpp"
+#include "snet/text.hpp"
+
+namespace snet {
+
+Pattern Pattern::parse(const std::string& text) {
+  text::Cursor cur(text::tokenize(text));
+  Pattern p = parse::pattern(cur);
+  if (!cur.done()) {
+    throw text::ParseError("trailing input after pattern", cur.peek().pos);
+  }
+  return p;
+}
+
+}  // namespace snet

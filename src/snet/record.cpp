@@ -1,0 +1,123 @@
+#include "snet/record.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace snet {
+
+namespace {
+template <class Vec, class Key>
+auto lower_bound_label(Vec& vec, Key label) {
+  return std::lower_bound(vec.begin(), vec.end(), label,
+                          [](const auto& entry, Label l) { return entry.first < l; });
+}
+}  // namespace
+
+const Value* Record::find_field(Label label) const {
+  const auto it = lower_bound_label(fields_, label);
+  return (it != fields_.end() && it->first == label) ? &it->second : nullptr;
+}
+
+const std::int64_t* Record::find_tag(Label label) const {
+  const auto it = lower_bound_label(tags_, label);
+  return (it != tags_.end() && it->first == label) ? &it->second : nullptr;
+}
+
+void Record::set_field(Label label, Value v) {
+  if (label.kind != LabelKind::Field) {
+    throw std::invalid_argument("set_field with tag label " + label_display(label));
+  }
+  const auto it = lower_bound_label(fields_, label);
+  if (it != fields_.end() && it->first == label) {
+    it->second = std::move(v);
+  } else {
+    fields_.insert(it, {label, std::move(v)});
+  }
+}
+
+const Value& Record::field(Label label) const {
+  const Value* p = find_field(label);
+  if (p == nullptr) {
+    throw std::out_of_range("record " + to_string() + " has no field " +
+                            label_display(label));
+  }
+  return *p;
+}
+
+void Record::remove_field(Label label) {
+  const auto it = lower_bound_label(fields_, label);
+  if (it != fields_.end() && it->first == label) {
+    fields_.erase(it);
+  }
+}
+
+void Record::set_tag(Label label, std::int64_t v) {
+  if (label.kind != LabelKind::Tag) {
+    throw std::invalid_argument("set_tag with field label " + label_display(label));
+  }
+  const auto it = lower_bound_label(tags_, label);
+  if (it != tags_.end() && it->first == label) {
+    it->second = v;
+  } else {
+    tags_.insert(it, {label, v});
+  }
+}
+
+std::int64_t Record::tag(Label label) const {
+  const std::int64_t* p = find_tag(label);
+  if (p == nullptr) {
+    throw std::out_of_range("record " + to_string() + " has no tag " +
+                            label_display(label));
+  }
+  return *p;
+}
+
+void Record::remove_tag(Label label) {
+  const auto it = lower_bound_label(tags_, label);
+  if (it != tags_.end() && it->first == label) {
+    tags_.erase(it);
+  }
+}
+
+std::vector<Label> Record::labels() const {
+  std::vector<Label> out;
+  out.reserve(fields_.size() + tags_.size());
+  for (const auto& [l, v] : fields_) {
+    out.push_back(l);
+  }
+  for (const auto& [l, v] : tags_) {
+    out.push_back(l);
+  }
+  return out;
+}
+
+std::string Record::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [l, v] : fields_) {
+    os << (first ? "" : ", ") << label_name(l);
+    first = false;
+  }
+  for (const auto& [l, v] : tags_) {
+    os << (first ? "" : ", ") << '<' << label_name(l) << ">=" << v;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+Record record_with(std::initializer_list<std::pair<std::string_view, Value>> fields,
+                   std::initializer_list<std::pair<std::string_view, std::int64_t>> tags) {
+  Record r;
+  for (const auto& [name, v] : fields) {
+    r.set_field(field_label(name), v);
+  }
+  for (const auto& [name, v] : tags) {
+    r.set_tag(tag_label(name), v);
+  }
+  return r;
+}
+
+}  // namespace snet

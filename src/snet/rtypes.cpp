@@ -1,0 +1,139 @@
+#include "snet/rtypes.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace snet {
+
+namespace {
+void sort_unique(std::vector<Label>& labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+}
+}  // namespace
+
+RecordType::RecordType(std::initializer_list<Label> labels) : labels_(labels) {
+  sort_unique(labels_);
+}
+
+RecordType::RecordType(std::vector<Label> labels) : labels_(std::move(labels)) {
+  sort_unique(labels_);
+}
+
+RecordType RecordType::of(std::initializer_list<std::string_view> fields,
+                          std::initializer_list<std::string_view> tags) {
+  std::vector<Label> labels;
+  labels.reserve(fields.size() + tags.size());
+  for (const auto name : fields) {
+    labels.push_back(field_label(name));
+  }
+  for (const auto name : tags) {
+    labels.push_back(tag_label(name));
+  }
+  return RecordType(std::move(labels));
+}
+
+bool RecordType::contains(Label label) const {
+  return std::binary_search(labels_.begin(), labels_.end(), label);
+}
+
+bool RecordType::included_in(const RecordType& other) const {
+  return std::includes(other.labels_.begin(), other.labels_.end(), labels_.begin(),
+                       labels_.end());
+}
+
+bool RecordType::matches(const Record& r) const {
+  for (const auto label : labels_) {
+    if (!r.has(label)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RecordType::add(Label label) {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end() || *it != label) {
+    labels_.insert(it, label);
+  }
+}
+
+void RecordType::remove(Label label) {
+  const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
+  if (it != labels_.end() && *it == label) {
+    labels_.erase(it);
+  }
+}
+
+RecordType RecordType::union_with(const RecordType& other) const {
+  std::vector<Label> out;
+  out.reserve(labels_.size() + other.labels_.size());
+  std::set_union(labels_.begin(), labels_.end(), other.labels_.begin(),
+                 other.labels_.end(), std::back_inserter(out));
+  return RecordType(std::move(out));
+}
+
+RecordType RecordType::minus(const RecordType& other) const {
+  std::vector<Label> out;
+  std::set_difference(labels_.begin(), labels_.end(), other.labels_.begin(),
+                      other.labels_.end(), std::back_inserter(out));
+  return RecordType(std::move(out));
+}
+
+std::string RecordType::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto label : labels_) {
+    os << (first ? "" : ", ") << label_display(label);
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+RecordType type_of(const Record& r) { return RecordType(r.labels()); }
+
+bool MultiType::subtype_of(const MultiType& super) const {
+  return std::all_of(variants_.begin(), variants_.end(), [&](const RecordType& v) {
+    return std::any_of(super.variants_.begin(), super.variants_.end(),
+                       [&](const RecordType& w) { return v.subtype_of(w); });
+  });
+}
+
+bool MultiType::accepts(const Record& r) const {
+  return std::any_of(variants_.begin(), variants_.end(),
+                     [&](const RecordType& v) { return v.matches(r); });
+}
+
+int MultiType::match_score(const Record& r) const {
+  int best = -1;
+  for (const auto& v : variants_) {
+    if (v.matches(r)) {
+      best = std::max(best, static_cast<int>(v.size()));
+    }
+  }
+  return best;
+}
+
+MultiType MultiType::union_with(const MultiType& other) const {
+  std::vector<RecordType> out = variants_;
+  for (const auto& v : other.variants_) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  }
+  return MultiType(std::move(out));
+}
+
+std::string MultiType::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& v : variants_) {
+    os << (first ? "" : " | ") << v.to_string();
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace snet

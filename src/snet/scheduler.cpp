@@ -1,0 +1,60 @@
+#include "snet/scheduler.hpp"
+
+#include "snet/entity.hpp"
+
+namespace snet {
+
+Scheduler::Scheduler(unsigned workers, unsigned quantum)
+    : quantum_(quantum == 0 ? 1U : quantum) {
+  const unsigned count = workers == 0 ? 1U : workers;
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::enqueue(Entity* entity) {
+  {
+    const std::lock_guard lock(mu_);
+    ready_.push_back(entity);
+  }
+  cv_.notify_one();
+}
+
+void Scheduler::stop() {
+  {
+    const std::lock_guard lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  threads_.clear();  // jthread dtor joins
+}
+
+std::uint64_t Scheduler::quanta_executed() const {
+  const std::lock_guard lock(mu_);
+  return quanta_;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    Entity* entity = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      entity = ready_.front();
+      ready_.pop_front();
+      ++quanta_;
+    }
+    entity->run_quantum(quantum_);
+  }
+}
+
+}  // namespace snet

@@ -1,0 +1,51 @@
+#include "snet/signature.hpp"
+
+#include <sstream>
+
+#include "snet/parse.hpp"
+#include "snet/text.hpp"
+
+namespace snet {
+
+std::string SigVariant::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  for (const auto label : labels) {
+    os << (first ? "" : ", ") << label_display(label);
+    first = false;
+  }
+  os << ')';
+  return os.str();
+}
+
+Signature Signature::parse(const std::string& text) {
+  text::Cursor cur(text::tokenize(text));
+  Signature sig = parse::signature(cur);
+  if (!cur.done()) {
+    throw text::ParseError("trailing input after signature", cur.peek().pos);
+  }
+  return sig;
+}
+
+MultiType Signature::output_type() const {
+  std::vector<RecordType> variants;
+  variants.reserve(outputs.size());
+  for (const auto& v : outputs) {
+    variants.push_back(v.type());
+  }
+  return MultiType(std::move(variants));
+}
+
+std::string Signature::to_string() const {
+  std::ostringstream os;
+  os << input.to_string() << " -> ";
+  bool first = true;
+  for (const auto& v : outputs) {
+    os << (first ? "" : " | ") << v.to_string();
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace snet

@@ -1,0 +1,179 @@
+#include "snet/tagexpr.hpp"
+
+#include <functional>
+#include <sstream>
+
+namespace snet {
+
+struct TagExpr::Node {
+  Op op;
+  std::int64_t value = 0;                 // Lit
+  Label label{};                          // Tag
+  std::shared_ptr<const Node> lhs, rhs;   // operands
+};
+
+TagExpr TagExpr::lit(std::int64_t v) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::Lit;
+  n->value = v;
+  return TagExpr(std::move(n));
+}
+
+TagExpr TagExpr::tag(std::string_view name) { return tag(tag_label(name)); }
+
+TagExpr TagExpr::tag(Label label) {
+  if (label.kind != LabelKind::Tag) {
+    throw TagExprError("tag expression may only reference tags, got " +
+                       label_display(label));
+  }
+  auto n = std::make_shared<Node>();
+  n->op = Op::Tag;
+  n->label = label;
+  return TagExpr(std::move(n));
+}
+
+TagExpr TagExpr::unary(Op op, TagExpr operand) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = std::move(operand.node_);
+  return TagExpr(std::move(n));
+}
+
+TagExpr TagExpr::binary(Op op, TagExpr lhs, TagExpr rhs) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = std::move(lhs.node_);
+  n->rhs = std::move(rhs.node_);
+  return TagExpr(std::move(n));
+}
+
+namespace {
+
+std::int64_t eval_div(std::int64_t a, std::int64_t b, const char* what) {
+  if (b == 0) {
+    throw TagExprError(std::string("tag expression ") + what + " by zero");
+  }
+  return what[0] == 'd' ? a / b : a % b;
+}
+
+}  // namespace
+
+struct TagExprEval {
+  static std::int64_t run(const TagExpr::Node& n, const Record& r) {
+    using Op = TagExpr::Op;
+    switch (n.op) {
+      case Op::Lit:
+        return n.value;
+      case Op::Tag:
+        if (!r.has_tag(n.label)) {
+          throw TagExprError("record " + r.to_string() + " lacks tag " +
+                             label_display(n.label) + " referenced by expression");
+        }
+        return r.tag(n.label);
+      case Op::Neg:
+        return -run(*n.lhs, r);
+      case Op::Not:
+        return run(*n.lhs, r) == 0 ? 1 : 0;
+      default:
+        break;
+    }
+    const std::int64_t a = run(*n.lhs, r);
+    // Short-circuit logic.
+    if (n.op == Op::And) {
+      return (a != 0 && run(*n.rhs, r) != 0) ? 1 : 0;
+    }
+    if (n.op == Op::Or) {
+      return (a != 0 || run(*n.rhs, r) != 0) ? 1 : 0;
+    }
+    const std::int64_t b = run(*n.rhs, r);
+    switch (n.op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::Div: return eval_div(a, b, "division");
+      case Op::Mod: return eval_div(a, b, "modulo");
+      case Op::Eq:  return a == b ? 1 : 0;
+      case Op::Ne:  return a != b ? 1 : 0;
+      case Op::Lt:  return a < b ? 1 : 0;
+      case Op::Le:  return a <= b ? 1 : 0;
+      case Op::Gt:  return a > b ? 1 : 0;
+      case Op::Ge:  return a >= b ? 1 : 0;
+      default:
+        throw TagExprError("corrupt tag expression");
+    }
+  }
+
+  static void collect(const TagExpr::Node& n, std::vector<Label>& out) {
+    if (n.op == TagExpr::Op::Tag) {
+      out.push_back(n.label);
+    }
+    if (n.lhs) {
+      collect(*n.lhs, out);
+    }
+    if (n.rhs) {
+      collect(*n.rhs, out);
+    }
+  }
+
+  static void render(const TagExpr::Node& n, std::ostream& os) {
+    using Op = TagExpr::Op;
+    const auto bin = [&](const char* sym) {
+      os << '(';
+      render(*n.lhs, os);
+      os << ' ' << sym << ' ';
+      render(*n.rhs, os);
+      os << ')';
+    };
+    switch (n.op) {
+      case Op::Lit: os << n.value; return;
+      case Op::Tag: os << label_display(n.label); return;
+      case Op::Neg: os << "-("; render(*n.lhs, os); os << ')'; return;
+      case Op::Not: os << "!("; render(*n.lhs, os); os << ')'; return;
+      case Op::Add: bin("+"); return;
+      case Op::Sub: bin("-"); return;
+      case Op::Mul: bin("*"); return;
+      case Op::Div: bin("/"); return;
+      case Op::Mod: bin("%"); return;
+      case Op::Eq:  bin("=="); return;
+      case Op::Ne:  bin("!="); return;
+      case Op::Lt:  bin("<"); return;
+      case Op::Le:  bin("<="); return;
+      case Op::Gt:  bin(">"); return;
+      case Op::Ge:  bin(">="); return;
+      case Op::And: bin("&&"); return;
+      case Op::Or:  bin("||"); return;
+    }
+  }
+};
+
+std::int64_t TagExpr::eval(const Record& r) const { return TagExprEval::run(*node_, r); }
+
+std::vector<Label> TagExpr::referenced_tags() const {
+  std::vector<Label> out;
+  TagExprEval::collect(*node_, out);
+  return out;
+}
+
+std::string TagExpr::to_string() const {
+  std::ostringstream os;
+  TagExprEval::render(*node_, os);
+  return os.str();
+}
+
+TagExpr operator+(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Add, std::move(a), std::move(b)); }
+TagExpr operator-(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Sub, std::move(a), std::move(b)); }
+TagExpr operator*(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Mul, std::move(a), std::move(b)); }
+TagExpr operator/(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Div, std::move(a), std::move(b)); }
+TagExpr operator%(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Mod, std::move(a), std::move(b)); }
+TagExpr operator-(TagExpr a) { return TagExpr::unary(TagExpr::Op::Neg, std::move(a)); }
+TagExpr operator==(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Eq, std::move(a), std::move(b)); }
+TagExpr operator!=(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Ne, std::move(a), std::move(b)); }
+TagExpr operator<(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Lt, std::move(a), std::move(b)); }
+TagExpr operator<=(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Le, std::move(a), std::move(b)); }
+TagExpr operator>(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Gt, std::move(a), std::move(b)); }
+TagExpr operator>=(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Ge, std::move(a), std::move(b)); }
+TagExpr operator&&(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::And, std::move(a), std::move(b)); }
+TagExpr operator||(TagExpr a, TagExpr b) { return TagExpr::binary(TagExpr::Op::Or, std::move(a), std::move(b)); }
+TagExpr operator!(TagExpr a) { return TagExpr::unary(TagExpr::Op::Not, std::move(a)); }
+
+}  // namespace snet

@@ -1,0 +1,233 @@
+#include "snet/text.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace snet::text {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"if", Tok::KwIf},       {"box", Tok::KwBox},   {"net", Tok::KwNet},
+      {"connect", Tok::KwConnect}, {"filter", Tok::KwFilter}, {"sync", Tok::KwSync},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  const auto push = [&](Tok t, std::size_t pos, std::string text = {},
+                        std::int64_t v = 0) {
+    out.push_back(Token{t, std::move(text), v, pos});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    const std::size_t start = i;
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) {
+        ++j;
+      }
+      std::string word = src.substr(i, j - i);
+      const auto kw = keywords().find(word);
+      if (kw != keywords().end()) {
+        push(kw->second, start);
+      } else {
+        push(Tok::Ident, start, std::move(word));
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      std::int64_t v = 0;
+      while (j < n && std::isdigit(static_cast<unsigned char>(src[j])) != 0) {
+        v = v * 10 + (src[j] - '0');
+        ++j;
+      }
+      push(Tok::Int, start, {}, v);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '{': push(Tok::LBrace, start); ++i; continue;
+      case '}': push(Tok::RBrace, start); ++i; continue;
+      case '(': push(Tok::LParen, start); ++i; continue;
+      case ')': push(Tok::RParen, start); ++i; continue;
+      case '[': push(Tok::LBracket, start); ++i; continue;
+      case ']': push(Tok::RBracket, start); ++i; continue;
+      case ',': push(Tok::Comma, start); ++i; continue;
+      case ';': push(Tok::Semi, start); ++i; continue;
+      case ':': push(Tok::Colon, start); ++i; continue;
+      case '+': push(Tok::Plus, start); ++i; continue;
+      case '/': push(Tok::Slash, start); ++i; continue;
+      case '%': push(Tok::Percent, start); ++i; continue;
+      case '-':
+        if (i + 1 < n && src[i + 1] == '>') {
+          push(Tok::Arrow, start);
+          i += 2;
+        } else {
+          push(Tok::Minus, start);
+          ++i;
+        }
+        continue;
+      case '*':
+        if (i + 1 < n && src[i + 1] == '*') {
+          push(Tok::StarStar, start);
+          i += 2;
+        } else {
+          push(Tok::Star, start);
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '!') {
+          push(Tok::BangBang, start);
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::Ne, start);
+          i += 2;
+        } else {
+          push(Tok::Bang, start);
+          ++i;
+        }
+        continue;
+      case '|':
+        if (i + 1 < n && src[i + 1] == '|') {
+          push(Tok::BarBar, start);
+          i += 2;
+        } else {
+          push(Tok::Bar, start);
+          ++i;
+        }
+        continue;
+      case '&':
+        if (i + 1 < n && src[i + 1] == '&') {
+          push(Tok::AndAnd, start);
+          i += 2;
+          continue;
+        }
+        throw ParseError("stray '&'", start);
+      case '.':
+        if (i + 1 < n && src[i + 1] == '.') {
+          push(Tok::DotDot, start);
+          i += 2;
+          continue;
+        }
+        throw ParseError("stray '.'", start);
+      case '=':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::EqEq, start);
+          i += 2;
+        } else {
+          push(Tok::Assign, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::Ge, start);
+          i += 2;
+        } else {
+          push(Tok::Gt, start);
+          ++i;
+        }
+        continue;
+      case '<': {
+        // `<ident>` with no spaces is a tag token.
+        std::size_t j = i + 1;
+        if (j < n && ident_start(src[j])) {
+          std::size_t k = j + 1;
+          while (k < n && ident_char(src[k])) {
+            ++k;
+          }
+          if (k < n && src[k] == '>') {
+            push(Tok::Tag, start, src.substr(j, k - j));
+            i = k + 1;
+            continue;
+          }
+        }
+        if (i + 1 < n && src[i + 1] == '=') {
+          push(Tok::Le, start);
+          i += 2;
+        } else {
+          push(Tok::Lt, start);
+          ++i;
+        }
+        continue;
+      }
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  push(Tok::End, n);
+  return out;
+}
+
+std::string tok_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer";
+    case Tok::Tag: return "tag";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Assign: return "'='";
+    case Tok::Arrow: return "'->'";
+    case Tok::Bar: return "'|'";
+    case Tok::BarBar: return "'||'";
+    case Tok::DotDot: return "'..'";
+    case Tok::Star: return "'*'";
+    case Tok::StarStar: return "'**'";
+    case Tok::Bang: return "'!'";
+    case Tok::BangBang: return "'!!'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::NotOp: return "'!'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwBox: return "'box'";
+    case Tok::KwNet: return "'net'";
+    case Tok::KwConnect: return "'connect'";
+    case Tok::KwFilter: return "'filter'";
+    case Tok::KwSync: return "'sync'";
+    case Tok::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace snet::text

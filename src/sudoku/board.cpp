@@ -1,0 +1,201 @@
+#include "sudoku/board.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "sacpp/with_loop.hpp"
+
+namespace sudoku {
+
+BoardArray empty_board(int n) {
+  if (n < 2) {
+    throw SudokuError("box size must be >= 2, got " + std::to_string(n));
+  }
+  const std::int64_t N = static_cast<std::int64_t>(n) * n;
+  return BoardArray(sac::Shape{N, N}, 0);
+}
+
+int board_size(const BoardArray& board) {
+  if (board.dim() != 2 || board.shape().extent(0) != board.shape().extent(1)) {
+    throw SudokuError("board must be a square matrix, got shape " +
+                      board.shape().to_string());
+  }
+  const auto N = board.shape().extent(0);
+  const auto n = static_cast<std::int64_t>(std::llround(std::sqrt(static_cast<double>(N))));
+  if (n * n != N) {
+    throw SudokuError("board side " + std::to_string(N) + " is not a perfect square");
+  }
+  return static_cast<int>(N);
+}
+
+int board_box(const BoardArray& board) {
+  const int N = board_size(board);
+  return static_cast<int>(std::llround(std::sqrt(static_cast<double>(N))));
+}
+
+BoardArray board_from_string(const std::string& text) {
+  // Primary format: one character per cell. Fallback (needed for N > 9,
+  // where cells are multi-digit): whitespace-separated integers — used
+  // when the per-character cell count is not a perfect square.
+  std::vector<int> cells;
+  bool char_format = true;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+        std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      continue;
+    }
+    throw SudokuError(std::string("unexpected character '") + c + "' in board");
+  }
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      continue;
+    }
+    cells.push_back(c == '.' ? 0 : c - '0');
+  }
+  {
+    const auto count = static_cast<std::int64_t>(cells.size());
+    const auto side =
+        static_cast<std::int64_t>(std::llround(std::sqrt(static_cast<double>(count))));
+    if (count == 0 || side * side != count) {
+      char_format = false;
+    }
+  }
+  if (!char_format) {
+    cells.clear();
+    std::istringstream is(text);
+    int v = 0;
+    while (is >> v) {
+      cells.push_back(v);
+    }
+  }
+  const auto count = static_cast<std::int64_t>(cells.size());
+  const auto N = static_cast<std::int64_t>(std::llround(std::sqrt(static_cast<double>(count))));
+  if (N == 0 || N * N != count) {
+    throw SudokuError("board text has " + std::to_string(count) +
+                      " cells, not a square count");
+  }
+  BoardArray board(sac::Shape{N, N}, std::move(cells));
+  board_size(board);  // validates N is a perfect square as well
+  if (!is_consistent(board)) {
+    throw SudokuError("board text violates sudoku rules");
+  }
+  return board;
+}
+
+std::string board_to_string(const BoardArray& board) {
+  const int N = board_size(board);
+  const int n = board_box(board);
+  const int width = N > 9 ? 3 : 2;
+  std::ostringstream os;
+  for (int i = 0; i < N; ++i) {
+    if (i > 0 && i % n == 0) {
+      for (int c = 0; c < N * width + (n - 1) * 2 - 1; ++c) {
+        os << '-';
+      }
+      os << '\n';
+    }
+    for (int j = 0; j < N; ++j) {
+      if (j > 0 && j % n == 0) {
+        os << "| ";
+      }
+      const int v = board[{i, j}];
+      std::string cell = v == 0 ? "." : std::to_string(v);
+      while (static_cast<int>(cell.size()) < width - 1) {
+        cell = " " + cell;
+      }
+      os << cell << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string board_to_line(const BoardArray& board) {
+  const int N = board_size(board);
+  std::ostringstream os;
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      const int v = board[{i, j}];
+      if (N <= 9) {
+        os << (v == 0 ? '.' : static_cast<char>('0' + v));
+      } else {
+        os << v << ' ';
+      }
+    }
+  }
+  return os.str();
+}
+
+bool is_completed(const BoardArray& board) {
+  const std::int64_t N = board_size(board);
+  // SaC: a fold-with-loop conjunction over the whole board.
+  return sac::With<bool>()
+      .gen({0, 0}, {N, N}, [&](const sac::Index& iv) { return board[iv] != 0; })
+      .fold([](bool a, bool b) { return a && b; }, true);
+}
+
+int level(const BoardArray& board) {
+  const std::int64_t N = board_size(board);
+  return sac::With<int>()
+      .gen({0, 0}, {N, N},
+           [&](const sac::Index& iv) { return board[iv] != 0 ? 1 : 0; })
+      .fold([](int a, int b) { return a + b; }, 0);
+}
+
+bool is_consistent(const BoardArray& board) {
+  const int N = board_size(board);
+  const int n = board_box(board);
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      const int v = board[{i, j}];
+      if (v == 0) {
+        continue;
+      }
+      if (v < 1 || v > N) {
+        return false;
+      }
+      for (int t = 0; t < N; ++t) {
+        if (t != j && board[{i, t}] == v) {
+          return false;
+        }
+        if (t != i && board[{t, j}] == v) {
+          return false;
+        }
+      }
+      const int is = (i / n) * n;
+      const int js = (j / n) * n;
+      for (int a = is; a < is + n; ++a) {
+        for (int b = js; b < js + n; ++b) {
+          if ((a != i || b != j) && board[{a, b}] == v) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool is_valid_solution(const BoardArray& board) {
+  return is_completed(board) && is_consistent(board);
+}
+
+bool solves(const BoardArray& puzzle, const BoardArray& solution) {
+  if (puzzle.shape() != solution.shape() || !is_valid_solution(solution)) {
+    return false;
+  }
+  const int N = board_size(puzzle);
+  for (int i = 0; i < N; ++i) {
+    for (int j = 0; j < N; ++j) {
+      const int given = puzzle[{i, j}];
+      if (given != 0 && solution[{i, j}] != given) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sudoku

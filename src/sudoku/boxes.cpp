@@ -1,0 +1,132 @@
+#include "sudoku/boxes.hpp"
+
+#include "sudoku/rules.hpp"
+#include "sudoku/solver.hpp"
+
+namespace sudoku {
+
+namespace {
+
+/// The shared body of all solveOneLevel variants (Fig. 1 listing):
+///   if (!isStuck(board, opts) && !isCompleted(board)) {
+///     i,j = findMinTrues(opts);
+///     for (k = 1; k <= 9 && !isCompleted(board); k++)
+///       if (mem_opts[i,j,k-1]) {
+///         board, opts = addNumber(i, j, k, mem_board, mem_opts);
+///         ... snet_out(...) ...
+///       }
+///   }
+/// `emit(b, o, k, completed)` performs the variant-specific snet_out.
+template <class Emit>
+void solve_one_level_body(const snet::BoxInput& in, const Emit& emit) {
+  const auto& board = in.get<BoardArray>("board");
+  const auto& opts = in.get<OptsArray>("opts");
+  if (is_stuck(board, opts) || is_completed(board)) {
+    return;  // no emission: the branch dies (stuck) — or see boxes.hpp.
+  }
+  const auto pos = find_min_trues(board, opts);
+  if (!pos) {
+    return;
+  }
+  const auto [i, j] = *pos;
+  const int N = board_size(board);
+  bool completed = false;
+  for (int k = 1; k <= N && !completed; ++k) {
+    if (opts[{i, j, k - 1}]) {
+      auto [b, o] = add_number(i, j, k, board, opts);
+      completed = is_completed(b);
+      emit(std::move(b), std::move(o), k, completed);
+    }
+  }
+}
+
+}  // namespace
+
+snet::Net compute_opts_box() {
+  return snet::box("computeOpts", "(board) -> (board, opts)",
+                   [](const snet::BoxInput& in, snet::BoxOutput& out) {
+                     auto [b, o] = compute_opts(in.get<BoardArray>("board"));
+                     out.out(1, std::move(b), std::move(o));
+                   });
+}
+
+snet::Net solve_one_level_box() {
+  return snet::box(
+      "solveOneLevel", "(board, opts) -> (board, opts) | (board, <done>)",
+      [](const snet::BoxInput& in, snet::BoxOutput& out) {
+        solve_one_level_body(in, [&](BoardArray b, OptsArray o, int /*k*/,
+                                     bool completed) {
+          if (completed) {
+            out.out(2, std::move(b), std::int64_t{1});
+          } else {
+            out.out(1, std::move(b), std::move(o));
+          }
+        });
+      });
+}
+
+snet::Net solve_one_level_k_box() {
+  return snet::box(
+      "solveOneLevel", "(board, opts) -> (board, opts, <k>) | (board, <done>)",
+      [](const snet::BoxInput& in, snet::BoxOutput& out) {
+        solve_one_level_body(in, [&](BoardArray b, OptsArray o, int k,
+                                     bool completed) {
+          if (completed) {
+            out.out(2, std::move(b), std::int64_t{1});
+          } else {
+            out.out(1, std::move(b), std::move(o), static_cast<std::int64_t>(k));
+          }
+        });
+      });
+}
+
+snet::Net solve_one_level_kl_box() {
+  return snet::box(
+      "solveOneLevel", "(board, opts) -> (board, opts, <k>, <level>)",
+      [](const snet::BoxInput& in, snet::BoxOutput& out) {
+        solve_one_level_body(in, [&](BoardArray b, OptsArray o, int k,
+                                     bool /*completed*/) {
+          const std::int64_t lvl = level(b);
+          out.out(1, std::move(b), std::move(o), static_cast<std::int64_t>(k), lvl);
+        });
+      });
+}
+
+snet::Net solve_box() {
+  return snet::box("solve", "(board, opts) -> (board, opts)",
+                   [](const snet::BoxInput& in, snet::BoxOutput& out) {
+                     SolveResult res = solve(in.get<BoardArray>("board"),
+                                             in.get<OptsArray>("opts"));
+                     out.out(1, std::move(res.board), std::move(res.opts));
+                   });
+}
+
+snet::Net propagate_box() {
+  // Deduction may complete the board outright; such boards must leave the
+  // replicator through the <done> tap rather than re-enter solveOneLevel
+  // (whose isCompleted guard would silently drop them).
+  return snet::box("propagate", "(board, opts) -> (board, opts) | (board, <done>)",
+                   [](const snet::BoxInput& in, snet::BoxOutput& out) {
+                     auto [b, o] = propagate_singles(in.get<BoardArray>("board"),
+                                                     in.get<OptsArray>("opts"));
+                     if (is_completed(b)) {
+                       out.out(2, std::move(b), std::int64_t{1});
+                     } else {
+                       out.out(1, std::move(b), std::move(o));
+                     }
+                   });
+}
+
+snet::Net solve_board_box() {
+  return snet::box("solveBoard", "(board) -> (board, <done>) | (board)",
+                   [](const snet::BoxInput& in, snet::BoxOutput& out) {
+                     SolveResult res = solve_board(in.get<BoardArray>("board"));
+                     if (res.completed) {
+                       out.out(1, std::move(res.board), std::int64_t{1});
+                     } else {
+                       out.out(2, std::move(res.board));
+                     }
+                   });
+}
+
+}  // namespace sudoku

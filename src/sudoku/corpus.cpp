@@ -1,0 +1,65 @@
+#include "sudoku/corpus.hpp"
+
+namespace sudoku {
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> entries = {
+      // A 4×4 (n=2) warm-up with a forced, unique solution.
+      {"mini4", "1.3."
+                ".4.2"
+                "2.4."
+                ".3.1", 2},
+      // Widely circulated easy puzzle (appears in many solver tutorials).
+      {"easy", "530070000"
+               "600195000"
+               "098000060"
+               "800060003"
+               "400803001"
+               "700020006"
+               "060000280"
+               "000419005"
+               "000080079", 3},
+      // Moderate difficulty.
+      {"medium", "000260701"
+                 "680070090"
+                 "190004500"
+                 "820100040"
+                 "004602900"
+                 "050003028"
+                 "009300074"
+                 "040050036"
+                 "703018000", 3},
+      // Sparse puzzle (26 givens) — deeper search tree.
+      {"hard", "000000907"
+               "000420180"
+               "000705026"
+               "100904000"
+               "050000040"
+               "000507009"
+               "920108000"
+               "034059000"
+               "507000000", 3},
+      // "AI Escargot"-class hard instance (23 givens).
+      {"escargot", "100007090"
+                   "030020008"
+                   "009600500"
+                   "005300900"
+                   "010080002"
+                   "600004000"
+                   "300000010"
+                   "040000007"
+                   "007000300", 3},
+  };
+  return entries;
+}
+
+BoardArray corpus_board(const std::string& name) {
+  for (const auto& e : corpus()) {
+    if (e.name == name) {
+      return board_from_string(e.cells);
+    }
+  }
+  throw SudokuError("no corpus puzzle named '" + name + "'");
+}
+
+}  // namespace sudoku

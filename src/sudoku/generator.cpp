@@ -1,0 +1,58 @@
+#include "sudoku/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "sudoku/rules.hpp"
+#include "sudoku/solver.hpp"
+
+namespace sudoku {
+
+BoardArray random_full_board(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const BoardArray empty = empty_board(n);
+  auto [board, opts] = compute_opts(empty);
+  SolveResult res = solve_random(std::move(board), std::move(opts), rng);
+  if (!res.completed) {
+    throw SudokuError("random_full_board failed (n=" + std::to_string(n) + ")");
+  }
+  return std::move(res.board);
+}
+
+BoardArray generate(const GenOptions& options) {
+  std::mt19937_64 rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  BoardArray board = random_full_board(options.n, options.seed);
+  const int N = board_size(board);
+  const int total = N * N;
+  if (options.clues < 0 || options.clues > total) {
+    throw SudokuError("clue target out of range");
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(total));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  int remaining = total;
+  for (const int cell : order) {
+    if (remaining <= options.clues) {
+      break;
+    }
+    const int i = cell / N;
+    const int j = cell % N;
+    const int saved = board[{i, j}];
+    if (saved == 0) {
+      continue;
+    }
+    board.set({i, j}, 0);
+    if (options.ensure_unique && count_solutions(board, 2) != 1) {
+      board.set({i, j}, saved);  // removal would break uniqueness
+      continue;
+    }
+    --remaining;
+  }
+  return board;
+}
+
+}  // namespace sudoku

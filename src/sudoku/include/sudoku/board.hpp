@@ -1,0 +1,74 @@
+#ifndef SNETSAC_SUDOKU_BOARD_HPP
+#define SNETSAC_SUDOKU_BOARD_HPP
+
+/// \file board.hpp
+/// Sudoku boards on top of the SaC array layer.
+///
+/// A board of box size n is an n²×n² integer matrix (0 = empty); the
+/// paper's 9×9 game is n = 3. "Sudokus can be played on any board of size
+/// n² × n²; parallelisation becomes essential for bigger puzzles"
+/// (paper, Section 3 footnote) — everything here is generalised over n.
+///
+/// The *options* array is the paper's central data structure: an
+/// N×N×N boolean array where opts[i,j,k] records whether number k+1 may
+/// still be placed at position (i,j).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sacpp/array.hpp"
+
+namespace sudoku {
+
+using BoardArray = sac::Array<int>;
+using OptsArray = sac::Array<bool>;
+
+class SudokuError : public std::runtime_error {
+ public:
+  explicit SudokuError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An empty n²×n² board.
+BoardArray empty_board(int n);
+
+/// Side length N of the board (throws unless the board is a square rank-2
+/// array whose side is a perfect square).
+int board_size(const BoardArray& board);
+
+/// Box size n (sqrt of the side length).
+int board_box(const BoardArray& board);
+
+/// Parses a board. Two formats:
+///  * for N <= 9: one character per cell, row-major; digits 1..9 are
+///    givens, '0' or '.' empty; whitespace/newlines ignored.
+///  * for any N: whitespace-separated integers, 0 = empty.
+/// The expected side length is inferred from the cell count.
+BoardArray board_from_string(const std::string& text);
+
+/// Pretty grid rendering with box separators.
+std::string board_to_string(const BoardArray& board);
+
+/// Compact single-line rendering (inverse of board_from_string for N<=9).
+std::string board_to_line(const BoardArray& board);
+
+/// All cells filled (no zeroes).
+bool is_completed(const BoardArray& board);
+
+/// Number of placed cells — the paper's Fig. 3 `<level>` tag.
+int level(const BoardArray& board);
+
+/// Every value in range and no row/column/box rule violated (empty cells
+/// allowed).
+bool is_consistent(const BoardArray& board);
+
+/// Completed *and* consistent.
+bool is_valid_solution(const BoardArray& board);
+
+/// True when \p solution is a valid solution that extends \p puzzle (all
+/// givens preserved).
+bool solves(const BoardArray& puzzle, const BoardArray& solution);
+
+}  // namespace sudoku
+
+#endif

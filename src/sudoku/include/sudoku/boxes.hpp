@@ -1,0 +1,59 @@
+#ifndef SNETSAC_SUDOKU_BOXES_HPP
+#define SNETSAC_SUDOKU_BOXES_HPP
+
+/// \file boxes.hpp
+/// The S-Net boxes of Section 5: SaC solver functions lifted to stream
+/// components. Box signatures follow the paper's figures.
+///
+/// One deviation, documented in DESIGN.md: the paper's Fig. 1 listing
+/// prints `snet_out(1, board, opts)` on the *completed* branch although
+/// the figure's signature makes variant 1 the continuation variant
+/// `{board, opts}` and variant 2 the completion variant `{board, <done>}`.
+/// Taken literally, a completed board would never match the exit pattern
+/// `{<done>}` and the network would never produce a solution; we implement
+/// the evidently intended mapping (completed -> variant with `<done>`).
+
+#include "snet/net.hpp"
+#include "sudoku/board.hpp"
+
+namespace sudoku {
+
+/// Fig. 1 `computeOpts`: `{board} -> {board, opts}` — initialises the
+/// options array by repeatedly calling addNumber.
+snet::Net compute_opts_box();
+
+/// Fig. 1 `solveOneLevel`:
+/// `{board, opts} -> {board, opts} | {board, <done>}` — places one number
+/// at the selected position and emits one record per viable candidate.
+snet::Net solve_one_level_box();
+
+/// Fig. 2 `solveOneLevel` with the split tag:
+/// `{board, opts} -> {board, opts, <k>} | {board, <done>}` — "we simply
+/// output the SaC-variable k along with the board and the options".
+snet::Net solve_one_level_k_box();
+
+/// Fig. 3 `solveOneLevel` with level reporting:
+/// `{board, opts} -> {board, opts, <k>, <level>}` — `<level>` carries "the
+/// number of numbers placed already, rather than a boolean flag".
+/// Completed boards have level N² and therefore leave through the
+/// `<level> > threshold` exit guard.
+snet::Net solve_one_level_kl_box();
+
+/// Fig. 3 trailing `solve`: `{board, opts} -> {board, opts}` — "calls the
+/// full solver function from Section 3" on boards leaving the replicator
+/// uncompleted.
+snet::Net solve_box();
+
+/// Convenience (not in the paper): a single box running the whole
+/// sequential pipeline `{board} -> {board, <done>} | {board}` — solves the
+/// board outright, tagging solved outputs.
+snet::Net solve_board_box();
+
+/// Extension box: `{board, opts} -> {board, opts}` — naked-singles
+/// constraint propagation (see rules.hpp). Dropping it in front of the
+/// replicators shrinks the search tree without changing solutions.
+snet::Net propagate_box();
+
+}  // namespace sudoku
+
+#endif

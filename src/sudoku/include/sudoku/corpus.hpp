@@ -1,0 +1,30 @@
+#ifndef SNETSAC_SUDOKU_CORPUS_HPP
+#define SNETSAC_SUDOKU_CORPUS_HPP
+
+/// \file corpus.hpp
+/// A small embedded puzzle corpus for tests, examples and benchmarks —
+/// well-known public-domain 9×9 puzzles of graded difficulty plus a 4×4
+/// warm-up board. All have unique solutions.
+
+#include <string>
+#include <vector>
+
+#include "sudoku/board.hpp"
+
+namespace sudoku {
+
+struct CorpusEntry {
+  std::string name;
+  std::string cells;  ///< board_from_string format
+  int n;              ///< box size
+};
+
+/// All embedded puzzles.
+const std::vector<CorpusEntry>& corpus();
+
+/// Lookup by name; throws SudokuError when absent.
+BoardArray corpus_board(const std::string& name);
+
+}  // namespace sudoku
+
+#endif

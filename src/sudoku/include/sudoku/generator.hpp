@@ -1,0 +1,34 @@
+#ifndef SNETSAC_SUDOKU_GENERATOR_HPP
+#define SNETSAC_SUDOKU_GENERATOR_HPP
+
+/// \file generator.hpp
+/// Workload generation. The paper motivates the coordination layer with
+/// "bigger puzzles" (n² × n² boards); its authors had hand-picked sudokus.
+/// We substitute a reproducible generator: solve an empty board with a
+/// randomised candidate order to obtain a full grid, then remove cells —
+/// optionally preserving solution uniqueness ("all well-constructed
+/// sudokus have a unique solution").
+
+#include <cstdint>
+
+#include "sudoku/board.hpp"
+
+namespace sudoku {
+
+struct GenOptions {
+  int n = 3;                  ///< box size; board side is n².
+  int clues = 30;             ///< target number of givens to keep.
+  std::uint64_t seed = 42;    ///< RNG seed (fully reproducible).
+  bool ensure_unique = true;  ///< keep removing only while unique.
+};
+
+/// A random complete (solved) board of box size n.
+BoardArray random_full_board(int n, std::uint64_t seed);
+
+/// A puzzle per \p options. With ensure_unique, the result may keep more
+/// than `clues` givens if further removal would admit multiple solutions.
+BoardArray generate(const GenOptions& options);
+
+}  // namespace sudoku
+
+#endif

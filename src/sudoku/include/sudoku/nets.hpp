@@ -1,0 +1,72 @@
+#ifndef SNETSAC_SUDOKU_NETS_HPP
+#define SNETSAC_SUDOKU_NETS_HPP
+
+/// \file nets.hpp
+/// The three networks of Section 5, as topology expressions:
+///
+///  Fig. 1:  computeOpts .. (solveOneLevel ** {<done>})
+///  Fig. 2:  computeOpts .. [{} -> {<k>=1}]
+///                       .. ((solveOneLevel !! <k>) ** {<done>})
+///  Fig. 3:  computeOpts .. [{} -> {<k>=1}]
+///                       .. (([{<k>} -> {<k>=<k>%m}] .. (solveOneLevel !! <k>))
+///                           ** ({<level>} if <level> > T))
+///                       .. solve
+///
+/// plus helpers to run a board through a network and extract solutions.
+
+#include <optional>
+#include <vector>
+
+#include "snet/network.hpp"
+#include "sudoku/boxes.hpp"
+
+namespace sudoku {
+
+/// Fig. 1: pipelined search. Unfolds into at most (#empty cells + 1)
+/// serial replicas.
+snet::Net fig1_net();
+
+/// Fig. 2: full unfolding. "No more than 9 replicas of the solveOneLevel
+/// box will be created [per stage] as the value of k is always between 0
+/// and 8. This guarantees a maximum of 9×81 = 729 solveOneLevel boxes."
+snet::Net fig2_net();
+
+struct Fig3Params {
+  /// Parallel width cap m of the `{<k>} -> {<k>=<k>%m}` throttle filter
+  /// ("implicitly limits the parallel unfolding to a maximum of 4
+  /// instances" for m = 4).
+  int throttle = 4;
+  /// Serial depth cap T of the `{<level>} if <level> > T` exit guard.
+  /// The paper uses 40 for 9×9 boards (N² = 81).
+  int level_threshold = 40;
+};
+
+/// Fig. 3: throttled unfolding with the sequential solve box at the end.
+snet::Net fig3_net(Fig3Params params = {});
+
+/// Extension of Fig. 2 (ablation): a `propagate` box inside the serial
+/// replicator performs naked-singles deduction before every branching
+/// level, shrinking the search tree the coordination layer has to unfold:
+///   computeOpts .. propagate .. [{}->{<k>=1}]
+///               .. ((propagate-after-split solveOneLevel !! <k>) ** {<done>})
+snet::Net fig2_propagated_net();
+
+/// Wraps a board into the injection record `{board}`.
+snet::Record board_record(const BoardArray& board);
+
+/// Runs a single board through \p net and collects all outputs.
+std::vector<snet::Record> run_board(const snet::Net& net, const BoardArray& board,
+                                    snet::Options opts = {});
+
+/// Extracts completed boards from network output records (records with a
+/// `board` field whose board is a valid solution).
+std::vector<BoardArray> solutions_in(const std::vector<snet::Record>& records);
+
+/// Convenience: run + extract; nullopt if the network found no solution.
+std::optional<BoardArray> solve_with_net(const snet::Net& net,
+                                         const BoardArray& board,
+                                         snet::Options opts = {});
+
+}  // namespace sudoku
+
+#endif

@@ -1,0 +1,56 @@
+#ifndef SNETSAC_SUDOKU_SOLVER_HPP
+#define SNETSAC_SUDOKU_SOLVER_HPP
+
+/// \file solver.hpp
+/// The paper's sequential recursive solver (Section 3): "a recursive call
+/// embedded into a for-loop which realises the back-tracking of the
+/// search. For each valid option at a given position i,j, we successively
+/// try to solve the given board until it is completed." Returns "the first
+/// solution it finds or, if no solution exists, the board where the
+/// algorithm got stuck."
+
+#include <cstdint>
+#include <random>
+
+#include "sudoku/rules.hpp"
+
+namespace sudoku {
+
+/// Position selection strategy: the paper first uses findFirst, then
+/// replaces it with findMinTrues "to keep the potential need for
+/// back-tracking as small as possible".
+enum class Pick { FirstEmpty, MinOptions };
+
+struct SolveStats {
+  std::uint64_t nodes = 0;       // solve() invocations
+  std::uint64_t placements = 0;  // addNumber calls
+  int max_depth = 0;
+};
+
+struct SolveResult {
+  BoardArray board;
+  OptsArray opts;
+  bool completed = false;
+};
+
+/// Solves (board, opts); opts must be consistent with board (use
+/// compute_opts). Mirrors the paper's `solve` exactly.
+SolveResult solve(BoardArray board, OptsArray opts, Pick pick = Pick::MinOptions,
+                  SolveStats* stats = nullptr);
+
+/// Convenience: computes options first.
+SolveResult solve_board(const BoardArray& board, Pick pick = Pick::MinOptions,
+                        SolveStats* stats = nullptr);
+
+/// Counts solutions, stopping at \p limit (used for uniqueness checks).
+int count_solutions(const BoardArray& board, int limit,
+                    Pick pick = Pick::MinOptions);
+
+/// Randomised variant used by the puzzle generator: candidate numbers are
+/// tried in a shuffled order so an empty board solves to a random grid.
+SolveResult solve_random(BoardArray board, OptsArray opts, std::mt19937_64& rng,
+                         SolveStats* stats = nullptr);
+
+}  // namespace sudoku
+
+#endif

@@ -1,0 +1,91 @@
+#include "sudoku/nets.hpp"
+
+#include "snet/value.hpp"
+
+namespace sudoku {
+
+snet::Net fig1_net() {
+  using namespace snet;
+  return compute_opts_box() >> star(solve_one_level_box(), "{<done>}");
+}
+
+snet::Net fig2_net() {
+  using namespace snet;
+  return compute_opts_box() >> filter("{} -> {<k>=1}") >>
+         star(split(solve_one_level_k_box(), "k"), "{<done>}");
+}
+
+snet::Net fig3_net(Fig3Params params) {
+  using namespace snet;
+  if (params.throttle < 1) {
+    throw SudokuError("fig3 throttle must be >= 1");
+  }
+  // [{<k>} -> {<k> = <k> % m}]
+  FilterSpec throttle(
+      Pattern(RecordType::of({}, {"k"})),
+      {FilterSpec::Output{{FilterSpec::Item{
+          FilterSpec::Item::Kind::SetTag, tag_label("k"), {},
+          TagExpr::tag("k") % TagExpr::lit(params.throttle)}}}});
+  // {<level>} if <level> > T
+  Pattern exit(RecordType::of({}, {"level"}),
+               TagExpr::tag("level") > TagExpr::lit(params.level_threshold));
+  return compute_opts_box() >> filter("{} -> {<k>=1}") >>
+         star(snet::filter(std::move(throttle)) >>
+                  split(solve_one_level_kl_box(), "k"),
+              std::move(exit)) >>
+         solve_box();
+}
+
+snet::Net fig2_propagated_net() {
+  using namespace snet;
+  // Boards completed by deduction bypass solveOneLevel on a parallel
+  // branch (best-match routing sends {board, opts} left, {board, <done>}
+  // right) and leave via the star's tap at the next stage.
+  const auto stage = [] {
+    return propagate_box() >>
+           parallel(solve_one_level_k_box(),
+                    filter("{board, <done>} -> {board, <done>}"));
+  };
+  return compute_opts_box() >> propagate_box() >> filter("{} -> {<k>=1}") >>
+         star(split(stage(), "k"), "{<done>}");
+}
+
+snet::Record board_record(const BoardArray& board) {
+  snet::Record r;
+  r.set_field("board", snet::make_value(board));
+  return r;
+}
+
+std::vector<snet::Record> run_board(const snet::Net& net, const BoardArray& board,
+                                    snet::Options opts) {
+  snet::Network network(net, std::move(opts));
+  network.inject(board_record(board));
+  return network.collect();
+}
+
+std::vector<BoardArray> solutions_in(const std::vector<snet::Record>& records) {
+  std::vector<BoardArray> out;
+  for (const auto& r : records) {
+    if (!r.has_field("board")) {
+      continue;
+    }
+    const auto& b = snet::value_as<BoardArray>(r.field("board"));
+    if (is_valid_solution(b)) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::optional<BoardArray> solve_with_net(const snet::Net& net,
+                                         const BoardArray& board,
+                                         snet::Options opts) {
+  const auto records = run_board(net, board, std::move(opts));
+  auto sols = solutions_in(records);
+  if (sols.empty()) {
+    return std::nullopt;
+  }
+  return std::move(sols.front());
+}
+
+}  // namespace sudoku

@@ -1,0 +1,118 @@
+#include "sudoku/solver.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace sudoku {
+
+namespace {
+
+struct SearchCtx {
+  Pick pick;
+  SolveStats* stats;
+  std::mt19937_64* rng = nullptr;  // non-null: shuffle candidate order
+};
+
+/// The paper's solve():
+///   if (!isStuck(board, opts) && !isCompleted(board)) {
+///     i,j = findMinTrues(opts);           // or findFirst
+///     mem_board = board; mem_opts = opts;
+///     for (k = 1; k <= 9 && !isCompleted(board); k++)
+///       if (mem_opts[i,j,k-1]) {
+///         board, opts = addNumber(i, j, k, mem_board, mem_opts);
+///         board, opts = solve(board, opts);
+///       }
+///   }
+///   return board, opts;
+SolveResult solve_rec(BoardArray board, OptsArray opts, SearchCtx& ctx, int depth) {
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->nodes;
+    ctx.stats->max_depth = std::max(ctx.stats->max_depth, depth);
+  }
+  if (is_completed(board)) {
+    return SolveResult{std::move(board), std::move(opts), true};
+  }
+  if (is_stuck(board, opts)) {
+    return SolveResult{std::move(board), std::move(opts), false};
+  }
+  const auto pos = ctx.pick == Pick::FirstEmpty ? find_first(board)
+                                                : find_min_trues(board, opts);
+  if (!pos) {
+    return SolveResult{std::move(board), std::move(opts), false};
+  }
+  const auto [i, j] = *pos;
+  const int N = board_size(board);
+  const BoardArray mem_board = board;
+  const OptsArray mem_opts = opts;
+
+  std::vector<int> order(static_cast<std::size_t>(N));
+  std::iota(order.begin(), order.end(), 1);
+  if (ctx.rng != nullptr) {
+    std::shuffle(order.begin(), order.end(), *ctx.rng);
+  }
+
+  SolveResult last{std::move(board), std::move(opts), false};
+  for (const int k : order) {
+    if (last.completed) {
+      break;  // the paper's loop guard !isCompleted(board)
+    }
+    if (mem_opts[{i, j, k - 1}]) {
+      if (ctx.stats != nullptr) {
+        ++ctx.stats->placements;
+      }
+      auto [b, o] = add_number(i, j, k, mem_board, mem_opts);
+      last = solve_rec(std::move(b), std::move(o), ctx, depth + 1);
+    }
+  }
+  return last;
+}
+
+int count_rec(const BoardArray& board, const OptsArray& opts, int limit, Pick pick) {
+  if (is_completed(board)) {
+    return 1;
+  }
+  if (is_stuck(board, opts)) {
+    return 0;
+  }
+  const auto pos =
+      pick == Pick::FirstEmpty ? find_first(board) : find_min_trues(board, opts);
+  if (!pos) {
+    return 0;
+  }
+  const auto [i, j] = *pos;
+  const int N = board_size(board);
+  int found = 0;
+  for (int k = 1; k <= N && found < limit; ++k) {
+    if (opts[{i, j, k - 1}]) {
+      auto [b, o] = add_number(i, j, k, board, opts);
+      found += count_rec(b, o, limit - found, pick);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+SolveResult solve(BoardArray board, OptsArray opts, Pick pick, SolveStats* stats) {
+  SearchCtx ctx{pick, stats, nullptr};
+  return solve_rec(std::move(board), std::move(opts), ctx, 0);
+}
+
+SolveResult solve_board(const BoardArray& board, Pick pick, SolveStats* stats) {
+  auto [b, o] = compute_opts(board);
+  return solve(std::move(b), std::move(o), pick, stats);
+}
+
+int count_solutions(const BoardArray& board, int limit, Pick pick) {
+  auto [b, o] = compute_opts(board);
+  return count_rec(b, o, limit, pick);
+}
+
+SolveResult solve_random(BoardArray board, OptsArray opts, std::mt19937_64& rng,
+                         SolveStats* stats) {
+  SearchCtx ctx{Pick::MinOptions, stats, &rng};
+  return solve_rec(std::move(board), std::move(opts), ctx, 0);
+}
+
+}  // namespace sudoku

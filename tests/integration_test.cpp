@@ -1,0 +1,107 @@
+/// Whole-system integration: both concurrency layers active at once —
+/// data-parallel with-loops executing *inside* boxes that the S-Net
+/// scheduler runs concurrently (the paper's actual deployment model:
+/// "addNumber and findMinTrues can be executed in a data-parallel fashion,
+/// and the recursive calls in solve can be done concurrently").
+
+#include <gtest/gtest.h>
+
+#include "sacpp/context.hpp"
+#include "sudoku/corpus.hpp"
+#include "sudoku/generator.hpp"
+#include "sudoku/nets.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace sudoku;
+
+namespace {
+
+/// RAII guard for the process-wide SaC context.
+class SacThreadsGuard {
+ public:
+  explicit SacThreadsGuard(unsigned threads, std::int64_t grain) {
+    saved_ = sac::default_context();
+    sac::default_context() = sac::Context{threads, grain};
+  }
+  ~SacThreadsGuard() { sac::default_context() = saved_; }
+
+ private:
+  sac::Context saved_;
+};
+
+}  // namespace
+
+TEST(Integration, DataParallelBoxesUnderConcurrentScheduling) {
+  // Force with-loop splitting (grain 1) while multiple S-Net workers run
+  // boxes concurrently: the shared SaC pool must serve nested fork-join
+  // regions from several worker threads at once.
+  SacThreadsGuard guard(4, 1);
+  const auto puzzle = corpus_board("medium");
+  const auto seq = solve_board(puzzle);
+  snet::Options opts;
+  opts.workers = 4;
+  const auto sol = solve_with_net(fig2_net(), puzzle, std::move(opts));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(*sol, seq.board);
+}
+
+TEST(Integration, AllSolversAgreeOnFreshPuzzles) {
+  for (const std::uint64_t seed : {101ULL, 202ULL}) {
+    const auto puzzle =
+        generate(GenOptions{.n = 3, .clues = 30, .seed = seed, .ensure_unique = true});
+    const auto seq = solve_board(puzzle);
+    ASSERT_TRUE(seq.completed) << seed;
+    const std::vector<std::pair<const char*, snet::Net>> nets = {
+        {"fig1", fig1_net()},
+        {"fig2", fig2_net()},
+        {"fig3", fig3_net()},
+        {"fig2p", fig2_propagated_net()},
+    };
+    for (const auto& [name, topo] : nets) {
+      const auto sol = solve_with_net(topo, puzzle);
+      ASSERT_TRUE(sol.has_value()) << name << " seed " << seed;
+      EXPECT_EQ(*sol, seq.board) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, TraceObserverReconstructsPipelineActivity) {
+  // "All streams can be observed individually": reconstruct per-kind
+  // record flows from the observer and cross-check against stats().
+  std::mutex mu;
+  std::map<std::string, int> per_entity;
+  snet::Options opts;
+  opts.trace = [&](const std::string& entity, const snet::Record&) {
+    const std::lock_guard lock(mu);
+    ++per_entity[entity];
+  };
+  snet::Network net(fig1_net(), std::move(opts));
+  net.inject(board_record(corpus_board("mini4")));
+  net.collect();
+  const auto stats = net.stats();
+  std::uint64_t from_stats = 0;
+  int from_trace = 0;
+  for (const auto& e : stats.entities) {
+    from_stats += e.records_in;
+  }
+  for (const auto& [name, count] : per_entity) {
+    from_trace += count;
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(from_trace), from_stats);
+}
+
+TEST(Integration, SequentialAndNetworkShareTheRulesSubstrate) {
+  // The networks use the exact same addNumber/with-loop substrate as the
+  // sequential solver: a board solved by hand-rolled addNumber calls must
+  // match the computeOpts box output. (Catches divergence between layers.)
+  const auto puzzle = corpus_board("mini4");
+  auto [b_direct, o_direct] = compute_opts(puzzle);
+  snet::Network net(compute_opts_box());
+  net.inject(board_record(puzzle));
+  auto records = net.collect();
+  ASSERT_EQ(records.size(), 1U);
+  const auto& b_net = snet::value_as<BoardArray>(records[0].field("board"));
+  const auto& o_net = snet::value_as<OptsArray>(records[0].field("opts"));
+  EXPECT_EQ(b_net, b_direct);
+  EXPECT_EQ(o_net, o_direct);
+}

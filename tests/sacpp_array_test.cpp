@@ -1,0 +1,108 @@
+/// Value arrays: rank-genericity, selection, copy-on-write sharing.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/array.hpp"
+#include "sacpp/io.hpp"
+
+using sac::Array;
+using sac::Shape;
+using sac::ShapeError;
+
+TEST(Array, ScalarIsRankZero) {
+  const Array<int> s(42);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_EQ(s.scalar(), 42);
+  EXPECT_EQ(s.element_count(), 1);
+  EXPECT_EQ(sac::to_string(s), "42");
+}
+
+TEST(Array, FillConstructorAndIndexing) {
+  const Array<int> a(Shape{3, 5}, 9);
+  EXPECT_EQ(a.dim(), 2);
+  EXPECT_EQ((a[{2, 4}]), 9);
+  EXPECT_THROW((a[{3, 0}]), ShapeError);
+}
+
+TEST(Array, DataConstructorChecksSize) {
+  EXPECT_THROW(Array<int>(Shape{2, 2}, std::vector<int>{1, 2, 3}), ShapeError);
+  const Array<int> a(Shape{2, 2}, std::vector<int>{1, 2, 3, 4});
+  EXPECT_EQ((a[{1, 0}]), 3);
+}
+
+TEST(Array, ScalarThrowsOnNonScalar) {
+  const Array<int> a(Shape{2}, 0);
+  EXPECT_THROW(a.scalar(), ShapeError);
+}
+
+TEST(Array, CopyIsCheapAndShared) {
+  Array<int> a(Shape{100}, 1);
+  const Array<int> b = a;  // O(1) copy
+  EXPECT_FALSE(a.unique());
+  EXPECT_FALSE(b.unique());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Array, CopyOnWriteDetachesSharedBuffer) {
+  Array<int> a(Shape{4}, 0);
+  Array<int> b = a;
+  b.set({2}, 7);
+  EXPECT_EQ((a[{2}]), 0) << "mutation of a copy must not leak back";
+  EXPECT_EQ((b[{2}]), 7);
+  EXPECT_TRUE(a.unique());
+  EXPECT_TRUE(b.unique());
+}
+
+TEST(Array, UniqueOwnerMutatesInPlace) {
+  Array<int> a(Shape{4}, 0);
+  const auto* before = a.data().data();
+  a.set({1}, 5);
+  EXPECT_EQ(a.data().data(), before) << "sole owner should not reallocate";
+}
+
+TEST(Array, SubarraySelection) {
+  // a = [[1,2,3],[4,5,6]]; a[[1]] == [4,5,6]; a[[1,2]] == 6 (rank 0).
+  const Array<int> a(Shape{2, 3}, std::vector<int>{1, 2, 3, 4, 5, 6});
+  const Array<int> row = a.sel({1});
+  EXPECT_EQ(row.shape(), Shape{3});
+  EXPECT_EQ((row[{0}]), 4);
+  EXPECT_EQ((row[{2}]), 6);
+  const Array<int> cell = a.sel({1, 2});
+  EXPECT_TRUE(cell.is_scalar());
+  EXPECT_EQ(cell.scalar(), 6);
+  const Array<int> whole = a.sel({});
+  EXPECT_EQ(whole, a);
+  EXPECT_THROW(a.sel({2}), ShapeError);
+}
+
+TEST(Array, BoolStorageIsByteBacked) {
+  // std::vector<bool> packing would race under parallel writes; verify the
+  // byte-backed storage contract.
+  Array<bool> a(Shape{8}, false);
+  a.set({3}, true);
+  EXPECT_TRUE((a[{3}]));
+  EXPECT_FALSE((a[{2}]));
+  static_assert(std::is_same_v<Array<bool>::storage_type, unsigned char>);
+}
+
+TEST(Array, EqualityIsShapeAndContent) {
+  const Array<int> a(Shape{2, 2}, std::vector<int>{1, 2, 3, 4});
+  const Array<int> b(Shape{4}, std::vector<int>{1, 2, 3, 4});
+  EXPECT_NE(a, b) << "same data, different shape";
+  const Array<int> c(Shape{2, 2}, std::vector<int>{1, 2, 3, 4});
+  EXPECT_EQ(a, c);
+}
+
+TEST(ArrayIo, NestedBracketRendering) {
+  const Array<int> a(Shape{2, 2}, std::vector<int>{1, 2, 3, 4});
+  EXPECT_EQ(sac::to_string(a), "[[1,2],[3,4]]");
+  const Array<int> v(Shape{3}, std::vector<int>{0, 1, 2});
+  EXPECT_EQ(sac::to_string(v), "[0,1,2]");
+}
+
+TEST(ArrayIo, FreeFunctionDimShape) {
+  const Array<double> a(Shape{3, 2}, 0.5);
+  EXPECT_EQ(sac::dim(a), 2);
+  EXPECT_EQ(sac::shape(a), (Shape{3, 2}));
+}

@@ -1,0 +1,68 @@
+/// Execution-context plumbing for the data-parallel layer, plus the
+/// copy-on-write behaviour of with-loop results under sharing.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/context.hpp"
+#include "sacpp/with_loop.hpp"
+
+using sac::Array;
+using sac::Context;
+using sac::Index;
+using sac::Shape;
+using sac::With;
+
+TEST(Context, DefaultIsProcessWide) {
+  Context& ctx = sac::default_context();
+  EXPECT_GE(ctx.threads, 1U);
+  EXPECT_GE(ctx.grain, 1);
+  // It is the same object every time (mutable global knob).
+  EXPECT_EQ(&sac::default_context(), &ctx);
+}
+
+TEST(Context, PoolIsShared) {
+  auto& p1 = sac::sac_pool();
+  auto& p2 = sac::sac_pool();
+  EXPECT_EQ(&p1, &p2);
+  EXPECT_GE(p1.size(), 1U);
+}
+
+TEST(Context, GrainSuppressesParallelismForSmallLoops) {
+  // With a huge grain, even a multi-thread context runs sequentially —
+  // results must be identical either way.
+  const Context par{8, 1};
+  const Context coarse{8, 1 << 30};
+  const auto body = [](const Index& iv) { return static_cast<int>(iv[0] * 3); };
+  const auto a = With<int>().gen({0}, {1000}, body).genarray(Shape{1000}, 0, par);
+  const auto b = With<int>().gen({0}, {1000}, body).genarray(Shape{1000}, 0, coarse);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ContextCow, ModarrayOnSharedSourceDoesNotMutateIt) {
+  const Array<int> src(Shape{64}, 1);
+  const Array<int> alias = src;  // shared buffer
+  const auto out = With<int>().gen_val({0}, {64}, 2).modarray(src);
+  EXPECT_EQ((alias[{0}]), 1);
+  EXPECT_EQ((out[{0}]), 2);
+}
+
+TEST(ContextCow, ModarrayOnUniqueSourceMayReuseBuffer) {
+  // Value semantics permit (not mandate) in-place update of a uniquely
+  // owned argument passed by value — the SaC reference-counting trick.
+  Array<int> src(Shape{64}, 1);
+  const auto* before = src.data().data();
+  const auto out = With<int>().gen_val({0}, {64}, 2).modarray(std::move(src));
+  EXPECT_EQ(out.data().data(), before) << "unique buffer reused, no copy";
+}
+
+TEST(ContextCow, ParallelWriteDetachesOnce) {
+  const Context ctx{4, 1};
+  const Array<int> base(Shape{256}, 0);
+  const Array<int> keep = base;
+  const auto out = With<int>()
+                       .gen({0}, {256},
+                            [](const Index& iv) { return static_cast<int>(iv[0]); })
+                       .modarray(base, ctx);
+  EXPECT_EQ((keep[{10}]), 0);
+  EXPECT_EQ((out[{10}]), 10);
+}

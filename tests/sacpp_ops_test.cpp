@@ -1,0 +1,155 @@
+/// Universal array operations, including the paper's `++` (vector
+/// concatenation) example.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/io.hpp"
+#include "sacpp/ops.hpp"
+
+using sac::Array;
+using sac::Shape;
+using sac::ShapeError;
+
+namespace {
+Array<int> vec(std::vector<int> v) {
+  const auto n = static_cast<std::int64_t>(v.size());
+  return Array<int>(Shape{n}, std::move(v));
+}
+}  // namespace
+
+TEST(Ops, ConcatIsThePaperExample) {
+  // int[.] (++) (int[.] a, int[.] b) — two-generator genarray.
+  const auto a = vec({1, 2, 3});
+  const auto b = vec({4, 5});
+  EXPECT_EQ(sac::to_string(sac::concat(a, b)), "[1,2,3,4,5]");
+  EXPECT_EQ(sac::to_string(sac::concat(b, a)), "[4,5,1,2,3]");
+}
+
+TEST(Ops, ConcatWithEmpty) {
+  const auto a = vec({1, 2});
+  const auto e = vec({});
+  EXPECT_EQ(sac::concat(a, e), a);
+  EXPECT_EQ(sac::concat(e, a), a);
+}
+
+TEST(Ops, ConcatRequiresVectors) {
+  const Array<int> m(Shape{2, 2}, 0);
+  EXPECT_THROW(sac::concat(m, m), ShapeError);
+}
+
+TEST(Ops, MapAndZipWith) {
+  const auto a = vec({1, 2, 3});
+  const auto doubled = sac::map(a, [](int x) { return 2 * x; });
+  EXPECT_EQ(sac::to_string(doubled), "[2,4,6]");
+  const auto summed = sac::zip_with(a, doubled, [](int x, int y) { return x + y; });
+  EXPECT_EQ(sac::to_string(summed), "[3,6,9]");
+  EXPECT_THROW(sac::zip_with(a, vec({1, 2}), [](int x, int y) { return x + y; }),
+               ShapeError);
+}
+
+TEST(Ops, MapCanChangeElementType) {
+  const auto a = vec({0, 1, 2});
+  const Array<bool> nz = sac::map(a, [](int x) { return x != 0; });
+  EXPECT_FALSE((nz[{0}]));
+  EXPECT_TRUE((nz[{2}]));
+}
+
+TEST(Ops, Reductions) {
+  const auto a = vec({3, 1, 4, 1, 5});
+  EXPECT_EQ(sac::sum(a), 14);
+  EXPECT_EQ(sac::min_val(a), 1);
+  EXPECT_EQ(sac::max_val(a), 5);
+  EXPECT_EQ(sac::count(a, 1), 2);
+  EXPECT_THROW(sac::min_val(vec({})), ShapeError);
+}
+
+TEST(Ops, BoolReductions) {
+  const Array<bool> t(Shape{3}, true);
+  Array<bool> mixed(Shape{3}, false);
+  mixed.set({1}, true);
+  EXPECT_TRUE(sac::all_true(t));
+  EXPECT_FALSE(sac::all_true(mixed));
+  EXPECT_TRUE(sac::any_true(mixed));
+  EXPECT_FALSE(sac::any_true(Array<bool>(Shape{3}, false)));
+  EXPECT_TRUE(sac::all_true(Array<bool>(Shape{0}, false))) << "vacuous truth";
+}
+
+TEST(Ops, Iota) {
+  EXPECT_EQ(sac::to_string(sac::iota(4)), "[0,1,2,3]");
+  EXPECT_EQ(sac::iota(0).element_count(), 0);
+}
+
+TEST(Ops, Reshape) {
+  const auto a = vec({1, 2, 3, 4, 5, 6});
+  const auto m = sac::reshape(a, Shape{2, 3});
+  EXPECT_EQ(sac::to_string(m), "[[1,2,3],[4,5,6]]");
+  EXPECT_THROW(sac::reshape(a, Shape{4}), ShapeError);
+}
+
+TEST(Ops, TakeAndDrop) {
+  const auto a = vec({1, 2, 3, 4, 5});
+  EXPECT_EQ(sac::to_string(sac::take(2, a)), "[1,2]");
+  EXPECT_EQ(sac::to_string(sac::take(-2, a)), "[4,5]");
+  EXPECT_EQ(sac::to_string(sac::drop(2, a)), "[3,4,5]");
+  EXPECT_EQ(sac::to_string(sac::drop(-2, a)), "[1,2,3]");
+  EXPECT_EQ(sac::take(9, a), a) << "over-taking clamps";
+  EXPECT_EQ(sac::drop(9, a).element_count(), 0);
+}
+
+TEST(Ops, TakeDropOnMatrixRows) {
+  const Array<int> m(Shape{3, 2}, std::vector<int>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(sac::to_string(sac::take(1, m)), "[[1,2]]");
+  EXPECT_EQ(sac::to_string(sac::drop(2, m)), "[[5,6]]");
+}
+
+TEST(Ops, Transpose) {
+  const Array<int> m(Shape{2, 3}, std::vector<int>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(sac::to_string(sac::transpose(m)), "[[1,4],[2,5],[3,6]]");
+  EXPECT_EQ(sac::transpose(sac::transpose(m)), m);
+  EXPECT_THROW(sac::transpose(vec({1})), ShapeError);
+}
+
+TEST(Ops, ReduceGeneric) {
+  const auto a = vec({1, 2, 3});
+  const int prod = sac::reduce(a, [](int acc, int x) { return acc * x; }, 1);
+  EXPECT_EQ(prod, 6);
+}
+
+TEST(Ops, RotateCyclic) {
+  const auto a = vec({1, 2, 3, 4, 5});
+  EXPECT_EQ(sac::to_string(sac::rotate(1, a)), "[5,1,2,3,4]");
+  EXPECT_EQ(sac::to_string(sac::rotate(-1, a)), "[2,3,4,5,1]");
+  EXPECT_EQ(sac::rotate(5, a), a) << "full rotation is identity";
+  EXPECT_EQ(sac::rotate(7, a), sac::rotate(2, a)) << "modular offsets";
+  EXPECT_THROW(sac::rotate(1, Array<int>(3)), ShapeError);
+}
+
+TEST(Ops, RotateMatrixRows) {
+  const Array<int> m(Shape{3, 2}, std::vector<int>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(sac::to_string(sac::rotate(1, m)), "[[5,6],[1,2],[3,4]]");
+}
+
+TEST(Ops, ShiftFillsVacated) {
+  const auto a = vec({1, 2, 3, 4});
+  EXPECT_EQ(sac::to_string(sac::shift(1, 0, a)), "[0,1,2,3]");
+  EXPECT_EQ(sac::to_string(sac::shift(-2, 9, a)), "[3,4,9,9]");
+  EXPECT_EQ(sac::to_string(sac::shift(10, 0, a)), "[0,0,0,0]");
+}
+
+TEST(Ops, WhereSelectsByMask) {
+  const auto a = vec({1, 2, 3});
+  const auto b = vec({9, 8, 7});
+  Array<bool> mask(Shape{3}, false);
+  mask.set({1}, true);
+  EXPECT_EQ(sac::to_string(sac::where(mask, a, b)), "[9,2,7]");
+  EXPECT_THROW(sac::where(mask, a, vec({1, 2})), ShapeError);
+}
+
+TEST(Ops, SumAxis0) {
+  const Array<int> m(Shape{3, 2}, std::vector<int>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(sac::to_string(sac::sum_axis0(m)), "[9,12]");
+  const auto v = vec({1, 2, 3});
+  const auto s = sac::sum_axis0(v);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_EQ(s.scalar(), 6);
+}

@@ -1,0 +1,238 @@
+/// With-loop semantics: every concrete example from the paper's Section 2,
+/// generator precedence, modarray, folds, striding, and the central
+/// data-parallel property (results independent of thread count).
+
+#include <gtest/gtest.h>
+
+#include "sacpp/io.hpp"
+#include "sacpp/with_loop.hpp"
+
+using sac::Array;
+using sac::Context;
+using sac::Index;
+using sac::Shape;
+using sac::ShapeError;
+using sac::With;
+
+// ---- The paper's Section 2 examples, verbatim -------------------------
+
+TEST(WithLoopPaper, UniformMatrix42) {
+  // with { ([0,0] <= iv < [3,5]) : 42 } : genarray([3,5], 0)
+  const auto a = With<int>().gen_val({0, 0}, {3, 5}, 42).genarray(Shape{3, 5}, 0);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ((a[{i, j}]), 42);
+    }
+  }
+}
+
+TEST(WithLoopPaper, IndexVectorBody) {
+  // with { ([0] <= iv < [5]) : iv[0] } : genarray([5], 0)  ==  [0,1,2,3,4]
+  const auto a = With<int>()
+                     .gen({0}, {5}, [](const Index& iv) { return static_cast<int>(iv[0]); })
+                     .genarray(Shape{5}, 0);
+  EXPECT_EQ(sac::to_string(a), "[0,1,2,3,4]");
+}
+
+TEST(WithLoopPaper, DefaultFillsUncoveredCells) {
+  // with { ([1] <= iv < [4]) : 42 } : genarray([5], 0)  ==  [0,42,42,42,0]
+  const auto a = With<int>().gen_val({1}, {4}, 42).genarray(Shape{5}, 0);
+  EXPECT_EQ(sac::to_string(a), "[0,42,42,42,0]");
+}
+
+TEST(WithLoopPaper, OverlappingGeneratorsLaterWins) {
+  // with { ([1] <= iv < [4]) : 1; ([3] <= iv < [5]) : 2 } : genarray([6], 0)
+  //   ==  [0,1,1,2,2,0]  — "the array's value at index location [3] ...
+  //   is set to 2 rather than to 1".
+  const auto a =
+      With<int>().gen_val({1}, {4}, 1).gen_val({3}, {5}, 2).genarray(Shape{6}, 0);
+  EXPECT_EQ(sac::to_string(a), "[0,1,1,2,2,0]");
+}
+
+TEST(WithLoopPaper, ModarrayKeepsUncoveredElements) {
+  // A = [0,1,1,2,2,0];  with { ([0] <= iv < [3]) : 3 } : modarray(A)
+  //   ==  [3,3,3,2,2,0]
+  const auto A =
+      With<int>().gen_val({1}, {4}, 1).gen_val({3}, {5}, 2).genarray(Shape{6}, 0);
+  const auto B = With<int>().gen_val({0}, {3}, 3).modarray(A);
+  EXPECT_EQ(sac::to_string(B), "[3,3,3,2,2,0]");
+  EXPECT_EQ(sac::to_string(A), "[0,1,1,2,2,0]") << "modarray must not mutate A";
+}
+
+// ---- General genarray/modarray behaviour -------------------------------
+
+TEST(WithLoop, InclusiveBoundsMatchPaperAddNumberStyle) {
+  // ([1,1] <= iv <= [2,2]) covers a 2x2 block.
+  const auto a =
+      With<int>().gen_incl_val({1, 1}, {2, 2}, 5).genarray(Shape{4, 4}, 0);
+  EXPECT_EQ((a[{1, 1}]), 5);
+  EXPECT_EQ((a[{2, 2}]), 5);
+  EXPECT_EQ((a[{0, 0}]), 0);
+  EXPECT_EQ((a[{3, 3}]), 0);
+}
+
+TEST(WithLoop, EmptyGeneratorTouchesNothing) {
+  const auto a = With<int>().gen_val({3}, {3}, 9).genarray(Shape{5}, 1);
+  EXPECT_EQ(sac::to_string(a), "[1,1,1,1,1]");
+}
+
+TEST(WithLoop, NoGeneratorsYieldsDefaultArray) {
+  const auto a = With<int>().genarray(Shape{2, 2}, 7);
+  EXPECT_EQ(sac::to_string(a), "[[7,7],[7,7]]");
+}
+
+TEST(WithLoop, GeneratorOutOfBoundsRejected) {
+  EXPECT_THROW(With<int>().gen_val({0}, {6}, 1).genarray(Shape{5}, 0), ShapeError);
+  EXPECT_THROW(With<int>().gen_val({-1}, {2}, 1).genarray(Shape{5}, 0), ShapeError);
+}
+
+TEST(WithLoop, GeneratorRankMismatchRejected) {
+  EXPECT_THROW(With<int>().gen_val({0, 0}, {2, 2}, 1).genarray(Shape{5}, 0),
+               ShapeError);
+  EXPECT_THROW(With<int>().gen({0}, {2, 2}, [](const Index&) { return 1; }),
+               ShapeError);
+}
+
+TEST(WithLoop, ModarrayPreservesSourceShape) {
+  const Array<int> src(Shape{3, 3}, 1);
+  const auto out = With<int>().gen_val({1, 1}, {2, 2}, 9).modarray(src);
+  EXPECT_EQ(out.shape(), src.shape());
+  EXPECT_EQ((out[{1, 1}]), 9);
+  EXPECT_EQ((out[{0, 0}]), 1);
+}
+
+TEST(WithLoop, RankZeroGenarray) {
+  // A rank-0 with-loop assigns the single scalar position.
+  const auto s = With<int>().gen_val({}, {}, 5).genarray(Shape{}, 0);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_EQ(s.scalar(), 5);
+}
+
+TEST(WithLoop, BodySeesIndexVector) {
+  const auto a = With<int>()
+                     .gen({0, 0}, {3, 4},
+                          [](const Index& iv) {
+                            return static_cast<int>(10 * iv[0] + iv[1]);
+                          })
+                     .genarray(Shape{3, 4}, -1);
+  EXPECT_EQ((a[{2, 3}]), 23);
+  EXPECT_EQ((a[{0, 0}]), 0);
+}
+
+// ---- Striding (SaC step/width) -----------------------------------------
+
+TEST(WithLoopStride, StepSelectsEveryNth) {
+  const auto a =
+      With<int>().gen_val({0}, {10}, 1).step({3}).genarray(Shape{10}, 0);
+  EXPECT_EQ(sac::to_string(a), "[1,0,0,1,0,0,1,0,0,1]");
+}
+
+TEST(WithLoopStride, WidthSelectsBlocks) {
+  const auto a = With<int>()
+                     .gen_val({0}, {10}, 1)
+                     .step({4})
+                     .width({2})
+                     .genarray(Shape{10}, 0);
+  EXPECT_EQ(sac::to_string(a), "[1,1,0,0,1,1,0,0,1,1]");
+}
+
+TEST(WithLoopStride, InvalidStrideRejected) {
+  EXPECT_THROW(
+      With<int>().gen_val({0}, {4}, 1).step({0}).genarray(Shape{4}, 0),
+      ShapeError);
+  EXPECT_THROW(With<int>()
+                   .gen_val({0}, {4}, 1)
+                   .step({2})
+                   .width({3})
+                   .genarray(Shape{4}, 0),
+               ShapeError);
+  EXPECT_THROW(With<int>().step({2}), std::logic_error)
+      << "step before any generator";
+}
+
+// ---- Folds --------------------------------------------------------------
+
+TEST(WithLoopFold, SumOverGenerator) {
+  const int sum = With<int>()
+                      .gen({0}, {100}, [](const Index& iv) { return static_cast<int>(iv[0]); })
+                      .fold([](int a, int b) { return a + b; }, 0);
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(WithLoopFold, MultipleGeneratorsAccumulate) {
+  const int sum = With<int>()
+                      .gen_val({0}, {3}, 1)
+                      .gen_val({0}, {4}, 10)
+                      .fold([](int a, int b) { return a + b; }, 0);
+  EXPECT_EQ(sum, 3 + 40);
+}
+
+TEST(WithLoopFold, BoolConjunction) {
+  const bool all = With<bool>()
+                       .gen({0}, {10}, [](const Index& iv) { return iv[0] < 10; })
+                       .fold([](bool a, bool b) { return a && b; }, true);
+  EXPECT_TRUE(all);
+  const bool any = With<bool>()
+                       .gen({0}, {10}, [](const Index& iv) { return iv[0] == 11; })
+                       .fold([](bool a, bool b) { return a || b; }, false);
+  EXPECT_FALSE(any);
+}
+
+TEST(WithLoopFold, EmptyGeneratorYieldsNeutral) {
+  const int sum =
+      With<int>().gen_val({2}, {2}, 5).fold([](int a, int b) { return a + b; }, 17);
+  EXPECT_EQ(sum, 17);
+}
+
+// ---- Data parallelism: thread-count invariance (the SaC property) -------
+
+class WithLoopParallel : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WithLoopParallel, GenarrayResultIndependentOfThreads) {
+  Context ctx{GetParam(), 1};  // grain 1 forces splitting
+  const std::int64_t R = 64;
+  const std::int64_t C = 37;
+  const auto body = [](const Index& iv) {
+    return static_cast<int>(iv[0] * 131 + iv[1] * 17);
+  };
+  const auto par = With<int>().gen({0, 0}, {R, C}, body).genarray(Shape{R, C}, -1, ctx);
+  Context seq{1, 1};
+  const auto ref = With<int>().gen({0, 0}, {R, C}, body).genarray(Shape{R, C}, -1, seq);
+  EXPECT_EQ(par, ref);
+}
+
+TEST_P(WithLoopParallel, OverlappingGeneratorsStayOrderedUnderParallelism) {
+  Context ctx{GetParam(), 1};
+  const auto a = With<int>()
+                     .gen_val({0, 0}, {50, 50}, 1)
+                     .gen_val({10, 10}, {40, 40}, 2)
+                     .gen_val({20, 20}, {30, 30}, 3)
+                     .genarray(Shape{50, 50}, 0, ctx);
+  EXPECT_EQ((a[{0, 0}]), 1);
+  EXPECT_EQ((a[{10, 10}]), 2);
+  EXPECT_EQ((a[{25, 25}]), 3);
+}
+
+TEST_P(WithLoopParallel, FoldResultIndependentOfThreads) {
+  Context ctx{GetParam(), 1};
+  const std::int64_t N = 10'000;
+  const auto sum = With<std::int64_t>()
+                       .gen({0}, {N}, [](const Index& iv) { return iv[0]; })
+                       .fold([](std::int64_t a, std::int64_t b) { return a + b; }, 0,
+                             ctx);
+  EXPECT_EQ(sum, N * (N - 1) / 2);
+}
+
+TEST_P(WithLoopParallel, BoolGenarrayUnderParallelism) {
+  // Byte-backed bool storage: concurrent chunk writes must not interfere.
+  Context ctx{GetParam(), 1};
+  const auto a = With<bool>()
+                     .gen({0}, {1024}, [](const Index& iv) { return iv[0] % 3 == 0; })
+                     .genarray(Shape{1024}, false, ctx);
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    EXPECT_EQ((a[{i}]), i % 3 == 0) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, WithLoopParallel,
+                         ::testing::Values(1U, 2U, 3U, 4U, 8U));

@@ -1,0 +1,63 @@
+/// Graphviz export of topologies and run statistics.
+
+#include <gtest/gtest.h>
+
+#include "snet/dot.hpp"
+#include "snet/network.hpp"
+#include "sudoku/nets.hpp"
+
+using namespace snet;
+
+namespace {
+Net ident(const std::string& name) {
+  return box(name, "(x) -> (x)",
+             [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
+}
+}  // namespace
+
+TEST(Dot, TopologyContainsAllComponents) {
+  auto dec = box("dec", "(x) -> (x) | (x, <done>)",
+                 [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
+  const Net n = ident("pre") >> filter("{x} -> {x, <k>=0}") >>
+                parallel(split(star(dec, "{<done>}"), "k"), ident("alt"));
+  const std::string dot = to_dot(n);
+  EXPECT_NE(dot.find("digraph snet"), std::string::npos);
+  EXPECT_NE(dot.find("box pre"), std::string::npos);
+  EXPECT_NE(dot.find("box dec"), std::string::npos);
+  EXPECT_NE(dot.find("** {<done>}"), std::string::npos);
+  EXPECT_NE(dot.find("!! <k>"), std::string::npos);
+  EXPECT_NE(dot.find("||"), std::string::npos);
+  EXPECT_NE(dot.find("__in"), std::string::npos);
+  EXPECT_NE(dot.find("__out"), std::string::npos);
+}
+
+TEST(Dot, SignaturesAreEscaped) {
+  const std::string dot = to_dot(ident("a"));
+  // Quotes inside labels would break dot syntax; sanity check balance.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '"') % 2, 0);
+}
+
+TEST(Dot, Fig2TopologyRenders) {
+  const std::string dot = to_dot(sudoku::fig2_net());
+  EXPECT_NE(dot.find("box computeOpts"), std::string::npos);
+  EXPECT_NE(dot.find("box solveOneLevel"), std::string::npos);
+  EXPECT_NE(dot.find("<k>=1"), std::string::npos);
+}
+
+TEST(Dot, RunStatsRenderEntityCounters) {
+  Network net(ident("id") >> ident("id2"));
+  Record r;
+  r.set_field("x", make_value(1));
+  net.inject(std::move(r));
+  net.collect();
+  const std::string dot = to_dot(net.stats());
+  EXPECT_NE(dot.find("digraph snet_run"), std::string::npos);
+  EXPECT_NE(dot.find("box:id"), std::string::npos);
+  EXPECT_NE(dot.find("in=1 out=1"), std::string::npos);
+  EXPECT_NE(dot.find("injected=1 produced=1"), std::string::npos);
+}
+
+TEST(Dot, SyncRenders) {
+  const std::string dot = to_dot(sync({"{a}", "{b}"}));
+  EXPECT_NE(dot.find("[|{a}, {b}|]"), std::string::npos);
+}

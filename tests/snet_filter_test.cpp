@@ -1,0 +1,197 @@
+/// Filters: the paper's §4 example, flow inheritance, validation rules,
+/// and the textual notation. Also signature and pattern parsing.
+
+#include <gtest/gtest.h>
+
+#include "snet/filter.hpp"
+#include "snet/pattern.hpp"
+#include "snet/signature.hpp"
+#include "snet/text.hpp"
+#include "snet/value.hpp"
+
+using namespace snet;
+
+namespace {
+Record rec(std::initializer_list<std::pair<std::string_view, int>> fields,
+           std::initializer_list<std::pair<std::string_view, std::int64_t>> tags = {}) {
+  Record r;
+  for (const auto& [n, v] : fields) {
+    r.set_field(field_label(n), make_value(v));
+  }
+  for (const auto& [n, v] : tags) {
+    r.set_tag(tag_label(n), v);
+  }
+  return r;
+}
+}  // namespace
+
+// ---- the paper's exact filter example -----------------------------------
+
+TEST(Filter, PaperExampleTwoOutputRecords) {
+  // [{a,b,<c>} -> {a,z=a,<t>}; {b,a=b,<c>=<c>+1}]
+  const auto f = FilterSpec::parse("[{a,b,<c>} -> {a, z=a, <t>}; {b, a=b, <c>=<c>+1}]");
+  const auto in = rec({{"a", 10}, {"b", 20}}, {{"c", 5}});
+  const auto out = f.apply(in);
+  ASSERT_EQ(out.size(), 2U);
+
+  // First: field a (original), field z (same value), tag <t> = 0.
+  const Record& r1 = out[0];
+  EXPECT_EQ(value_as<int>(r1.field("a")), 10);
+  EXPECT_EQ(value_as<int>(r1.field("z")), 10);
+  EXPECT_EQ(r1.tag("t"), 0) << "new tags default to zero";
+  EXPECT_FALSE(r1.has_field("b")) << "pattern labels not in the spec are consumed";
+  EXPECT_FALSE(r1.has_tag("c"));
+
+  // Second: field b, field a = b's value, <c> incremented.
+  const Record& r2 = out[1];
+  EXPECT_EQ(value_as<int>(r2.field("b")), 20);
+  EXPECT_EQ(value_as<int>(r2.field("a")), 20);
+  EXPECT_EQ(r2.tag("c"), 6);
+}
+
+TEST(Filter, FlowInheritanceAttachesExcessLabels) {
+  // The paper's Fig. 2 filter: [{} -> {<k>=1}] applied to {board, opts}
+  // keeps board and opts through flow inheritance.
+  const auto f = FilterSpec::parse("{} -> {<k>=1}");
+  const auto out = f.apply(rec({{"board", 1}, {"opts", 2}}));
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].tag("k"), 1);
+  EXPECT_TRUE(out[0].has_field("board"));
+  EXPECT_TRUE(out[0].has_field("opts"));
+}
+
+TEST(Filter, InheritanceDoesNotOverwriteProducedLabels) {
+  // Excess tag <t> must be discarded when the spec already sets <t>.
+  const auto f = FilterSpec::parse("{a} -> {a, <t>=9}");
+  const auto out = f.apply(rec({{"a", 1}}, {{"t", 5}}));
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].tag("t"), 9);
+}
+
+TEST(Filter, PatternLabelsConsumedEvenIfUnreferenced) {
+  const auto f = FilterSpec::parse("{a, b} -> {a}");
+  const auto out = f.apply(rec({{"a", 1}, {"b", 2}, {"extra", 3}}));
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_TRUE(out[0].has_field("a"));
+  EXPECT_FALSE(out[0].has_field("b")) << "b consumed by the pattern";
+  EXPECT_TRUE(out[0].has_field("extra")) << "extra flow-inherits";
+}
+
+TEST(Filter, BareTagCopiesWhenPresentDefaultsOtherwise) {
+  const auto f = FilterSpec::parse("{<c>} -> {<c>, <t>}");
+  const auto out = f.apply(rec({}, {{"c", 7}}));
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].tag("c"), 7);
+  EXPECT_EQ(out[0].tag("t"), 0);
+}
+
+TEST(Filter, ThrottleFilterSemantics) {
+  // {<k>} -> {<k>=<k>%4}
+  const auto f = FilterSpec::parse("{<k>} -> {<k>=<k>%4}");
+  for (std::int64_t k = 1; k <= 9; ++k) {
+    const auto out = f.apply(rec({{"board", 0}}, {{"k", k}}));
+    ASSERT_EQ(out.size(), 1U);
+    EXPECT_EQ(out[0].tag("k"), k % 4);
+    EXPECT_TRUE(out[0].has_field("board"));
+  }
+}
+
+TEST(Filter, MultiplicationOfRecords) {
+  // One record in, three out.
+  const auto f = FilterSpec::parse("{x} -> {x}; {y=x}; {}");
+  const auto out = f.apply(rec({{"x", 3}}));
+  ASSERT_EQ(out.size(), 3U);
+  EXPECT_TRUE(out[0].has_field("x"));
+  EXPECT_TRUE(out[1].has_field("y"));
+  EXPECT_FALSE(out[1].has_field("x"));
+  EXPECT_TRUE(out[2].empty());
+}
+
+TEST(Filter, NonMatchingRecordThrows) {
+  const auto f = FilterSpec::parse("{a} -> {a}");
+  EXPECT_THROW(f.apply(rec({{"b", 1}})), FilterError);
+}
+
+TEST(Filter, GuardedPattern) {
+  const auto f = FilterSpec::parse("{<k>} if <k> > 2 -> {<k>}");
+  EXPECT_NO_THROW(f.apply(rec({}, {{"k", 3}})));
+  EXPECT_THROW(f.apply(rec({}, {{"k", 1}})), FilterError);
+}
+
+// ---- validation ----------------------------------------------------------
+
+TEST(FilterValidation, CopyOfFieldOutsidePatternRejected) {
+  EXPECT_THROW(FilterSpec::parse("{a} -> {b}"), FilterError);
+}
+
+TEST(FilterValidation, BindSourceOutsidePatternRejected) {
+  EXPECT_THROW(FilterSpec::parse("{a} -> {z=b}"), FilterError);
+}
+
+TEST(FilterValidation, TagExprOverNonPatternTagRejected) {
+  // "Each tag label occurring in the expression must also occur in the
+  // pattern."
+  EXPECT_THROW(FilterSpec::parse("{<a>} -> {<x>=<b>+1}"), FilterError);
+  EXPECT_NO_THROW(FilterSpec::parse("{<a>} -> {<x>=<a>+1}"));
+}
+
+TEST(Filter, OutputTypeIsDeclaredLabels) {
+  const auto f = FilterSpec::parse("{a,b,<c>} -> {a, z=a, <t>}; {b}");
+  const auto t = f.output_type();
+  ASSERT_EQ(t.variants().size(), 2U);
+  EXPECT_EQ(t.variants()[0], RecordType::of({"a", "z"}, {"t"}));
+  EXPECT_EQ(t.variants()[1], RecordType::of({"b"}));
+}
+
+TEST(Filter, RoundTripToString) {
+  const auto f = FilterSpec::parse("{a,<c>} -> {a, <c>=<c>+1}");
+  const auto again = FilterSpec::parse(f.to_string());
+  EXPECT_EQ(again.to_string(), f.to_string());
+}
+
+// ---- patterns & signatures ------------------------------------------------
+
+TEST(Pattern, ParseAndMatch) {
+  const auto p = Pattern::parse("{board, <k>}");
+  EXPECT_TRUE(p.matches(rec({{"board", 0}}, {{"k", 1}})));
+  EXPECT_FALSE(p.matches(rec({{"board", 0}})));
+}
+
+TEST(Pattern, GuardedParse) {
+  const auto p = Pattern::parse("{<level>} if <level> > 40");
+  EXPECT_FALSE(p.matches(rec({}, {{"level", 40}})));
+  EXPECT_TRUE(p.matches(rec({}, {{"level", 41}})));
+  EXPECT_EQ(p.to_string(), "{<level>} if (<level> > 40)");
+}
+
+TEST(Pattern, EmptyPatternMatchesEverything) {
+  const auto p = Pattern::parse("{}");
+  EXPECT_TRUE(p.matches(rec({})));
+  EXPECT_TRUE(p.matches(rec({{"x", 1}}, {{"y", 2}})));
+}
+
+TEST(Signature, ParsePaperBoxFoo) {
+  // box foo (a,<b>) -> (c) | (c,d,<e>)
+  const auto sig = Signature::parse("(a,<b>) -> (c) | (c,d,<e>)");
+  ASSERT_EQ(sig.input.labels.size(), 2U);
+  EXPECT_EQ(sig.input.labels[0], field_label("a"));
+  EXPECT_EQ(sig.input.labels[1], tag_label("b"));
+  ASSERT_EQ(sig.outputs.size(), 2U);
+  EXPECT_EQ(sig.outputs[0].labels.size(), 1U);
+  EXPECT_EQ(sig.outputs[1].labels.size(), 3U);
+  // Type signature view: {a,<b>} -> {c} | {c,d,<e>}
+  EXPECT_EQ(sig.input_type().to_string(), "{a, <b>}");
+  EXPECT_EQ(sig.output_type().to_string(), "{c} | {c, d, <e>}");
+}
+
+TEST(Signature, OrderPreservedForBinding) {
+  const auto sig = Signature::parse("(x, y) -> (y, x)");
+  EXPECT_EQ(sig.outputs[0].labels[0], field_label("y"));
+  EXPECT_EQ(sig.outputs[0].labels[1], field_label("x"));
+}
+
+TEST(Signature, ParseErrors) {
+  EXPECT_THROW(Signature::parse("(a) ->"), text::ParseError);
+  EXPECT_THROW(Signature::parse("a -> (b)"), text::ParseError);
+  EXPECT_THROW(Signature::parse("(a) -> (b) trailing"), text::ParseError);
+}

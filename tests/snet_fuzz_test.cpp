@@ -1,0 +1,200 @@
+/// Randomised property tests.
+///
+/// 1. Type-system laws on randomly generated record types (seeded,
+///    reproducible): subtyping is a preorder anti-monotone in label sets;
+///    match scores agree with matching.
+/// 2. Topology fuzz: random compositions of record-preserving components
+///    (identity boxes, pass-through filters, splits, bounded stars,
+///    parallel pairs — optionally deterministic) must deliver exactly one
+///    output per injected record, under any worker count. This pins the
+///    runtime's conservation and quiescence invariants on shapes no
+///    hand-written test would try.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "snet/network.hpp"
+#include "snet/value.hpp"
+
+using namespace snet;
+
+namespace {
+
+// ---------- type-law fuzzing ----------
+
+RecordType random_type(std::mt19937_64& rng, int max_labels) {
+  std::uniform_int_distribution<int> count(0, max_labels);
+  std::uniform_int_distribution<int> pick(0, 9);
+  std::uniform_int_distribution<int> kind(0, 1);
+  RecordType t;
+  const int n = count(rng);
+  for (int i = 0; i < n; ++i) {
+    std::string name = "l";
+    name += std::to_string(pick(rng));
+    t.add(kind(rng) == 0 ? field_label(name) : tag_label(name));
+  }
+  return t;
+}
+
+Record record_of(const RecordType& t) {
+  Record r;
+  for (const Label l : t.labels()) {
+    if (l.kind == LabelKind::Field) {
+      r.set_field(l, make_value(0));
+    } else {
+      r.set_tag(l, 0);
+    }
+  }
+  return r;
+}
+
+// ---------- topology fuzzing ----------
+
+// Every fuzz component declares the full record shape {x, <k>, <hop>} so
+// any composition order type-checks under forward signature inference.
+Net ident_box(int id) {
+  std::string name = "id";
+  name += std::to_string(id);
+  return box(name, "(x, <k>, <hop>) -> (x, <k>, <hop>)",
+             [](const BoxInput& in, BoxOutput& out) {
+               out.out(1, in.field("x"), in.tag("k"), in.tag("hop"));
+             });
+}
+
+/// Star child: decrements <hop>; exits via {<fin>} when it hits zero.
+Net hop_box(int id) {
+  std::string name = "hop";
+  name += std::to_string(id);
+  return box(name,
+             "(x, <k>, <hop>) -> (x, <k>, <hop>) | (x, <k>, <fin>)",
+             [](const BoxInput& in, BoxOutput& out) {
+               const std::int64_t h = in.tag("hop");
+               if (h <= 0) {
+                 out.out(2, in.field("x"), in.tag("k"), std::int64_t{1});
+               } else {
+                 out.out(1, in.field("x"), in.tag("k"), h - 1);
+               }
+             });
+}
+
+/// Random record-preserving topology of the given depth. Every generated
+/// net maps one input record to exactly one output record.
+Net random_net(std::mt19937_64& rng, int depth, int& id) {
+  std::uniform_int_distribution<int> pick(0, 5);
+  if (depth <= 0) {
+    return ident_box(id++);
+  }
+  switch (pick(rng)) {
+    case 0:
+      return serial(random_net(rng, depth - 1, id), random_net(rng, depth - 1, id));
+    case 1:
+      return parallel(random_net(rng, depth - 1, id), random_net(rng, depth - 1, id));
+    case 2:
+      return parallel_det(random_net(rng, depth - 1, id),
+                          random_net(rng, depth - 1, id));
+    case 3: {
+      // Split over <k>; inner net preserves records.
+      return split(random_net(rng, depth - 1, id), "k");
+    }
+    case 4: {
+      // Bounded star: reset <hop> first so depth stays small, then count
+      // down to <fin>, strip the marker to restore the record shape.
+      const Net inner = star(hop_box(id++), "{<fin>}");
+      return filter("{x, <k>, <hop>} -> {x, <k>, <hop>=2}") >> inner >>
+             filter("{x, <k>, <fin>} -> {x, <k>, <hop>=0}");
+    }
+    default:
+      return ident_box(id++) >> random_net(rng, depth - 1, id);
+  }
+}
+
+}  // namespace
+
+class TypeLaws : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TypeLaws, SubtypingIsAPreorderAntiMonotoneInLabels) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const RecordType a = random_type(rng, 6);
+    const RecordType b = random_type(rng, 6);
+    const RecordType c = random_type(rng, 6);
+    // Reflexivity.
+    EXPECT_TRUE(a.subtype_of(a));
+    // Subtype iff superset of labels.
+    EXPECT_EQ(a.subtype_of(b), b.included_in(a));
+    // Transitivity.
+    if (a.subtype_of(b) && b.subtype_of(c)) {
+      EXPECT_TRUE(a.subtype_of(c));
+    }
+    // Adding labels never breaks subtyping towards the same supertype.
+    RecordType wider = a.union_with(c);
+    if (a.subtype_of(b)) {
+      EXPECT_TRUE(wider.subtype_of(b));
+    }
+    // Matching coincides with type-of subtyping.
+    const Record r = record_of(a);
+    EXPECT_EQ(b.matches(r), type_of(r).subtype_of(b));
+  }
+}
+
+TEST_P(TypeLaws, MatchScoreConsistentWithAccepts) {
+  std::mt19937_64 rng(GetParam() * 7919U + 1);
+  for (int round = 0; round < 200; ++round) {
+    const MultiType mt({random_type(rng, 4), random_type(rng, 4), random_type(rng, 4)});
+    const Record r = record_of(random_type(rng, 6));
+    EXPECT_EQ(mt.accepts(r), mt.match_score(r) >= 0);
+    if (mt.match_score(r) >= 0) {
+      // The score equals the size of some matching variant and no larger
+      // matching variant exists.
+      bool found = false;
+      for (const auto& v : mt.variants()) {
+        if (v.matches(r)) {
+          EXPECT_LE(static_cast<int>(v.size()), mt.match_score(r));
+          found |= static_cast<int>(v.size()) == mt.match_score(r);
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TypeLaws, ::testing::Values(1U, 2U, 3U, 4U));
+
+class TopologyFuzz : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TopologyFuzz, RecordConservationAndQuiescence) {
+  const auto [seed, workers] = GetParam();
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 10; ++round) {
+    int id = 0;
+    const Net topo = random_net(rng, 3, id);
+    Options opts;
+    opts.workers = workers;
+    Network net(topo, std::move(opts));
+    constexpr int kRecords = 40;
+    for (int i = 0; i < kRecords; ++i) {
+      Record r;
+      r.set_field("x", make_value(i));
+      r.set_tag("k", i % 3);
+      r.set_tag("hop", 0);
+      net.inject(std::move(r));
+    }
+    const auto out = net.collect();
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(kRecords))
+        << "seed " << seed << " round " << round << " net: " << describe(topo);
+    // Payloads are conserved as a multiset.
+    std::multiset<int> xs;
+    for (const auto& r : out) {
+      xs.insert(value_as<int>(r.field("x")));
+    }
+    for (int i = 0; i < kRecords; ++i) {
+      EXPECT_EQ(xs.count(i), 1U);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWorkers, TopologyFuzz,
+    ::testing::Combine(::testing::Values(11U, 22U, 33U, 44U, 55U),
+                       ::testing::Values(1U, 2U, 4U)));

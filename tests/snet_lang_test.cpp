@@ -1,0 +1,242 @@
+/// The network-language frontend: parsing + elaboration + execution of
+/// textual S-Net programs, including the paper's three sudoku networks.
+
+#include <gtest/gtest.h>
+
+#include "snet/lang.hpp"
+#include "snet/network.hpp"
+#include "sudoku/corpus.hpp"
+#include "sudoku/nets.hpp"
+#include "sudoku/rules.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace snet;
+using lang::Bindings;
+using lang::LangError;
+using lang::parse_network;
+using lang::parse_network_named;
+
+namespace {
+Record int_rec(int v, std::initializer_list<std::pair<std::string_view, std::int64_t>>
+                          tags = {}) {
+  Record r;
+  r.set_field("x", make_value(v));
+  for (const auto& [n, t] : tags) {
+    r.set_tag(tag_label(n), t);
+  }
+  return r;
+}
+
+Bindings arithmetic_bindings() {
+  const BoxFn inc = [](const BoxInput& in, BoxOutput& out) {
+    out.out(1, make_value(in.get<int>("x") + 1));
+  };
+  const BoxFn dbl = [](const BoxInput& in, BoxOutput& out) {
+    out.out(1, make_value(in.get<int>("x") * 2));
+  };
+  const BoxFn dec = [](const BoxInput& in, BoxOutput& out) {
+    const int x = in.get<int>("x");
+    if (x <= 0) {
+      out.out(2, make_value(x), std::int64_t{1});
+    } else {
+      out.out(1, make_value(x - 1));
+    }
+  };
+  Bindings b;
+  // Box bindings serve `box name (...)` declarations inside net programs;
+  // the net bindings make the same components usable in bare expressions.
+  b.bind_box("inc", inc);
+  b.bind_box("dbl", dbl);
+  b.bind_box("dec", dec);
+  b.bind_net("inc", box("inc", "(x) -> (x)", inc));
+  b.bind_net("dbl", box("dbl", "(x) -> (x)", dbl));
+  b.bind_net("dec", box("dec", "(x) -> (x) | (x, <done>)", dec));
+  return b;
+}
+}  // namespace
+
+TEST(Lang, BareExpressionOverBoundNets) {
+  Bindings b;
+  b.bind_net("A", box("A", "(x) -> (x)",
+                      [](const BoxInput& in, BoxOutput& out) {
+                        out.out(1, make_value(in.get<int>("x") + 1));
+                      }));
+  const Net n = parse_network("A .. A .. A", b);
+  Network net(n);
+  net.inject(int_rec(0));
+  const auto out = net.collect();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(value_as<int>(out[0].field("x")), 3);
+}
+
+TEST(Lang, FullNetDefinitionWithBoxDecls) {
+  const std::string src = R"(
+    net pipeline {
+      box inc ((x) -> (x));
+      box dbl ((x) -> (x));
+      connect inc .. dbl .. inc;
+    }
+  )";
+  const auto parsed = parse_network_named(src, arithmetic_bindings());
+  EXPECT_EQ(parsed.name, "pipeline");
+  Network net(parsed.topology);
+  net.inject(int_rec(3));
+  const auto out = net.collect();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(value_as<int>(out[0].field("x")), (3 + 1) * 2 + 1);
+}
+
+TEST(Lang, CombinatorPrecedenceSerialOverParallel) {
+  // A .. B || C  ==  (A .. B) || C
+  Bindings b = arithmetic_bindings();
+  const Net n = parse_network("inc .. inc || dbl", b);
+  EXPECT_EQ(describe(n), "(inc .. inc || dbl)");
+}
+
+TEST(Lang, ReplicationPostfixes) {
+  Bindings b = arithmetic_bindings();
+  const std::string src = R"(
+    net countdown {
+      box dec ((x) -> (x) | (x, <done>));
+      connect dec ** {<done>};
+    }
+  )";
+  Network net(parse_network(src, b));
+  net.inject(int_rec(4));
+  const auto out = net.collect();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(value_as<int>(out[0].field("x")), 0);
+  EXPECT_EQ(out[0].tag("done"), 1);
+}
+
+TEST(Lang, SplitAndDetVariants) {
+  Bindings b = arithmetic_bindings();
+  const Net nondet = parse_network("(inc !! <k>)", b);
+  EXPECT_EQ(describe(nondet), "(inc !! <k>)");
+  const Net det = parse_network("(inc ! <k>)", b);
+  EXPECT_EQ(describe(det), "(inc ! <k>)");
+  const Net detstar = parse_network("(dec * {<done>})", b);
+  EXPECT_EQ(describe(detstar), "(dec * {<done>})");
+  const Net detpar = parse_network("inc | dbl", b);
+  EXPECT_EQ(describe(detpar), "(inc | dbl)");
+}
+
+TEST(Lang, FiltersInlineInExpressions) {
+  Bindings b = arithmetic_bindings();
+  const Net n = parse_network(
+      "net f { box inc ((x) -> (x)); connect inc .. [{x} -> {y=x, <m>=1}]; }", b);
+  Network net(n);
+  net.inject(int_rec(1));
+  const auto out = net.collect();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(value_as<int>(out[0].field("y")), 2);
+  EXPECT_EQ(out[0].tag("m"), 1);
+}
+
+TEST(Lang, SynchrocellLiteral) {
+  Bindings b;
+  const Net n = parse_network("[| {a}, {b} |]", b);
+  Network net(n);
+  Record ra;
+  ra.set_field("a", make_value(1));
+  Record rb;
+  rb.set_field("b", make_value(2));
+  net.inject(std::move(ra));
+  net.inject(std::move(rb));
+  const auto out = net.collect();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_TRUE(out[0].has_field("a"));
+  EXPECT_TRUE(out[0].has_field("b"));
+}
+
+TEST(Lang, NestedNetDefinitions) {
+  const std::string src = R"(
+    net outer {
+      box inc ((x) -> (x));
+      net twice {
+        box dbl ((x) -> (x));
+        connect dbl;
+      }
+      connect inc .. twice;
+    }
+  )";
+  Network net(parse_network(src, arithmetic_bindings()));
+  net.inject(int_rec(5));
+  const auto out = net.collect();
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(value_as<int>(out[0].field("x")), 12);
+}
+
+TEST(Lang, Errors) {
+  Bindings b = arithmetic_bindings();
+  EXPECT_THROW(parse_network("unknownBox", b), LangError);
+  EXPECT_THROW(parse_network("inc ..", b), LangError);
+  EXPECT_THROW(parse_network("net x { connect inc; } trailing", b), LangError);
+  // Declared box without an implementation binding:
+  EXPECT_THROW(parse_network("net x { box nosuch ((a) -> (a)); connect nosuch; }", b),
+               LangError);
+  // A name bound only as a box function is not usable as an operand
+  // without a declaration (its signature is unknown):
+  Bindings only_box;
+  only_box.bind_box("f", [](const BoxInput&, BoxOutput&) {});
+  EXPECT_THROW(parse_network("f", only_box), LangError);
+}
+
+TEST(Lang, CommentsAreIgnored) {
+  const std::string src = R"(
+    // the identity-ish pipeline
+    net c {
+      box inc ((x) -> (x));  // increment
+      connect inc;
+    }
+  )";
+  EXPECT_NO_THROW(parse_network(src, arithmetic_bindings()));
+}
+
+// ---- The paper's networks, written as S-Net programs --------------------
+
+namespace {
+Bindings sudoku_bindings() {
+  Bindings b;
+  b.bind_net("computeOpts", sudoku::compute_opts_box());
+  b.bind_net("solve", sudoku::solve_box());
+  return b;
+}
+}  // namespace
+
+TEST(LangSudoku, Fig1Program) {
+  Bindings b = sudoku_bindings();
+  b.bind_net("solveOneLevel", sudoku::solve_one_level_box());
+  const Net n = parse_network("computeOpts .. (solveOneLevel ** {<done>})", b);
+  const auto puzzle = sudoku::corpus_board("mini4");
+  const auto sol = sudoku::solve_with_net(n, puzzle);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(sudoku::solves(puzzle, *sol));
+}
+
+TEST(LangSudoku, Fig2Program) {
+  Bindings b = sudoku_bindings();
+  b.bind_net("solveOneLevel", sudoku::solve_one_level_k_box());
+  const Net n = parse_network(
+      "computeOpts .. [{} -> {<k>=1}] .. ((solveOneLevel !! <k>) ** {<done>})", b);
+  const auto puzzle = sudoku::corpus_board("easy");
+  const auto sol = sudoku::solve_with_net(n, puzzle);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(sudoku::solves(puzzle, *sol));
+}
+
+TEST(LangSudoku, Fig3Program) {
+  Bindings b = sudoku_bindings();
+  b.bind_net("solveOneLevel", sudoku::solve_one_level_kl_box());
+  const Net n = parse_network(R"(
+      computeOpts .. [{} -> {<k>=1}]
+                  .. (([{<k>} -> {<k>=<k>%4}] .. (solveOneLevel !! <k>))
+                      ** {<level>} if <level> > 40)
+                  .. solve
+  )", b);
+  const auto puzzle = sudoku::corpus_board("easy");
+  const auto records = sudoku::run_board(n, puzzle);
+  const auto sols = sudoku::solutions_in(records);
+  ASSERT_EQ(sols.size(), 1U);
+  EXPECT_TRUE(sudoku::solves(puzzle, sols[0]));
+}

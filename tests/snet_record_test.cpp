@@ -1,0 +1,120 @@
+/// Records, labels and values — the S-Net data model (paper, §4).
+
+#include <gtest/gtest.h>
+
+#include "snet/record.hpp"
+#include "snet/value.hpp"
+
+using namespace snet;
+
+TEST(Labels, InterningIsStable) {
+  const Label a1 = field_label("alpha");
+  const Label a2 = field_label("alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(label_name(a1), "alpha");
+}
+
+TEST(Labels, FieldsAndTagsAreDistinctNamespaces) {
+  const Label f = field_label("k");
+  const Label t = tag_label("k");
+  EXPECT_NE(f, t);
+  EXPECT_EQ(label_display(f), "k");
+  EXPECT_EQ(label_display(t), "<k>");
+}
+
+TEST(Labels, EmptyNameRejected) {
+  EXPECT_THROW(field_label(""), std::invalid_argument);
+}
+
+TEST(Value, RoundTripsTypedPayloads) {
+  const Value v = make_value(std::string("hello"));
+  EXPECT_EQ(value_as<std::string>(v), "hello");
+  EXPECT_THROW(value_as<int>(v), ValueError);
+  EXPECT_THROW(value_as<int>(Value{}), ValueError);
+}
+
+TEST(Value, SharesPayloadAcrossCopies) {
+  const Value v = make_value(std::vector<int>(1000, 7));
+  const Value w = v;  // aliases, no deep copy
+  EXPECT_EQ(&value_as<std::vector<int>>(v), &value_as<std::vector<int>>(w));
+}
+
+TEST(Record, FieldAccessAndRemoval) {
+  Record r;
+  r.set_field("board", make_value(1));
+  EXPECT_TRUE(r.has_field("board"));
+  EXPECT_EQ(r.get<int>("board"), 1);
+  r.set_field("board", make_value(2));  // overwrite
+  EXPECT_EQ(r.get<int>("board"), 2);
+  EXPECT_EQ(r.field_count(), 1U);
+  r.remove_field(field_label("board"));
+  EXPECT_FALSE(r.has_field("board"));
+  EXPECT_THROW(r.field("board"), std::out_of_range);
+}
+
+TEST(Record, TagAccessAndRemoval) {
+  Record r;
+  r.set_tag("k", 3);
+  EXPECT_TRUE(r.has_tag("k"));
+  EXPECT_EQ(r.tag("k"), 3);
+  r.set_tag("k", 5);
+  EXPECT_EQ(r.tag("k"), 5);
+  r.remove_tag(tag_label("k"));
+  EXPECT_THROW(r.tag("k"), std::out_of_range);
+}
+
+TEST(Record, KindMismatchRejected) {
+  Record r;
+  EXPECT_THROW(r.set_field(tag_label("k"), make_value(1)), std::invalid_argument);
+  EXPECT_THROW(r.set_tag(field_label("board"), 1), std::invalid_argument);
+}
+
+TEST(Record, LabelsEnumeratesFieldsThenTags) {
+  const Record r = record_with({{"b", make_value(1)}, {"a", make_value(2)}},
+                               {{"t", 9}});
+  const auto labels = r.labels();
+  ASSERT_EQ(labels.size(), 3U);
+  EXPECT_EQ(labels[0].kind, LabelKind::Field);
+  EXPECT_EQ(labels[1].kind, LabelKind::Field);
+  EXPECT_EQ(labels[2].kind, LabelKind::Tag);
+  EXPECT_EQ(label_name(labels[2]), "t");
+}
+
+TEST(Record, HasDispatchesOnKind) {
+  const Record r = record_with({{"x", make_value(0)}}, {{"y", 1}});
+  EXPECT_TRUE(r.has(field_label("x")));
+  EXPECT_TRUE(r.has(tag_label("y")));
+  EXPECT_FALSE(r.has(field_label("y")));
+  EXPECT_FALSE(r.has(tag_label("x")));
+}
+
+TEST(Record, ToStringShowsTagValues) {
+  const Record r = record_with({{"board", make_value(0)}}, {{"k", 4}});
+  EXPECT_EQ(r.to_string(), "{board, <k>=4}");
+}
+
+TEST(Record, CopyIsIndependent) {
+  Record r = record_with({{"x", make_value(1)}}, {{"t", 1}});
+  Record s = r;
+  s.set_tag("t", 2);
+  s.set_field("x", make_value(9));
+  EXPECT_EQ(r.tag("t"), 1);
+  EXPECT_EQ(r.get<int>("x"), 1);
+  EXPECT_EQ(s.get<int>("x"), 9);
+}
+
+TEST(Record, MetaInheritanceCopiesDetStack) {
+  Record parent;
+  parent.det_stack().push_back(DetStamp{nullptr, 42});
+  Record child;
+  child.inherit_meta(parent);
+  ASSERT_EQ(child.det_stack().size(), 1U);
+  EXPECT_EQ(child.det_stack()[0].seq, 42U);
+}
+
+TEST(Record, EmptyRecord) {
+  const Record r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.to_string(), "{}");
+  EXPECT_TRUE(r.labels().empty());
+}

@@ -1,0 +1,133 @@
+/// Tag expressions and their textual form (filters' arithmetic on tag
+/// values, guard predicates).
+
+#include <gtest/gtest.h>
+
+#include "snet/parse.hpp"
+#include "snet/tagexpr.hpp"
+
+using namespace snet;
+
+namespace {
+Record tags(std::initializer_list<std::pair<std::string_view, std::int64_t>> ts) {
+  Record r;
+  for (const auto& [n, v] : ts) {
+    r.set_tag(tag_label(n), v);
+  }
+  return r;
+}
+
+TagExpr parse_expr(const std::string& s) {
+  text::Cursor cur(text::tokenize(s));
+  TagExpr e = parse::tag_expression(cur);
+  EXPECT_TRUE(cur.done()) << "trailing input in: " << s;
+  return e;
+}
+}  // namespace
+
+TEST(TagExpr, LiteralsAndTagRefs) {
+  EXPECT_EQ(TagExpr::lit(42).eval(tags({})), 42);
+  EXPECT_EQ(TagExpr::tag("k").eval(tags({{"k", 7}})), 7);
+  EXPECT_THROW(TagExpr::tag("k").eval(tags({})), TagExprError);
+  EXPECT_THROW(TagExpr::tag(field_label("k")), TagExprError);
+}
+
+TEST(TagExpr, PaperThrottleExpression) {
+  // {<k>} -> {<k>=<k>%4}: "we reduce all potential values for <k> to the
+  // range 0 to 3".
+  const TagExpr e = TagExpr::tag("k") % TagExpr::lit(4);
+  for (std::int64_t k = 0; k < 12; ++k) {
+    const auto v = e.eval(tags({{"k", k}}));
+    EXPECT_EQ(v, k % 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(TagExpr, PaperExitGuard) {
+  // {<level>} | <level> > 40
+  const TagExpr g = TagExpr::tag("level") > TagExpr::lit(40);
+  EXPECT_FALSE(g.eval_bool(tags({{"level", 40}})));
+  EXPECT_TRUE(g.eval_bool(tags({{"level", 41}})));
+}
+
+TEST(TagExpr, Arithmetic) {
+  const auto k = TagExpr::tag("k");
+  EXPECT_EQ((k + TagExpr::lit(1)).eval(tags({{"k", 2}})), 3);
+  EXPECT_EQ((k - TagExpr::lit(5)).eval(tags({{"k", 2}})), -3);
+  EXPECT_EQ((k * k).eval(tags({{"k", 6}})), 36);
+  EXPECT_EQ((k / TagExpr::lit(2)).eval(tags({{"k", 7}})), 3);
+  EXPECT_EQ((-k).eval(tags({{"k", 4}})), -4);
+}
+
+TEST(TagExpr, DivisionAndModuloByZeroThrow) {
+  const auto k = TagExpr::tag("k");
+  EXPECT_THROW((k / TagExpr::lit(0)).eval(tags({{"k", 1}})), TagExprError);
+  EXPECT_THROW((k % TagExpr::lit(0)).eval(tags({{"k", 1}})), TagExprError);
+}
+
+TEST(TagExpr, ComparisonsAndLogic) {
+  const auto r = tags({{"a", 3}, {"b", 5}});
+  const auto a = TagExpr::tag("a");
+  const auto b = TagExpr::tag("b");
+  EXPECT_TRUE((a < b).eval_bool(r));
+  EXPECT_TRUE((a <= TagExpr::lit(3)).eval_bool(r));
+  EXPECT_FALSE((a == b).eval_bool(r));
+  EXPECT_TRUE((a != b).eval_bool(r));
+  EXPECT_TRUE((a >= TagExpr::lit(3) && b > TagExpr::lit(4)).eval_bool(r));
+  EXPECT_TRUE((a > b || b == TagExpr::lit(5)).eval_bool(r));
+  EXPECT_TRUE((!(a > b)).eval_bool(r));
+}
+
+TEST(TagExpr, ShortCircuitAvoidsMissingTagError) {
+  // (0 && <missing>) must not evaluate <missing>.
+  const auto e = TagExpr::lit(0) && TagExpr::tag("missing");
+  EXPECT_FALSE(e.eval_bool(tags({})));
+  const auto o = TagExpr::lit(1) || TagExpr::tag("missing");
+  EXPECT_TRUE(o.eval_bool(tags({})));
+}
+
+TEST(TagExpr, ReferencedTags) {
+  const auto e = TagExpr::tag("a") + TagExpr::tag("b") * TagExpr::tag("a");
+  const auto refs = e.referenced_tags();
+  EXPECT_EQ(refs.size(), 3U);  // with duplicates
+}
+
+TEST(TagExpr, ToStringRendersStructure) {
+  const auto e = TagExpr::tag("k") % TagExpr::lit(4);
+  EXPECT_EQ(e.to_string(), "(<k> % 4)");
+}
+
+// ---- textual form -------------------------------------------------------
+
+TEST(TagExprParse, Precedence) {
+  EXPECT_EQ(parse_expr("1 + 2 * 3").eval(tags({})), 7);
+  EXPECT_EQ(parse_expr("(1 + 2) * 3").eval(tags({})), 9);
+  EXPECT_EQ(parse_expr("10 - 3 - 2").eval(tags({})), 5) << "left assoc";
+  EXPECT_EQ(parse_expr("12 / 2 / 3").eval(tags({})), 2);
+}
+
+TEST(TagExprParse, TagsVersusComparisons) {
+  // `<level> > 40`: tag token then greater-than.
+  const auto e = parse_expr("<level> > 40");
+  EXPECT_TRUE(e.eval_bool(tags({{"level", 50}})));
+  // `40 < <level>` the other way around.
+  const auto f = parse_expr("40 < <level>");
+  EXPECT_TRUE(f.eval_bool(tags({{"level", 50}})));
+  EXPECT_FALSE(f.eval_bool(tags({{"level", 30}})));
+}
+
+TEST(TagExprParse, UnaryAndLogic) {
+  EXPECT_EQ(parse_expr("-3 + 5").eval(tags({})), 2);
+  EXPECT_TRUE(parse_expr("!0").eval_bool(tags({})));
+  EXPECT_TRUE(parse_expr("<a> == 1 && <b> == 2")
+                  .eval_bool(tags({{"a", 1}, {"b", 2}})));
+  EXPECT_TRUE(parse_expr("<a> == 9 || <b> == 2")
+                  .eval_bool(tags({{"a", 1}, {"b", 2}})));
+}
+
+TEST(TagExprParse, Errors) {
+  EXPECT_THROW(parse_expr("1 +"), text::ParseError);
+  EXPECT_THROW(parse_expr(")"), text::ParseError);
+  EXPECT_THROW(parse_expr("foo"), text::ParseError) << "bare identifiers are not tags";
+}

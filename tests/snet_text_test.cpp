@@ -1,0 +1,93 @@
+/// The S-Net tokeniser: tag-vs-comparison disambiguation, combinator
+/// glyphs, diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "snet/text.hpp"
+
+using namespace snet::text;
+
+namespace {
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const auto& t : tokenize(src)) {
+    out.push_back(t.kind);
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Tokenize, TagVersusLessThan) {
+  // `<level>` is a tag; `<` followed by space/number is an operator.
+  EXPECT_EQ(kinds("<level>"), (std::vector<Tok>{Tok::Tag, Tok::End}));
+  EXPECT_EQ(kinds("a < b"), (std::vector<Tok>{Tok::Ident, Tok::Lt, Tok::Ident, Tok::End}));
+  EXPECT_EQ(kinds("<level> > 40"),
+            (std::vector<Tok>{Tok::Tag, Tok::Gt, Tok::Int, Tok::End}));
+  EXPECT_EQ(kinds("1 < 2"), (std::vector<Tok>{Tok::Int, Tok::Lt, Tok::Int, Tok::End}));
+  EXPECT_EQ(kinds("<a><b>"), (std::vector<Tok>{Tok::Tag, Tok::Tag, Tok::End}));
+}
+
+TEST(Tokenize, TagNameCaptured) {
+  const auto toks = tokenize("<done>");
+  EXPECT_EQ(toks[0].text, "done");
+}
+
+TEST(Tokenize, CombinatorGlyphs) {
+  EXPECT_EQ(kinds(".. ** * !! ! || |"),
+            (std::vector<Tok>{Tok::DotDot, Tok::StarStar, Tok::Star, Tok::BangBang,
+                              Tok::Bang, Tok::BarBar, Tok::Bar, Tok::End}));
+}
+
+TEST(Tokenize, ComparisonOperators) {
+  EXPECT_EQ(kinds("<= >= == != && !"),
+            (std::vector<Tok>{Tok::Le, Tok::Ge, Tok::EqEq, Tok::Ne, Tok::AndAnd,
+                              Tok::Bang, Tok::End}));
+}
+
+TEST(Tokenize, ArrowVersusMinus) {
+  EXPECT_EQ(kinds("-> - 3"),
+            (std::vector<Tok>{Tok::Arrow, Tok::Minus, Tok::Int, Tok::End}));
+}
+
+TEST(Tokenize, KeywordsAndIdents) {
+  EXPECT_EQ(kinds("net box connect filter sync if boxy"),
+            (std::vector<Tok>{Tok::KwNet, Tok::KwBox, Tok::KwConnect, Tok::KwFilter,
+                              Tok::KwSync, Tok::KwIf, Tok::Ident, Tok::End}));
+}
+
+TEST(Tokenize, IntegersAndPositions) {
+  const auto toks = tokenize("  42 x");
+  EXPECT_EQ(toks[0].kind, Tok::Int);
+  EXPECT_EQ(toks[0].ival, 42);
+  EXPECT_EQ(toks[0].pos, 2U);
+  EXPECT_EQ(toks[1].pos, 5U);
+}
+
+TEST(Tokenize, CommentsSkipped) {
+  EXPECT_EQ(kinds("a // rest of line ignored\n b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::End}));
+}
+
+TEST(Tokenize, Errors) {
+  EXPECT_THROW(tokenize("a & b"), ParseError);
+  EXPECT_THROW(tokenize("a . b"), ParseError);
+  EXPECT_THROW(tokenize("€"), ParseError);
+}
+
+TEST(Cursor, ExpectAndAccept) {
+  Cursor cur(tokenize("a , b"));
+  EXPECT_TRUE(cur.at(Tok::Ident));
+  EXPECT_EQ(cur.advance().text, "a");
+  EXPECT_TRUE(cur.accept(Tok::Comma));
+  EXPECT_FALSE(cur.accept(Tok::Comma));
+  EXPECT_EQ(cur.expect(Tok::Ident, "test").text, "b");
+  EXPECT_TRUE(cur.done());
+  EXPECT_THROW(cur.expect(Tok::Ident, "test"), ParseError);
+}
+
+TEST(Cursor, PeekAheadClampsAtEnd) {
+  Cursor cur(tokenize("a"));
+  EXPECT_EQ(cur.peek(0).kind, Tok::Ident);
+  EXPECT_EQ(cur.peek(1).kind, Tok::End);
+  EXPECT_EQ(cur.peek(99).kind, Tok::End);
+}

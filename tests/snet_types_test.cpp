@@ -1,0 +1,134 @@
+/// The S-Net type system: record types as label sets, structural
+/// subtyping ("t1 is a subtype of t2 iff t2 ⊆ t1"), multivariant
+/// subtyping, match scoring.
+
+#include <gtest/gtest.h>
+
+#include "snet/rtypes.hpp"
+#include "snet/value.hpp"
+
+using namespace snet;
+
+namespace {
+Record rec(std::initializer_list<std::string_view> fields,
+           std::initializer_list<std::pair<std::string_view, std::int64_t>> tags = {}) {
+  Record r;
+  for (const auto f : fields) {
+    r.set_field(field_label(f), make_value(0));
+  }
+  for (const auto& [t, v] : tags) {
+    r.set_tag(tag_label(t), v);
+  }
+  return r;
+}
+}  // namespace
+
+TEST(RecordType, SetSemanticsDeduplicateAndSort) {
+  const RecordType t({field_label("b"), field_label("a"), field_label("a")});
+  EXPECT_EQ(t.size(), 2U);
+  EXPECT_TRUE(t.contains(field_label("a")));
+  EXPECT_TRUE(t.contains(field_label("b")));
+}
+
+TEST(RecordType, PaperSubtypingDirection) {
+  // {a,<b>,d} <= {a,<b>}: more labels = more specific = subtype.
+  const auto wide = RecordType::of({"a", "d"}, {"b"});
+  const auto narrow = RecordType::of({"a"}, {"b"});
+  EXPECT_TRUE(wide.subtype_of(narrow));
+  EXPECT_FALSE(narrow.subtype_of(wide));
+}
+
+TEST(RecordType, SubtypingIsReflexiveAndTransitive) {
+  const auto a = RecordType::of({"x"});
+  const auto b = RecordType::of({"x", "y"});
+  const auto c = RecordType::of({"x", "y", "z"});
+  EXPECT_TRUE(a.subtype_of(a));
+  EXPECT_TRUE(b.subtype_of(a));
+  EXPECT_TRUE(c.subtype_of(b));
+  EXPECT_TRUE(c.subtype_of(a)) << "transitivity";
+}
+
+TEST(RecordType, EmptyTypeIsTopOfTheLattice) {
+  const RecordType top;
+  EXPECT_TRUE(RecordType::of({"a"}).subtype_of(top));
+  EXPECT_TRUE(top.matches(rec({})));
+  EXPECT_TRUE(top.matches(rec({"anything"})));
+}
+
+TEST(RecordType, MatchesRequiresAllLabels) {
+  // "foo accepts any input record that has at least field a and tag <b>".
+  const auto t = RecordType::of({"a"}, {"b"});
+  EXPECT_TRUE(t.matches(rec({"a"}, {{"b", 0}})));
+  EXPECT_TRUE(t.matches(rec({"a", "d"}, {{"b", 0}})));  // subtyping in action
+  EXPECT_FALSE(t.matches(rec({"a"})));
+  EXPECT_FALSE(t.matches(rec({}, {{"b", 0}})));
+}
+
+TEST(RecordType, FieldTagDistinctionInMatching) {
+  const auto wants_field = RecordType::of({"k"});
+  const auto wants_tag = RecordType::of({}, {"k"});
+  const auto has_tag = rec({}, {{"k", 1}});
+  EXPECT_FALSE(wants_field.matches(has_tag));
+  EXPECT_TRUE(wants_tag.matches(has_tag));
+}
+
+TEST(RecordType, SetAlgebra) {
+  const auto ab = RecordType::of({"a", "b"});
+  const auto bc = RecordType::of({"b", "c"});
+  EXPECT_EQ(ab.union_with(bc), RecordType::of({"a", "b", "c"}));
+  EXPECT_EQ(ab.minus(bc), RecordType::of({"a"}));
+  auto t = ab;
+  t.add(field_label("z"));
+  t.remove(field_label("a"));
+  EXPECT_EQ(t, RecordType::of({"b", "z"}));
+}
+
+TEST(RecordType, TypeOfRecord) {
+  const auto r = rec({"x"}, {{"t", 3}});
+  const auto t = type_of(r);
+  EXPECT_TRUE(t.contains(field_label("x")));
+  EXPECT_TRUE(t.contains(tag_label("t")));
+  EXPECT_EQ(t.size(), 2U);
+}
+
+TEST(RecordType, ToString) {
+  EXPECT_EQ(RecordType::of({"board"}, {"k"}).to_string(), "{board, <k>}");
+  EXPECT_EQ(RecordType().to_string(), "{}");
+}
+
+TEST(MultiType, PaperMultivariantSubtyping) {
+  // "x is a subtype of y if every variant v ∈ x is a subtype of some
+  // variant w ∈ y."
+  const MultiType x({RecordType::of({"c", "d"}, {"e"}), RecordType::of({"c", "d"})});
+  const MultiType y({RecordType::of({"c"}), RecordType::of({"c", "d", "z"})});
+  EXPECT_TRUE(x.subtype_of(y));
+  EXPECT_FALSE(y.subtype_of(x));
+}
+
+TEST(MultiType, AcceptsAnyMatchingVariant) {
+  const MultiType t({RecordType::of({"a"}), RecordType::of({}, {"k"})});
+  EXPECT_TRUE(t.accepts(rec({"a"})));
+  EXPECT_TRUE(t.accepts(rec({}, {{"k", 0}})));
+  EXPECT_FALSE(t.accepts(rec({"b"})));
+}
+
+TEST(MultiType, MatchScoreIsLargestMatchingVariant) {
+  // Best match = most specific accepted variant (routing rule for ||).
+  const MultiType t({RecordType::of({"a"}), RecordType::of({"a", "b"})});
+  EXPECT_EQ(t.match_score(rec({"a"})), 1);
+  EXPECT_EQ(t.match_score(rec({"a", "b"})), 2);
+  EXPECT_EQ(t.match_score(rec({"c"})), -1);
+  EXPECT_EQ(MultiType({RecordType()}).match_score(rec({})), 0)
+      << "empty variant matches everything with score 0";
+}
+
+TEST(MultiType, UnionDeduplicates) {
+  const MultiType a({RecordType::of({"x"})});
+  const MultiType b({RecordType::of({"x"}), RecordType::of({"y"})});
+  EXPECT_EQ(a.union_with(b).variants().size(), 2U);
+}
+
+TEST(MultiType, ToString) {
+  const MultiType t({RecordType::of({"c"}), RecordType::of({"c", "d"}, {"e"})});
+  EXPECT_EQ(t.to_string(), "{c} | {c, d, <e>}");
+}

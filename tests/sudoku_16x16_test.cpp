@@ -1,0 +1,76 @@
+/// n²×n² generalisation end-to-end (the paper's footnote: "sudokus can be
+/// played on any board of size n² × n²"). 16×16 boards through the rules,
+/// the solver and the networks.
+
+#include <gtest/gtest.h>
+
+#include "sudoku/generator.hpp"
+#include "sudoku/nets.hpp"
+#include "sudoku/rules.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace sudoku;
+
+namespace {
+BoardArray dense16() {
+  // 200 of 256 clues: a shallow search, fast enough for unit tests.
+  return generate(GenOptions{.n = 4, .clues = 200, .seed = 31, .ensure_unique = false});
+}
+}  // namespace
+
+TEST(Sudoku16, GeneratorProducesConsistentBoard) {
+  const auto b = dense16();
+  EXPECT_EQ(board_size(b), 16);
+  EXPECT_EQ(board_box(b), 4);
+  EXPECT_TRUE(is_consistent(b));
+  EXPECT_EQ(level(b), 200);
+}
+
+TEST(Sudoku16, AddNumberGeneralisesTheWithLoop) {
+  auto [board, opts] = compute_opts(empty_board(4));
+  auto [b2, o2] = add_number(5, 9, 13, board, opts);
+  EXPECT_EQ((b2[{5, 9}]), 13);
+  const int k0 = 12;
+  for (int t = 0; t < 16; ++t) {
+    EXPECT_FALSE((o2[{5, 9, t}]));
+    EXPECT_FALSE((o2[{5, t, k0}]));
+    EXPECT_FALSE((o2[{t, 9, k0}]));
+  }
+  // The 4x4 box containing (5,9) spans rows 4..7, cols 8..11.
+  for (int a = 4; a < 8; ++a) {
+    for (int b = 8; b < 12; ++b) {
+      EXPECT_FALSE((o2[{a, b, k0}]));
+    }
+  }
+  EXPECT_TRUE((o2[{0, 0, k0}]));
+}
+
+TEST(Sudoku16, SequentialSolver) {
+  const auto puzzle = dense16();
+  const auto res = solve_board(puzzle);
+  ASSERT_TRUE(res.completed);
+  EXPECT_TRUE(solves(puzzle, res.board));
+}
+
+TEST(Sudoku16, Fig1Network) {
+  const auto puzzle = dense16();
+  const auto sol = solve_with_net(fig1_net(), puzzle);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(solves(puzzle, *sol));
+}
+
+TEST(Sudoku16, Fig3NetworkWithScaledKnobs) {
+  const auto puzzle = dense16();
+  // T scaled to the board: exit once half the remaining cells are placed.
+  const auto net = fig3_net(Fig3Params{.throttle = 4, .level_threshold = 228});
+  const auto records = run_board(net, puzzle);
+  const auto sols = solutions_in(records);
+  ASSERT_GE(sols.size(), 1U);
+  EXPECT_TRUE(solves(puzzle, sols[0]));
+}
+
+TEST(Sudoku16, LineFormatRoundTrip) {
+  const auto b = dense16();
+  const auto again = board_from_string(board_to_line(b));
+  EXPECT_EQ(again, b);
+}

@@ -1,0 +1,182 @@
+/// Board representation and the paper's Section 3 rule functions.
+
+#include <gtest/gtest.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/generator.hpp"
+#include "sudoku/rules.hpp"
+
+using namespace sudoku;
+
+TEST(Board, EmptyBoardShape) {
+  const auto b = empty_board(3);
+  EXPECT_EQ(board_size(b), 9);
+  EXPECT_EQ(board_box(b), 3);
+  EXPECT_EQ(level(b), 0);
+  EXPECT_FALSE(is_completed(b));
+  EXPECT_TRUE(is_consistent(b));
+}
+
+TEST(Board, RejectsBadShapes) {
+  EXPECT_THROW(empty_board(1), SudokuError);
+  EXPECT_THROW(board_size(BoardArray(sac::Shape{4, 5}, 0)), SudokuError);
+  EXPECT_THROW(board_size(BoardArray(sac::Shape{5, 5}, 0)), SudokuError)
+      << "5 is not a perfect square";
+}
+
+TEST(Board, ParseCharacterFormat) {
+  const auto b = corpus_board("easy");
+  EXPECT_EQ(board_size(b), 9);
+  EXPECT_EQ((b[{0, 0}]), 5);
+  EXPECT_EQ((b[{0, 2}]), 0);
+  EXPECT_EQ(level(b), 30);
+}
+
+TEST(Board, ParseNumericFormat) {
+  // 4x4 in whitespace-separated form, with a zero and double digits absent.
+  const std::string txt = "1 0 4 0  0 0 1 0  0 2 0 0  0 3 0 2";
+  const auto b = board_from_string(txt);
+  EXPECT_EQ(board_size(b), 4);
+  EXPECT_EQ((b[{0, 2}]), 4);
+}
+
+TEST(Board, ParseRejectsGarbage) {
+  EXPECT_THROW(board_from_string("12x"), SudokuError);
+  EXPECT_THROW(board_from_string("123"), SudokuError) << "not square";
+  EXPECT_THROW(board_from_string("11.."), SudokuError) << "rule violation";
+}
+
+TEST(Board, LineRoundTrip) {
+  const auto b = corpus_board("easy");
+  EXPECT_EQ(board_from_string(board_to_line(b)), b);
+}
+
+TEST(Board, ConsistencyDetectsViolations) {
+  auto b = empty_board(2);
+  b.set({0, 0}, 1);
+  EXPECT_TRUE(is_consistent(b));
+  b.set({0, 3}, 1);  // same row
+  EXPECT_FALSE(is_consistent(b));
+  b.set({0, 3}, 0);
+  b.set({3, 0}, 1);  // same column
+  EXPECT_FALSE(is_consistent(b));
+  b.set({3, 0}, 0);
+  b.set({1, 1}, 1);  // same 2x2 box
+  EXPECT_FALSE(is_consistent(b));
+}
+
+TEST(Rules, InitialOptsAllTrue) {
+  const auto o = initial_opts(4);
+  EXPECT_EQ(o.shape(), (sac::Shape{4, 4, 4}));
+  EXPECT_EQ(options_at(o, 0, 0), 4);
+}
+
+TEST(Rules, AddNumberEliminatesExactlyTheRuleAffectedOptions) {
+  // Mirror of the paper's description for 9x9: placing k at (i,j) falsifies
+  //  - all options at (i,j),
+  //  - option k along row i and column j,
+  //  - option k in the 3x3 box.
+  const int N = 9;
+  auto [board, opts] = compute_opts(empty_board(3));
+  auto [b2, o2] = add_number(4, 5, 7, board, opts);
+  EXPECT_EQ((b2[{4, 5}]), 7);
+  const int k0 = 6;
+  for (int t = 0; t < N; ++t) {
+    EXPECT_FALSE((o2[{4, 5, t}])) << "all options at the cell";
+    EXPECT_FALSE((o2[{4, t, k0}])) << "k in row";
+    EXPECT_FALSE((o2[{t, 5, k0}])) << "k in column";
+  }
+  for (int a = 3; a < 6; ++a) {
+    for (int b = 3; b < 6; ++b) {
+      EXPECT_FALSE((o2[{a, b, k0}])) << "k in the box";
+    }
+  }
+  // Untouched example positions:
+  EXPECT_TRUE((o2[{0, 0, k0}]));
+  EXPECT_TRUE((o2[{4, 0, 0}])) << "other numbers in the row survive";
+  EXPECT_TRUE((o2[{3, 3, 0}])) << "other numbers in the box survive";
+}
+
+TEST(Rules, AddNumberIsValueSemantics) {
+  auto [board, opts] = compute_opts(empty_board(3));
+  const auto before = opts;
+  auto [b2, o2] = add_number(0, 0, 1, board, opts);
+  EXPECT_EQ(opts, before) << "inputs are unchanged (SaC value semantics)";
+  EXPECT_NE(o2, before);
+}
+
+TEST(Rules, AddNumberRangeChecks) {
+  auto [board, opts] = compute_opts(empty_board(2));
+  EXPECT_THROW(add_number(4, 0, 1, board, opts), SudokuError);
+  EXPECT_THROW(add_number(0, 0, 5, board, opts), SudokuError);
+  EXPECT_THROW(add_number(0, 0, 0, board, opts), SudokuError);
+}
+
+TEST(Rules, ComputeOptsMatchesIncrementalConstruction) {
+  // compute_opts(board) must equal the result of adding the givens one by
+  // one starting from an empty board.
+  const auto puzzle = corpus_board("mini4");
+  auto [b1, o1] = compute_opts(puzzle);
+  auto board = empty_board(2);
+  auto opts = initial_opts(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (puzzle[{i, j}] != 0) {
+        auto [b, o] = add_number(i, j, puzzle[{i, j}], board, opts);
+        board = b;
+        opts = o;
+      }
+    }
+  }
+  EXPECT_EQ(o1, opts);
+  EXPECT_EQ(b1, puzzle);
+}
+
+TEST(Rules, IsStuckDetectsDeadEnds) {
+  auto [board, opts] = compute_opts(corpus_board("easy"));
+  EXPECT_FALSE(is_stuck(board, opts));
+  // Manufacture a dead end: a cell whose row+column+box cover all digits.
+  auto b = empty_board(3);
+  // Row 0: 1..8 in columns 0..7; column 8 gets 9 via column constraint.
+  for (int j = 0; j < 8; ++j) {
+    b.set({0, j}, j + 1);
+  }
+  b.set({1, 8}, 9);  // same column as (0,8)
+  auto [bb, oo] = compute_opts(b);
+  EXPECT_EQ(options_at(oo, 0, 8), 0);
+  EXPECT_TRUE(is_stuck(bb, oo));
+}
+
+TEST(Rules, FindFirstRowMajor) {
+  auto b = corpus_board("easy");
+  const auto pos = find_first(b);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, std::make_pair(0, 2)) << "first empty cell of 'easy'";
+  // Full board: no position.
+  const auto full = random_full_board(2, 1);
+  EXPECT_FALSE(find_first(full).has_value());
+}
+
+TEST(Rules, FindMinTruesPicksMostConstrainedCell) {
+  auto [board, opts] = compute_opts(corpus_board("easy"));
+  const auto pos = find_min_trues(board, opts);
+  ASSERT_TRUE(pos.has_value());
+  const auto [i, j] = *pos;
+  EXPECT_EQ((board[{i, j}]), 0) << "must be a free cell";
+  const int best = options_at(opts, i, j);
+  for (int a = 0; a < 9; ++a) {
+    for (int bcol = 0; bcol < 9; ++bcol) {
+      if (board[{a, bcol}] == 0) {
+        EXPECT_LE(best, options_at(opts, a, bcol));
+      }
+    }
+  }
+}
+
+TEST(Rules, LevelCountsPlacedNumbers) {
+  auto b = empty_board(2);
+  EXPECT_EQ(level(b), 0);
+  b.set({0, 0}, 1);
+  b.set({2, 2}, 3);
+  EXPECT_EQ(level(b), 2);
+}

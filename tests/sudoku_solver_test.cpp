@@ -1,0 +1,134 @@
+/// The sequential solver (paper §3), solution counting, the puzzle
+/// generator, and the corpus.
+
+#include <gtest/gtest.h>
+
+#include "sudoku/corpus.hpp"
+#include "sudoku/generator.hpp"
+#include "sudoku/solver.hpp"
+
+using namespace sudoku;
+
+TEST(Solver, SolvesEveryCorpusPuzzle) {
+  for (const auto& entry : corpus()) {
+    const auto puzzle = board_from_string(entry.cells);
+    const auto res = solve_board(puzzle);
+    EXPECT_TRUE(res.completed) << entry.name;
+    EXPECT_TRUE(solves(puzzle, res.board)) << entry.name;
+  }
+}
+
+TEST(Solver, CorpusPuzzlesHaveUniqueSolutions) {
+  for (const auto& entry : corpus()) {
+    const auto puzzle = board_from_string(entry.cells);
+    EXPECT_EQ(count_solutions(puzzle, 3), 1) << entry.name;
+  }
+}
+
+TEST(Solver, ReturnsStuckBoardWhenUnsolvable) {
+  // An inconsistent-by-options puzzle: (0,8) has no candidates.
+  auto b = empty_board(3);
+  for (int j = 0; j < 8; ++j) {
+    b.set({0, j}, j + 1);
+  }
+  b.set({1, 8}, 9);
+  const auto res = solve_board(b);
+  EXPECT_FALSE(res.completed);
+  EXPECT_FALSE(is_completed(res.board)) << "paper: returns the stuck board";
+}
+
+TEST(Solver, AlreadyCompleteBoardIsFixpoint) {
+  const auto full = random_full_board(3, 7);
+  const auto res = solve_board(full);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.board, full);
+}
+
+TEST(Solver, FirstEmptyAndMinOptionsAgreeOnSolution) {
+  const auto puzzle = corpus_board("easy");
+  const auto a = solve_board(puzzle, Pick::FirstEmpty);
+  const auto b = solve_board(puzzle, Pick::MinOptions);
+  EXPECT_TRUE(a.completed);
+  EXPECT_TRUE(b.completed);
+  EXPECT_EQ(a.board, b.board) << "unique solution: strategies agree";
+}
+
+TEST(Solver, MinOptionsSearchesNoMoreNodesOnCorpus) {
+  // The paper's motivation for findMinTrues: smaller search tree. Verify
+  // on the harder corpus entries.
+  for (const auto& name : {"hard", "escargot"}) {
+    SolveStats first, mins;
+    const auto puzzle = corpus_board(name);
+    ASSERT_TRUE(solve_board(puzzle, Pick::FirstEmpty, &first).completed);
+    ASSERT_TRUE(solve_board(puzzle, Pick::MinOptions, &mins).completed);
+    EXPECT_LE(mins.nodes, first.nodes) << name;
+  }
+}
+
+TEST(Solver, StatsAreFilled) {
+  SolveStats st;
+  ASSERT_TRUE(solve_board(corpus_board("easy"), Pick::MinOptions, &st).completed);
+  EXPECT_GT(st.nodes, 0U);
+  EXPECT_GT(st.placements, 0U);
+  EXPECT_GE(st.max_depth, 51) << "easy has 51 blanks: depth reaches the leaf";
+}
+
+TEST(Solver, CountSolutionsHonoursLimit) {
+  const auto empty = empty_board(2);  // 4x4 empty board: many solutions
+  EXPECT_EQ(count_solutions(empty, 1), 1);
+  EXPECT_EQ(count_solutions(empty, 5), 5);
+}
+
+TEST(Solver, CountSolutionsZeroForContradiction) {
+  auto b = empty_board(3);
+  for (int j = 0; j < 8; ++j) {
+    b.set({0, j}, j + 1);
+  }
+  b.set({1, 8}, 9);
+  EXPECT_EQ(count_solutions(b, 2), 0);
+}
+
+TEST(Generator, RandomFullBoardIsValidAndSeeded) {
+  const auto a = random_full_board(3, 123);
+  EXPECT_TRUE(is_valid_solution(a));
+  const auto b = random_full_board(3, 123);
+  EXPECT_EQ(a, b) << "same seed, same board";
+  const auto c = random_full_board(3, 124);
+  EXPECT_NE(a, c) << "different seed should give a different board";
+}
+
+TEST(Generator, GeneratesUniqueSolvablePuzzles) {
+  const GenOptions opt{.n = 3, .clues = 32, .seed = 9, .ensure_unique = true};
+  const auto puzzle = generate(opt);
+  EXPECT_TRUE(is_consistent(puzzle));
+  EXPECT_GE(level(puzzle), opt.clues);
+  EXPECT_EQ(count_solutions(puzzle, 2), 1);
+  const auto res = solve_board(puzzle);
+  EXPECT_TRUE(res.completed);
+  EXPECT_TRUE(solves(puzzle, res.board));
+}
+
+TEST(Generator, FourByFourPuzzles) {
+  const GenOptions opt{.n = 2, .clues = 6, .seed = 5, .ensure_unique = true};
+  const auto puzzle = generate(opt);
+  EXPECT_EQ(board_size(puzzle), 4);
+  EXPECT_EQ(count_solutions(puzzle, 2), 1);
+}
+
+TEST(Generator, NonUniqueModeReachesClueTarget) {
+  const GenOptions opt{.n = 3, .clues = 20, .seed = 11, .ensure_unique = false};
+  const auto puzzle = generate(opt);
+  EXPECT_EQ(level(puzzle), 20);
+  EXPECT_GE(count_solutions(puzzle, 1), 1) << "still solvable";
+}
+
+TEST(Generator, RejectsBadClueTargets) {
+  EXPECT_THROW(generate(GenOptions{.n = 2, .clues = 17, .seed = 1}), SudokuError);
+  EXPECT_THROW(generate(GenOptions{.n = 2, .clues = -1, .seed = 1}), SudokuError);
+}
+
+TEST(Corpus, LookupByName) {
+  EXPECT_NO_THROW(corpus_board("easy"));
+  EXPECT_THROW(corpus_board("nope"), SudokuError);
+  EXPECT_GE(corpus().size(), 5U);
+}
