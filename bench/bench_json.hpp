@@ -1,0 +1,69 @@
+#ifndef SNETSAC_BENCH_BENCH_JSON_HPP
+#define SNETSAC_BENCH_BENCH_JSON_HPP
+
+/// \file bench_json.hpp
+/// Minimal machine-readable bench output: an array of flat objects with
+/// string or numeric values, written to `BENCH_<name>.json` in the current
+/// directory so successive PRs can diff perf trajectories without parsing
+/// human-oriented bench logs.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace benchjson {
+
+using Value = std::variant<std::string, double, std::int64_t>;
+
+struct Row {
+  std::vector<std::pair<std::string, Value>> fields;
+
+  Row& set(std::string key, Value v) {
+    fields.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+};
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void write(const std::string& name, const std::vector<Row>& rows) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "  {";
+    const auto& fields = rows[r].fields;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      os << '"' << escape(fields[i].first) << "\": ";
+      const Value& v = fields[i].second;
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        os << '"' << escape(*s) << '"';
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        os << *d;
+      } else {
+        os << std::get<std::int64_t>(v);
+      }
+      if (i + 1 < fields.size()) {
+        os << ", ";
+      }
+    }
+    os << (r + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  std::ofstream file("BENCH_" + name + ".json");
+  file << os.str();
+}
+
+}  // namespace benchjson
+
+#endif

@@ -6,8 +6,14 @@
 /// breadth) across the sequential solver and the three networks. Puzzles
 /// come from the reproducible generator.
 
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+#include "runtime/executor.hpp"
 #include "sudoku/generator.hpp"
 #include "sudoku/nets.hpp"
 #include "sudoku/solver.hpp"
@@ -97,4 +103,82 @@ BENCHMARK_CAPTURE(BM_NetBySize, fig3, std::string("fig3"))
     ->Args({4, 200})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Machine-readable scaling record (BENCH_scaling.json): records/sec of
+/// the Fig. 2 network on a 9x9 board across worker caps, with scheduler
+/// quanta and executor steal counts, so future PRs can track the perf
+/// trajectory without scraping the human-oriented gbench output.
+void emit_scaling_json() {
+  const auto puzzle = puzzle_for(3, 40, 77);
+  const auto executor_threads =
+      static_cast<std::int64_t>(snetsac::runtime::Executor::global().size());
+  std::vector<benchjson::Row> rows;
+  for (const unsigned workers : {1U, 2U, 4U, 8U}) {
+    double seconds = 0;
+    std::uint64_t records = 0;
+    std::uint64_t quanta = 0;
+    std::uint64_t steals = 0;
+    constexpr int kReps = 3;
+    for (int rep = 0; rep < kReps; ++rep) {
+      snet::Options opts;
+      opts.workers = workers;
+      snet::Network net(fig2_net(), std::move(opts));
+      const std::uint64_t steals_before = net.scheduler().steals();
+      const auto t0 = std::chrono::steady_clock::now();
+      net.inject(board_record(puzzle));
+      net.collect();
+      const auto t1 = std::chrono::steady_clock::now();
+      seconds += std::chrono::duration<double>(t1 - t0).count();
+      const auto stats = net.stats();
+      for (const auto& e : stats.entities) {
+        records += e.records_in;
+      }
+      quanta += net.scheduler().quanta_executed();
+      steals += net.scheduler().steals() - steals_before;
+    }
+    const double rps = static_cast<double>(records) / seconds;
+    std::printf("scaling fig2 workers=%u %.3fs  %.0f records/sec  quanta=%llu steals=%llu\n",
+                workers, seconds, rps, static_cast<unsigned long long>(quanta),
+                static_cast<unsigned long long>(steals));
+    benchjson::Row row;
+    row.set("bench", std::string("fig2_9x9_c40"))
+        .set("threads", static_cast<std::int64_t>(workers))
+        .set("executor_threads", executor_threads)
+        .set("reps", static_cast<std::int64_t>(kReps))
+        .set("seconds", seconds)
+        .set("records", static_cast<std::int64_t>(records))
+        .set("records_per_sec", rps)
+        .set("quanta", static_cast<std::int64_t>(quanta))
+        .set("steals", static_cast<std::int64_t>(steals));
+    rows.push_back(std::move(row));
+  }
+  benchjson::write("scaling", rows);
+  std::printf("wrote BENCH_scaling.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Skip the JSON sweep when the caller narrowed the run (filter/list):
+  // a quick one-benchmark invocation must not pay for 12 network solves
+  // or clobber a previous BENCH_scaling.json.
+  bool narrowed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--benchmark_filter", 0) == 0 ||
+        arg.rfind("--benchmark_list_tests", 0) == 0) {
+      narrowed = true;
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!narrowed) {
+    emit_scaling_json();
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "runtime/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <thread>
 
@@ -31,6 +32,22 @@ unsigned default_sac_threads() {
 unsigned default_snet_workers() {
   const auto v = env_int("SNET_WORKERS", static_cast<std::int64_t>(hardware_threads()));
   return v == 0 ? 1U : static_cast<unsigned>(v);
+}
+
+unsigned default_executor_threads() {
+  const auto unified = env_int("SNETSAC_THREADS", 0);
+  if (unified > 0) {
+    return static_cast<unsigned>(unified);
+  }
+  // Legacy rule: both layers now share one pool, so take the larger of the
+  // two historical knobs when either is set (0 doubles as "unset").
+  const auto snet = env_int("SNET_WORKERS", 0);
+  const auto sacc = env_int("SAC_THREADS", 0);
+  const auto legacy = std::max(snet, sacc);
+  if (legacy > 0) {
+    return static_cast<unsigned>(legacy);
+  }
+  return hardware_threads();
 }
 
 }  // namespace snetsac::runtime

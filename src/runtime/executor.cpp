@@ -1,0 +1,190 @@
+#include "runtime/executor.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "runtime/env.hpp"
+
+namespace snetsac::runtime {
+
+namespace {
+
+/// Worker identity of the current thread, if any. Lets submit() target the
+/// worker's own deque and help_until() know it may run tasks inline.
+struct WorkerTls {
+  Executor* exec = nullptr;
+  unsigned index = 0;
+};
+
+thread_local WorkerTls tls_worker;
+
+/// Cheap per-thread xorshift for victim selection; no global state.
+std::uint64_t next_rand() {
+  thread_local std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+Executor::Executor(unsigned threads) {
+  const unsigned count = threads == 0 ? 1U : threads;
+  queues_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<Shard>());
+  }
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() {
+  stopping_.store(true);
+  {
+    // Taking park_mu_ orders the flag against a worker deciding to sleep.
+    const std::lock_guard lock(park_mu_);
+  }
+  park_cv_.notify_all();
+  threads_.clear();  // jthread joins; workers exit only once drained
+}
+
+void Executor::submit(std::function<void()> task) {
+  const WorkerTls& t = tls_worker;
+  if (t.exec == this) {
+    const std::lock_guard lock(queues_[t.index]->mu);
+    queues_[t.index]->tasks.push_back(std::move(task));
+  } else {
+    const std::lock_guard lock(inject_mu_);
+    inject_.push_back(std::move(task));
+  }
+  work_epoch_.fetch_add(1);  // seq_cst: must be visible before sleeper check
+  if (sleepers_.load() > 0) {
+    // Lock/unlock pairs the notify with a sleeper that passed its epoch
+    // re-check but has not yet entered wait().
+    { const std::lock_guard lock(park_mu_); }
+    park_cv_.notify_one();
+  }
+}
+
+bool Executor::on_worker_thread() const { return tls_worker.exec == this; }
+
+bool Executor::pop_task(unsigned self, std::function<void()>& out) {
+  // 1. Own deque, newest first: the task most likely still in cache, and
+  //    the one a nested join is most likely waiting on.
+  {
+    Shard& own = *queues_[self];
+    const std::lock_guard lock(own.mu);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // 2. Injector queue, oldest first (external submission order).
+  {
+    const std::lock_guard lock(inject_mu_);
+    if (!inject_.empty()) {
+      out = std::move(inject_.front());
+      inject_.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal FIFO from a random victim, scanning every shard once so an
+  //    empty-handed return really means "no runnable task existed during
+  //    the scan".
+  const unsigned n = static_cast<unsigned>(queues_.size());
+  const unsigned start = static_cast<unsigned>(next_rand() % n);
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned v = (start + k) % n;
+    if (v == self) {
+      continue;
+    }
+    Shard& victim = *queues_[v];
+    const std::lock_guard lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Executor::try_run_one(unsigned self) {
+  std::function<void()> task;
+  if (!pop_task(self, task)) {
+    return false;
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  return true;
+}
+
+void Executor::worker_loop(unsigned index) {
+  tls_worker = WorkerTls{this, index};
+  std::uint64_t seen_epoch = work_epoch_.load();
+  for (;;) {
+    if (try_run_one(index)) {
+      continue;
+    }
+    std::unique_lock lock(park_mu_);
+    sleepers_.fetch_add(1);  // seq_cst: registered before the final check
+    const std::uint64_t now = work_epoch_.load();
+    if (now != seen_epoch || stopping_.load()) {
+      // A submit raced our scan (rescan), or we are shutting down (one
+      // last scan decides whether the drain is complete).
+      sleepers_.fetch_sub(1);
+      if (now == seen_epoch && stopping_.load()) {
+        return;  // scan found nothing and nothing new arrived: drained
+      }
+      seen_epoch = now;
+      continue;
+    }
+    park_cv_.wait(lock, [&] {
+      return stopping_.load() || work_epoch_.load() != seen_epoch;
+    });
+    sleepers_.fetch_sub(1);
+    seen_epoch = work_epoch_.load();
+  }
+}
+
+void Executor::help_until(std::mutex& mu, std::condition_variable& cv,
+                          const std::function<bool()>& done) {
+  if (!on_worker_thread()) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, done);
+    return;
+  }
+  const unsigned self = tls_worker.index;
+  for (;;) {
+    {
+      std::unique_lock lock(mu);
+      if (done()) {
+        return;
+      }
+    }
+    if (try_run_one(self)) {
+      continue;
+    }
+    // Nothing runnable anywhere: the tasks the join waits on are being
+    // executed by other workers. Sleep briefly rather than spin; the
+    // timeout also covers joins whose completion path under-notifies.
+    std::unique_lock lock(mu);
+    if (done()) {
+      return;
+    }
+    cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+Executor& Executor::global() {
+  static Executor exec(default_executor_threads());
+  return exec;
+}
+
+}  // namespace snetsac::runtime

@@ -23,8 +23,19 @@ unsigned hardware_threads();
 unsigned default_sac_threads();
 
 /// Default worker count for the coordination (S-Net) layer:
-/// `SNET_WORKERS` env var, else hardware concurrency.
+/// `SNET_WORKERS` env var, else hardware concurrency. Under the unified
+/// executor this is a *concurrency cap* on entity quanta, not a thread
+/// count (see default_executor_threads()).
 unsigned default_snet_workers();
+
+/// Size of the process-wide unified executor that serves both layers.
+/// Compatibility rule (documented in docs/ARCHITECTURE.md): the new
+/// `SNETSAC_THREADS` wins when set; otherwise the larger of `SNET_WORKERS`
+/// and `SAC_THREADS` when either is set — the single pool must be able to
+/// serve whichever layer asked for more, and the two legacy variables no
+/// longer add up to SNET_WORKERS + SAC_THREADS OS threads; otherwise
+/// hardware concurrency.
+unsigned default_executor_threads();
 
 }  // namespace snetsac::runtime
 

@@ -1,0 +1,128 @@
+#ifndef SNETSAC_RUNTIME_EXECUTOR_HPP
+#define SNETSAC_RUNTIME_EXECUTOR_HPP
+
+/// \file executor.hpp
+/// The unified work-stealing executor both layers of the system run on.
+///
+/// Historically the SaC layer (`parallel_for` with-loop chunks) and the
+/// S-Net layer (entity quanta) each owned a mutex+condvar thread pool.
+/// Running a data-parallel with-loop inside a box therefore oversubscribed
+/// the machine (SNET_WORKERS + SAC_THREADS threads) and serialised all
+/// dispatch through two global locks. This executor replaces both:
+///
+///  * one worker thread per core (see `default_executor_threads()`),
+///  * a lock-sharded deque per worker — owners push/pop LIFO at the back
+///    for locality, thieves steal FIFO from the front of a random victim,
+///  * an injector queue for submissions from non-worker threads,
+///  * an epoch-stamped parking lot so idle workers sleep instead of
+///    spinning, with the classic Dekker-style sleeper/epoch handshake to
+///    rule out lost wakeups,
+///  * `help_until`: the cooperative join primitive. A task that forks
+///    subtasks (a with-loop splitting into chunks inside a box quantum)
+///    does not block its worker; the worker executes queued tasks —
+///    its own chunks first, then anything stealable — until the join
+///    condition holds. This is what makes nested parallelism safe on a
+///    fixed-size pool: no worker ever sleeps while runnable work exists,
+///    so a fork inside a task cannot deadlock.
+///
+/// A task is just a closure: an S-Net entity quantum, a with-loop chunk,
+/// or anything a client submits. Tasks must not block indefinitely on
+/// other tasks except via `help_until`.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snetsac::runtime {
+
+class Executor {
+ public:
+  /// Spawns \p threads workers. A count of 0 is promoted to 1.
+  explicit Executor(unsigned threads);
+
+  /// Drains every queued task, then joins the workers. Submitted work is
+  /// never dropped (tasks may keep spawning tasks during the drain).
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues a task. Called from a worker of this executor, the task
+  /// lands on that worker's own deque (LIFO, cache-warm); from any other
+  /// thread it lands on the shared injector queue.
+  void submit(std::function<void()> task);
+
+  /// Cooperative join: runs queued tasks until `done()` returns true.
+  ///
+  /// From a worker thread of this executor the caller *helps*: it pops its
+  /// own deque, the injector and other workers' deques between checks of
+  /// `done()`, and only sleeps (briefly, on \p cv under \p mu) when no
+  /// task is runnable anywhere. From a non-worker thread this degenerates
+  /// to a plain condition-variable wait. `done()` is always evaluated
+  /// under \p mu; whatever makes it true must notify \p cv.
+  void help_until(std::mutex& mu, std::condition_variable& cv,
+                  const std::function<bool()>& done);
+
+  /// True when the calling thread is one of this executor's workers.
+  bool on_worker_thread() const;
+
+  unsigned size() const { return static_cast<unsigned>(queues_.size()); }
+
+  /// Tasks run over the executor's lifetime (observability).
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks obtained by stealing from another worker's deque.
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// The process-wide executor shared by the SaC with-loop engine and
+  /// every S-Net network. Sized by `default_executor_threads()` on first
+  /// use. One pool, one set of threads — layering happens in the tasks,
+  /// not in the threading substrate.
+  static Executor& global();
+
+ private:
+  /// One shard: a worker's deque. The lock is per-worker, so owner pushes
+  /// and thief pops contend only pairwise, never globally.
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned index);
+  /// Pops one runnable task (own deque → injector → steal); empty-handed
+  /// returns false. \p self is the calling worker's shard index.
+  bool pop_task(unsigned self, std::function<void()>& out);
+  bool try_run_one(unsigned self);
+
+  std::vector<std::unique_ptr<Shard>> queues_;
+
+  std::mutex inject_mu_;
+  std::deque<std::function<void()>> inject_;
+
+  // Parking lot. `work_epoch_` is bumped by every submit; a worker only
+  // sleeps after re-reading the epoch while registered as a sleeper, so a
+  // concurrent submit either sees the sleeper (and notifies) or the
+  // sleeper sees the new epoch (and rescans).
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace snetsac::runtime
+
+#endif

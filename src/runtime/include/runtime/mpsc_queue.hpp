@@ -12,10 +12,12 @@
 /// simple and adequate (Core Guidelines CP.1/CP.2: correctness first; the
 /// queue is the *only* shared state, and the lock is held for O(1) work).
 
+#include <algorithm>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace snetsac::runtime {
 
@@ -33,6 +35,21 @@ class MpscQueue {
     const bool was_empty = items_.empty();
     items_.push_back(std::move(value));
     return was_empty;
+  }
+
+  /// Batched pop: moves up to \p max_n oldest elements into \p out
+  /// (appending), taking the lock once for the whole batch. Returns the
+  /// number of elements moved. This is the consumer's fast path — an
+  /// entity quantum drains its inbox with one lock acquisition instead of
+  /// one per message.
+  std::size_t drain_into(std::vector<T>& out, std::size_t max_n) {
+    const std::lock_guard lock(mu_);
+    const std::size_t n = std::min(max_n, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return n;
   }
 
   /// Pops the oldest element if present.

@@ -2,15 +2,23 @@
 #define SNETSAC_RUNTIME_PARALLEL_FOR_HPP
 
 /// \file parallel_for.hpp
-/// Blocking fork-join helpers on top of ThreadPool. This is the execution
+/// Fork-join helpers on top of the unified Executor. This is the execution
 /// engine behind SaC's implicit data parallelism: a with-loop's index space
-/// is partitioned into contiguous chunks distributed over the pool, exactly
-/// like SaC's multithreaded code generation distributes with-loop ranges.
+/// is partitioned into contiguous chunks distributed over the workers,
+/// exactly like SaC's multithreaded code generation distributes with-loop
+/// ranges.
+///
+/// The join is *cooperative*: when the caller is itself an executor worker
+/// (a with-loop opened inside an S-Net box quantum), it does not block a
+/// pool slot — it executes queued tasks, preferring its own chunks, until
+/// the region completes (Executor::help_until). Nested data parallelism on
+/// a fixed-size pool therefore cannot deadlock and never oversubscribes.
 
 #include <cstdint>
 #include <exception>
 #include <functional>
 
+#include "runtime/executor.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace snetsac::runtime {
@@ -19,15 +27,23 @@ namespace snetsac::runtime {
 /// The calling thread participates; the call returns once every chunk has
 /// finished. The first exception thrown by any chunk is rethrown here.
 /// `grain` is the minimum chunk width (>= 1); chunk count never exceeds
-/// `max_tasks` (0 means pool size).
-void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+/// `max_tasks` (0 means executor size + 1).
+void parallel_for_chunks(Executor& exec, std::int64_t begin, std::int64_t end,
                          std::int64_t grain,
                          const std::function<void(std::int64_t, std::int64_t)>& body,
                          unsigned max_tasks = 0);
 
+/// ThreadPool compatibility overload; forwards to the pool's executor.
+inline void parallel_for_chunks(ThreadPool& pool, std::int64_t begin,
+                                std::int64_t end, std::int64_t grain,
+                                const std::function<void(std::int64_t, std::int64_t)>& body,
+                                unsigned max_tasks = 0) {
+  parallel_for_chunks(pool.executor(), begin, end, grain, body, max_tasks);
+}
+
 /// Element-wise convenience wrapper: `body(i)` for every i in [begin, end).
-template <class F>
-void parallel_for_each(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+template <class Pool, class F>
+void parallel_for_each(Pool& pool, std::int64_t begin, std::int64_t end,
                        std::int64_t grain, F&& body) {
   parallel_for_chunks(pool, begin, end, grain,
                       [&body](std::int64_t lo, std::int64_t hi) {

@@ -2,47 +2,42 @@
 #define SNETSAC_RUNTIME_THREAD_POOL_HPP
 
 /// \file thread_pool.hpp
-/// A fixed-size worker pool. Both layers of the reproduced system sit on
-/// top of this: the SaC layer uses it through `parallel_for` for
-/// data-parallel with-loop execution, and the S-Net layer uses a dedicated
-/// instance to run box/combinator entities (tasks, not threads — CP.4).
+/// Compatibility facade over the unified work-stealing Executor.
+///
+/// Earlier revisions gave each layer its own mutex+condvar pool; both now
+/// share one Executor (see executor.hpp). ThreadPool remains for clients
+/// and tests that want a private, fixed-size pool with the historical
+/// submit/size/tasks_executed surface — it simply owns an Executor.
 
-#include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "runtime/executor.hpp"
 
 namespace snetsac::runtime {
 
 class ThreadPool {
  public:
   /// Spawns \p threads workers. A count of 0 is promoted to 1.
-  explicit ThreadPool(unsigned threads);
-  ~ThreadPool();
+  explicit ThreadPool(unsigned threads) : exec_(threads) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution. Tasks must not block
-  /// indefinitely on other tasks (the pool is fixed-size).
-  void submit(std::function<void()> task);
+  /// indefinitely on other tasks except through Executor::help_until.
+  void submit(std::function<void()> task) { exec_.submit(std::move(task)); }
 
-  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+  unsigned size() const { return exec_.size(); }
 
-  /// Number of tasks submitted over the pool's lifetime (observability).
-  std::uint64_t tasks_executed() const;
+  /// Number of tasks executed over the pool's lifetime (observability).
+  std::uint64_t tasks_executed() const { return exec_.tasks_executed(); }
+
+  /// The underlying executor (work stealing, cooperative joins).
+  Executor& executor() { return exec_; }
 
  private:
-  void worker_loop();
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  std::uint64_t executed_ = 0;
-  bool stopping_ = false;
-  std::vector<std::jthread> workers_;
+  Executor exec_;
 };
 
 }  // namespace snetsac::runtime

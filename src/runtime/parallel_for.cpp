@@ -1,8 +1,8 @@
 #include "runtime/parallel_for.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -11,8 +11,8 @@ namespace snetsac::runtime {
 namespace {
 
 /// Shared completion state for one fork-join region. Chunk tasks signal
-/// here; the issuing thread waits. Kept in a shared_ptr so stray tasks can
-/// never outlive the state they touch.
+/// here; the issuing thread helps or waits. Kept in a shared_ptr so stray
+/// tasks can never outlive the state they touch.
 struct JoinState {
   std::mutex mu;
   std::condition_variable cv;
@@ -20,11 +20,15 @@ struct JoinState {
   std::exception_ptr error;
 
   void finish_one(std::exception_ptr err) {
-    const std::lock_guard lock(mu);
-    if (err && !error) {
-      error = err;
+    bool last = false;
+    {
+      const std::lock_guard lock(mu);
+      if (err && !error) {
+        error = err;
+      }
+      last = --remaining == 0;
     }
-    if (--remaining == 0) {
+    if (last) {
       cv.notify_all();
     }
   }
@@ -32,7 +36,7 @@ struct JoinState {
 
 }  // namespace
 
-void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+void parallel_for_chunks(Executor& exec, std::int64_t begin, std::int64_t end,
                          std::int64_t grain,
                          const std::function<void(std::int64_t, std::int64_t)>& body,
                          unsigned max_tasks) {
@@ -41,7 +45,7 @@ void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   }
   grain = std::max<std::int64_t>(grain, 1);
   const std::int64_t extent = end - begin;
-  const unsigned workers = max_tasks == 0 ? pool.size() + 1 : max_tasks;
+  const unsigned workers = max_tasks == 0 ? exec.size() + 1 : max_tasks;
   const std::int64_t wanted = std::min<std::int64_t>(workers, (extent + grain - 1) / grain);
   if (wanted <= 1) {
     body(begin, end);
@@ -61,11 +65,11 @@ void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   auto state = std::make_shared<JoinState>();
   state->remaining = ranges.size();
 
-  // All but the first chunk go to the pool; the calling thread runs chunk 0
-  // itself so a single-threaded pool still makes progress.
+  // All but the first chunk go to the executor; the calling thread runs
+  // chunk 0 itself so even a single-threaded executor makes progress.
   for (std::size_t i = 1; i < ranges.size(); ++i) {
     const Range r = ranges[i];
-    pool.submit([state, r, &body] {
+    exec.submit([state, r, &body] {
       std::exception_ptr err;
       try {
         body(r.lo, r.hi);
@@ -85,8 +89,12 @@ void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
     state->finish_one(err);
   }
 
+  // Cooperative join: a worker keeps executing tasks (its own freshly
+  // pushed chunks first) instead of blocking a pool slot; an external
+  // thread waits on the condition variable as before.
+  exec.help_until(state->mu, state->cv,
+                  [&] { return state->remaining == 0; });
   std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] { return state->remaining == 0; });
   if (state->error) {
     std::rethrow_exception(state->error);
   }

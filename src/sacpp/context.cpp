@@ -9,9 +9,8 @@ Context& default_context() {
   return ctx;
 }
 
-snetsac::runtime::ThreadPool& sac_pool() {
-  static snetsac::runtime::ThreadPool pool(snetsac::runtime::hardware_threads());
-  return pool;
+snetsac::runtime::Executor& sac_pool() {
+  return snetsac::runtime::Executor::global();
 }
 
 }  // namespace sac

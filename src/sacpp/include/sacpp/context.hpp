@@ -12,7 +12,7 @@
 
 #include <cstdint>
 
-#include "runtime/thread_pool.hpp"
+#include "runtime/executor.hpp"
 
 namespace sac {
 
@@ -30,10 +30,12 @@ struct Context {
 /// sweep thread counts.
 Context& default_context();
 
-/// The shared pool with-loops execute on (lazily created, sized to
-/// hardware concurrency; the context's `threads` caps how much of it a
-/// single with-loop uses).
-snetsac::runtime::ThreadPool& sac_pool();
+/// The executor with-loops execute on: the process-wide pool shared with
+/// the S-Net scheduler (the context's `threads` caps how much of it a
+/// single with-loop uses). A with-loop opened inside a box quantum has its
+/// chunks run by the same workers — the caller helps and steals instead of
+/// blocking, so nesting neither deadlocks nor oversubscribes.
+snetsac::runtime::Executor& sac_pool();
 
 }  // namespace sac
 

@@ -39,11 +39,12 @@ void Entity::deliver(Message m) {
 
 void Entity::run_quantum(unsigned max_messages) {
   state_.store(kRunning, std::memory_order_release);
-  for (unsigned i = 0; i < max_messages; ++i) {
-    auto m = inbox_.try_pop();
-    if (!m) {
-      break;
-    }
+  // Batched drain: one inbox lock acquisition per quantum, not one per
+  // message. batch_ is only touched by the single worker running us.
+  batch_.clear();
+  inbox_.drain_into(batch_, max_messages);
+  for (auto& msg : batch_) {
+    auto* m = &msg;
     if (m->kind == Message::Kind::Poke) {
       try {
         on_poke();
@@ -76,6 +77,7 @@ void Entity::run_quantum(unsigned max_messages) {
     }
     net_.live_sub(1);
   }
+  batch_.clear();  // drop payloads before parking, not at the next quantum
   // Finalisation handshake with deliver(): either requeue (more input or a
   // producer raced us) or park as idle.
   for (;;) {

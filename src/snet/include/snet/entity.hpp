@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "runtime/mpsc_queue.hpp"
 #include "snet/stream.hpp"
@@ -67,6 +68,9 @@ class Entity {
  private:
   std::string name_;
   snetsac::runtime::MpscQueue<Message> inbox_;
+  /// Quantum drain buffer (reused across quanta; only the worker currently
+  /// running the entity touches it).
+  std::vector<Message> batch_;
 
   enum State : int { kIdle = 0, kQueued = 1, kRunning = 2, kRunningPending = 3 };
   std::atomic<int> state_{kIdle};

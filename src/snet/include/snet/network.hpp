@@ -39,7 +39,9 @@ class NetTypeError : public std::runtime_error {
 };
 
 struct Options {
-  /// Worker threads executing entities.
+  /// Max entity quanta of this network running concurrently on the shared
+  /// executor (not a thread count — threads belong to the process-wide
+  /// pool, see runtime/executor.hpp).
   unsigned workers = snetsac::runtime::default_snet_workers();
   /// Max records an entity processes per scheduling quantum (fairness).
   unsigned quantum = 16;

@@ -2,18 +2,27 @@
 #define SNETSAC_SNET_SCHEDULER_HPP
 
 /// \file scheduler.hpp
-/// The S-Net worker pool: a run queue of entities with pending input,
-/// drained by a fixed set of workers. "If we assume that each box creates
-/// a separate process/thread" is the paper's conceptual model; the
-/// implementation multiplexes the (dynamically unfolding) entity graph
-/// onto `SNET_WORKERS` threads.
+/// The S-Net entity scheduler, as a facade over the unified work-stealing
+/// executor. "If we assume that each box creates a separate process/
+/// thread" is the paper's conceptual model; the implementation multiplexes
+/// the (dynamically unfolding) entity graph onto the process-wide worker
+/// set shared with the SaC with-loop engine — one pool, no
+/// oversubscription when a box body opens a data-parallel with-loop.
+///
+/// The scheduler owns no threads. It keeps a ready list of entities with
+/// pending input and dispatches at most `max_concurrency` entity quanta
+/// into the executor at a time (the old SNET_WORKERS knob survives as this
+/// fairness cap: a single network cannot monopolise the shared pool).
+/// Each dispatched task runs one Entity::run_quantum, then refills the
+/// dispatch window.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
-#include <thread>
 #include <vector>
+
+#include "runtime/executor.hpp"
 
 namespace snet {
 
@@ -21,7 +30,11 @@ class Entity;
 
 class Scheduler {
  public:
-  Scheduler(unsigned workers, unsigned quantum);
+  /// \p max_concurrency caps how many entity quanta of this network may
+  /// run in the executor simultaneously (0 is promoted to 1); \p quantum
+  /// is the per-dispatch message budget of an entity.
+  Scheduler(snetsac::runtime::Executor& exec, unsigned max_concurrency,
+            unsigned quantum);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
@@ -30,22 +43,44 @@ class Scheduler {
   /// Marks an entity runnable. Thread-safe; called from Entity::deliver.
   void enqueue(Entity* entity);
 
-  /// Signals workers to finish their current quantum and exit, then joins.
+  /// Rejects further dispatch, discards the ready list and waits for every
+  /// in-flight quantum of this network to finish. Cooperative: called from
+  /// an executor worker it helps execute tasks instead of blocking (a
+  /// network may legally be torn down inside a box).
   void stop();
 
-  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+  unsigned workers() const { return limit_; }
   std::uint64_t quanta_executed() const;
 
- private:
-  void worker_loop();
+  /// Tasks stolen across workers of the underlying executor
+  /// (pool-wide observability, not scoped to this network).
+  std::uint64_t steals() const { return exec_.steals(); }
 
+ private:
+  /// Moves ready entities into \p batch while the dispatch window has
+  /// room, reserving a window slot and a lifetime pin for each (mu_ held).
+  void fill_locked(std::vector<Entity*>& batch);
+  /// Submits a batch collected by fill_locked to the executor.
+  void submit_batch(const std::vector<Entity*>& batch);
+  void run_one(Entity* entity);
+
+  snetsac::runtime::Executor& exec_;
+  const unsigned limit_;
   const unsigned quantum_;
+
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable idle_cv_;  // notified when active_ drains to 0
   std::deque<Entity*> ready_;
+  /// Quanta occupying the concurrency window (<= limit_). Released right
+  /// after a quantum runs, *before* the finishing task refills the window,
+  /// so dispatch responsibility always lies with the most recent finisher.
+  unsigned slots_ = 0;
+  /// Quanta still touching the scheduler, including their post-run
+  /// dispatch work. stop() waits on this; it only reaches zero when no
+  /// task will touch `this` again.
+  unsigned active_ = 0;
   bool stopping_ = false;
   std::uint64_t quanta_ = 0;
-  std::vector<std::jthread> threads_;
 };
 
 }  // namespace snet

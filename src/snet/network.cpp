@@ -33,7 +33,10 @@ Network::Network(Net topology, Options opts)
     // Inference already ran; the flag only controls whether a mismatch is
     // fatal. Keep it simple: inference throws either way. (Documented.)
   }
-  sched_ = std::make_unique<Scheduler>(opts_.workers, opts_.quantum);
+  // All networks (and all with-loops) share the process-wide executor;
+  // opts_.workers survives as this network's concurrency cap.
+  sched_ = std::make_unique<Scheduler>(snetsac::runtime::Executor::global(),
+                                       opts_.workers, opts_.quantum);
   Entity* out = adopt(std::make_unique<detail::OutputEntity>(*this));
   entry_ = instantiate(topology_, out, "net");
 }
@@ -59,17 +62,42 @@ void Network::close_input() {
 }
 
 std::optional<Record> Network::next_output() {
-  std::unique_lock lock(out_mu_);
-  out_cv_.wait(lock, [&] { return error_ || !outputs_.empty() || done_locked(); });
-  if (error_) {
-    std::rethrow_exception(error_);
+  auto& exec = snetsac::runtime::Executor::global();
+  const auto ready = [&] { return error_ || !outputs_.empty() || done_locked(); };
+  if (!exec.on_worker_thread()) {
+    // Client thread: classic single-lock wait-and-pop.
+    std::unique_lock lock(out_mu_);
+    out_cv_.wait(lock, ready);
+    if (error_) {
+      std::rethrow_exception(error_);
+    }
+    if (!outputs_.empty()) {
+      Record r = std::move(outputs_.front());
+      outputs_.pop_front();
+      return r;
+    }
+    return std::nullopt;
   }
-  if (!outputs_.empty()) {
-    Record r = std::move(outputs_.front());
-    outputs_.pop_front();
-    return r;
+  // Executor worker (a box running a nested network): wait cooperatively —
+  // execute queued tasks, including this network's own quanta, instead of
+  // blocking the pool slot. Loops because the lock is released between the
+  // wait and the pop: a concurrent consumer may take the output we were
+  // woken for.
+  for (;;) {
+    exec.help_until(out_mu_, out_cv_, ready);
+    std::unique_lock lock(out_mu_);
+    if (error_) {
+      std::rethrow_exception(error_);
+    }
+    if (!outputs_.empty()) {
+      Record r = std::move(outputs_.front());
+      outputs_.pop_front();
+      return r;
+    }
+    if (done_locked()) {
+      return std::nullopt;
+    }
   }
-  return std::nullopt;
 }
 
 std::vector<Record> Network::collect() {
@@ -84,8 +112,9 @@ std::vector<Record> Network::collect() {
 }
 
 void Network::wait() {
+  snetsac::runtime::Executor::global().help_until(
+      out_mu_, out_cv_, [&] { return error_ || done_locked(); });
   std::unique_lock lock(out_mu_);
-  out_cv_.wait(lock, [&] { return error_ || done_locked(); });
   if (error_) {
     std::rethrow_exception(error_);
   }

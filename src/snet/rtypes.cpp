@@ -81,10 +81,20 @@ RecordType RecordType::minus(const RecordType& other) const {
 }
 
 std::string RecordType::to_string() const {
+  // labels_ is ordered by (kind, interned id); ids reflect interning order,
+  // which varies run to run. Display deterministically: fields before tags
+  // (kind order), alphabetical within a kind.
+  std::vector<Label> display = labels_;
+  std::sort(display.begin(), display.end(), [](Label a, Label b) {
+    if (a.kind != b.kind) {
+      return a.kind < b.kind;
+    }
+    return label_name(a) < label_name(b);
+  });
   std::ostringstream os;
   os << '{';
   bool first = true;
-  for (const auto label : labels_) {
+  for (const auto label : display) {
     os << (first ? "" : ", ") << label_display(label);
     first = false;
   }

@@ -1,60 +1,111 @@
 #include "snet/scheduler.hpp"
 
+#include <vector>
+
 #include "snet/entity.hpp"
 
 namespace snet {
 
-Scheduler::Scheduler(unsigned workers, unsigned quantum)
-    : quantum_(quantum == 0 ? 1U : quantum) {
-  const unsigned count = workers == 0 ? 1U : workers;
-  threads_.reserve(count);
-  for (unsigned i = 0; i < count; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
-  }
-}
+Scheduler::Scheduler(snetsac::runtime::Executor& exec, unsigned max_concurrency,
+                     unsigned quantum)
+    : exec_(exec),
+      limit_(max_concurrency == 0 ? 1U : max_concurrency),
+      quantum_(quantum == 0 ? 1U : quantum) {}
 
 Scheduler::~Scheduler() { stop(); }
 
+void Scheduler::fill_locked(std::vector<Entity*>& batch) {
+  // Caller holds mu_. Reserves a window slot AND a lifetime pin per
+  // dispatched entity; the matching releases happen in run_one.
+  while (!stopping_ && slots_ < limit_ && !ready_.empty()) {
+    batch.push_back(ready_.front());
+    ready_.pop_front();
+    ++slots_;
+    ++active_;
+    ++quanta_;
+  }
+}
+
+void Scheduler::submit_batch(const std::vector<Entity*>& batch) {
+  // The batch's active_ reservations (taken under mu_ before this call)
+  // keep the scheduler alive across these submits: stop() cannot return
+  // while active_ > 0.
+  for (Entity* e : batch) {
+    exec_.submit([this, e] { run_one(e); });
+  }
+}
+
 void Scheduler::enqueue(Entity* entity) {
+  std::vector<Entity*> batch;
   {
     const std::lock_guard lock(mu_);
+    if (stopping_) {
+      return;  // teardown: pending entities are dropped, as before
+    }
     ready_.push_back(entity);
+    fill_locked(batch);
   }
-  cv_.notify_one();
+  submit_batch(batch);
+}
+
+void Scheduler::run_one(Entity* entity) {
+  // Tail-chaining: after a quantum, continue inline with the oldest ready
+  // entity instead of bouncing every link of a sequential chain through
+  // the executor (the common S-Net shape: a record walking a pipeline).
+  // Bounded so a busy network still yields the worker; everything beyond
+  // the inline continuation is submitted for other workers to pick up.
+  constexpr int kMaxChain = 64;
+  Entity* current = entity;
+  int chained = 0;
+  while (current != nullptr) {
+    // run_quantum never throws (entity errors are routed to Network::fail),
+    // so the bookkeeping below is unconditionally reached.
+    current->run_quantum(quantum_);
+    std::vector<Entity*> batch;
+    Entity* next = nullptr;
+    {
+      const std::lock_guard lock(mu_);
+      // Release the window slot *before* refilling: the finishing task
+      // must take dispatch responsibility for whatever is ready, even when
+      // quanta dispatched earlier have not released their slots yet (they
+      // refilled before we existed and will not look again).
+      --slots_;
+      fill_locked(batch);
+      if (!batch.empty() && ++chained <= kMaxChain) {
+        next = batch.front();
+        batch.erase(batch.begin());
+      }
+      // Release our lifetime pin. The pins fill_locked reserved for batch
+      // and next keep the scheduler alive past this critical section, so
+      // active_ can only drain to zero when there is nothing left to do —
+      // and then stop() may destroy the scheduler the moment we unlock.
+      if (--active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+    if (!batch.empty()) {
+      submit_batch(batch);  // safe: the batch's own pins hold the scheduler
+    }
+    current = next;  // safe: next's pin holds the scheduler
+  }
 }
 
 void Scheduler::stop() {
   {
     const std::lock_guard lock(mu_);
-    if (stopping_) {
-      return;
-    }
     stopping_ = true;
+    ready_.clear();  // teardown drops not-yet-dispatched entities, as before
   }
-  cv_.notify_all();
-  threads_.clear();  // jthread dtor joins
+  // Wait for in-flight quanta. help_until keeps executing tasks when we
+  // are on an executor worker (e.g. a network destroyed inside a box), so
+  // the quanta we wait for can still be run. Idempotent: a second call
+  // sees active_ == 0 and returns immediately.
+  exec_.help_until(mu_, idle_cv_, [&] { return active_ == 0; });
 }
 
 std::uint64_t Scheduler::quanta_executed() const {
   const std::lock_guard lock(mu_);
   return quanta_;
-}
-
-void Scheduler::worker_loop() {
-  for (;;) {
-    Entity* entity = nullptr;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
-      if (stopping_) {
-        return;
-      }
-      entity = ready_.front();
-      ready_.pop_front();
-      ++quanta_;
-    }
-    entity->run_quantum(quantum_);
-  }
 }
 
 }  // namespace snet

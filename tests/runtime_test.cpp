@@ -90,6 +90,23 @@ TEST(MpscQueue, ManyProducersDeliverEverything) {
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kEach));
 }
 
+TEST(MpscQueue, DrainIntoBatchesInFifoOrder) {
+  rt::MpscQueue<int> q;
+  for (int i = 0; i < 10; ++i) {
+    q.push(i);
+  }
+  std::vector<int> out;
+  EXPECT_EQ(q.drain_into(out, 4), 4U);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.size(), 6U);
+  // Appends to existing contents; asking for more than available drains all.
+  EXPECT_EQ(q.drain_into(out, 100), 6U);
+  EXPECT_EQ(out.size(), 10U);
+  EXPECT_EQ(out.back(), 9);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.drain_into(out, 5), 0U);
+}
+
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   rt::ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(1000);
