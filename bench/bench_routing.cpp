@@ -1,0 +1,225 @@
+/// Record-routing microbenchmark: the per-record cost of best-match branch
+/// selection at a 16-branch parallel combinator — the overhead the
+/// S-Net-vs-CnC evaluation (arXiv:1305.7167) identifies as the gap between
+/// S-Net and hand-tuned task frameworks.
+///
+/// Three measurements, all over the same 16 record shapes:
+///  * `matcher_legacy` — the pre-PR decision path replicated verbatim:
+///    per-variant label scans through `Record::has`, and a second scoring
+///    pass over all branches on ties.
+///  * `matcher_shape`  — the production `ParallelRouter`: bloom-mask
+///    reject + memoized subset test, full decision memoized per ShapeId.
+///  * `e2e`            — records/sec through a real 16-branch network
+///    (dispatcher + filters), the end-to-end view of the same path.
+///
+/// Emits BENCH_routing.json including the legacy→shape speedup; the
+/// acceptance bar for this PR is speedup >= 2.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "snet/net.hpp"
+#include "snet/network.hpp"
+#include "snet/router.hpp"
+#include "snet/rtypes.hpp"
+#include "snet/value.hpp"
+
+using namespace snet;
+
+namespace {
+
+constexpr int kBranches = 16;
+constexpr int kDecisions = 2'000'000;
+constexpr int kE2eRecords = 200'000;
+
+std::string field_name(int i) {
+  std::string name = "f";
+  name += std::to_string(i);
+  return name;
+}
+
+/// Branch input types as the network instantiation would infer them:
+/// branch i requires {f_i, payload}.
+std::vector<MultiType> branch_types() {
+  std::vector<MultiType> types;
+  types.reserve(kBranches);
+  for (int i = 0; i < kBranches; ++i) {
+    types.push_back(MultiType{RecordType::of({field_name(i), "payload"})});
+  }
+  return types;
+}
+
+/// One record per branch shape: {f_i, payload}.
+std::vector<Record> shaped_records() {
+  std::vector<Record> records;
+  records.reserve(kBranches);
+  for (int i = 0; i < kBranches; ++i) {
+    Record r;
+    r.set_field(field_label(field_name(i)), make_value(i));
+    r.set_field(field_label("payload"), make_value(i * 31));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// ----------------------------------------------------- pre-PR decision path
+
+/// The seed's MultiType::match_score: a fresh per-label scan per variant.
+int legacy_match_score(const MultiType& mt, const Record& r) {
+  int best = -1;
+  for (const auto& v : mt.variants()) {
+    bool ok = true;
+    for (const Label l : v.labels()) {
+      if (!r.has(l)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && static_cast<int>(v.size()) > best) {
+      best = static_cast<int>(v.size());
+    }
+  }
+  return best;
+}
+
+/// The seed's ParallelEntity::on_record selection, including the second
+/// match_score pass over every branch when scores tie.
+std::size_t legacy_route(const std::vector<MultiType>& branches, const Record& r,
+                         std::uint64_t& tie_break) {
+  int best = -1;
+  std::size_t chosen = 0;
+  bool tie = false;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    const int score = legacy_match_score(branches[i], r);
+    if (score > best) {
+      best = score;
+      chosen = i;
+      tie = false;
+    } else if (score == best && score >= 0) {
+      tie = true;
+    }
+  }
+  if (tie) {
+    std::vector<std::size_t> tied;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      if (legacy_match_score(branches[i], r) == best) {
+        tied.push_back(i);
+      }
+    }
+    chosen = tied[tie_break++ % tied.size()];
+  }
+  return chosen;
+}
+
+// ------------------------------------------------------------ measurements
+
+double matcher_legacy_rps(const std::vector<MultiType>& branches,
+                          const std::vector<Record>& records,
+                          std::size_t& sink) {
+  std::uint64_t tie_break = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kDecisions; ++i) {
+    sink += legacy_route(branches, records[static_cast<std::size_t>(i) % kBranches],
+                         tie_break);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return kDecisions / std::chrono::duration<double>(t1 - t0).count();
+}
+
+double matcher_shape_rps(const std::vector<MultiType>& branches,
+                         const std::vector<Record>& records, std::size_t& sink) {
+  detail::ParallelRouter router{branches};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kDecisions; ++i) {
+    sink += router.route(records[static_cast<std::size_t>(i) % kBranches]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return kDecisions / std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// 16 identity filters under a nested parallel combinator.
+Net routing_net() {
+  Net net;
+  for (int i = 0; i < kBranches; ++i) {
+    const std::string f = field_name(i);
+    Net leaf = filter("{" + f + ", payload} -> {" + f + ", payload}");
+    net = net ? parallel(std::move(net), std::move(leaf)) : std::move(leaf);
+  }
+  return net;
+}
+
+double e2e_rps() {
+  Options opts;
+  opts.workers = 4;
+  Network net(routing_net(), std::move(opts));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kE2eRecords; ++i) {
+    Record r;
+    r.set_field(field_label(field_name(i % kBranches)), make_value(i));
+    r.set_field(field_label("payload"), make_value(i * 31));
+    net.inject(std::move(r));
+  }
+  const std::vector<Record> out = net.collect();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (out.size() != kE2eRecords) {
+    std::fprintf(stderr, "e2e record loss: %zu/%d\n", out.size(), kE2eRecords);
+    return 0;
+  }
+  return kE2eRecords / std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<MultiType> branches = branch_types();
+  const std::vector<Record> records = shaped_records();
+
+  std::size_t sink = 0;
+  // Warmup both paths (and the shape/transition TLS caches).
+  matcher_legacy_rps(branches, records, sink);
+  matcher_shape_rps(branches, records, sink);
+
+  const double legacy = matcher_legacy_rps(branches, records, sink);
+  const double shape = matcher_shape_rps(branches, records, sink);
+  const double speedup = shape / legacy;
+  e2e_rps();  // warmup
+  const double e2e = e2e_rps();
+
+  std::printf("matcher_legacy  %12.0f decisions/sec\n", legacy);
+  std::printf("matcher_shape   %12.0f decisions/sec\n", shape);
+  std::printf("speedup         %12.2fx %s\n", speedup,
+              speedup >= 2.0 ? "(>= 2x: OK)" : "(< 2x: REGRESSION)");
+  std::printf("e2e_16branch    %12.0f records/sec\n", e2e);
+  std::printf("(sink %zu)\n", sink);
+
+  std::vector<benchjson::Row> rows;
+  benchjson::Row r1;
+  r1.set("bench", std::string("routing_matcher"))
+      .set("mode", std::string("legacy"))
+      .set("branches", static_cast<std::int64_t>(kBranches))
+      .set("decisions", static_cast<std::int64_t>(kDecisions))
+      .set("records_per_sec", legacy);
+  rows.push_back(std::move(r1));
+  benchjson::Row r2;
+  r2.set("bench", std::string("routing_matcher"))
+      .set("mode", std::string("shape"))
+      .set("branches", static_cast<std::int64_t>(kBranches))
+      .set("decisions", static_cast<std::int64_t>(kDecisions))
+      .set("records_per_sec", shape)
+      .set("speedup_vs_legacy", speedup);
+  rows.push_back(std::move(r2));
+  benchjson::Row r3;
+  r3.set("bench", std::string("routing_e2e"))
+      .set("branches", static_cast<std::int64_t>(kBranches))
+      .set("records", static_cast<std::int64_t>(kE2eRecords))
+      .set("records_per_sec", e2e);
+  rows.push_back(std::move(r3));
+  benchjson::write("routing", rows);
+  std::printf("wrote BENCH_routing.json\n");
+  // Fail CI on a matcher regression below the 2x bar *or* on e2e record
+  // loss (e2e_rps reports loss as 0).
+  return speedup >= 2.0 && e2e > 0 ? 0 : 1;
+}

@@ -48,7 +48,6 @@ RunResult run_once(unsigned threads, int records) {
   Options opts;
   opts.workers = threads;
   Network net(split(sac_box(ctx), "k"), std::move(opts));
-  const std::uint64_t steals_before = net.scheduler().steals();
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < records; ++i) {
     Record r;
@@ -58,10 +57,13 @@ RunResult run_once(unsigned threads, int records) {
   }
   net.collect();
   const auto t1 = std::chrono::steady_clock::now();
+  // Quantum/steal counters are per-network now (NetworkStats), so no
+  // before/after delta against a pool-wide number is needed.
+  const NetworkStats stats = net.stats();
   RunResult res;
   res.seconds = std::chrono::duration<double>(t1 - t0).count();
-  res.quanta = net.scheduler().quanta_executed();
-  res.steals = net.scheduler().steals() - steals_before;
+  res.quanta = stats.quanta;
+  res.steals = stats.steals;
   return res;
 }
 

@@ -18,6 +18,9 @@ struct WorkerTls {
 
 thread_local WorkerTls tls_worker;
 
+/// Whether the task currently executing on this thread was stolen.
+thread_local bool tls_task_stolen = false;
+
 /// Cheap per-thread xorshift for victim selection; no global state.
 std::uint64_t next_rand() {
   thread_local std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
@@ -34,7 +37,7 @@ Executor::Executor(unsigned threads) {
   const unsigned count = threads == 0 ? 1U : threads;
   queues_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
-    queues_.push_back(std::make_unique<Shard>());
+    queues_.push_back(std::make_unique<ChaseLevDeque<TaskFn*>>());
   }
   threads_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
@@ -50,13 +53,20 @@ Executor::~Executor() {
   }
   park_cv_.notify_all();
   threads_.clear();  // jthread joins; workers exit only once drained
+  // The drain protocol leaves every deque empty; sweeping here is a leak
+  // guard, not a correctness path.
+  for (auto& q : queues_) {
+    while (TaskFn* leftover = q->pop()) {
+      delete leftover;
+    }
+  }
 }
 
 void Executor::submit(std::function<void()> task) {
   const WorkerTls& t = tls_worker;
   if (t.exec == this) {
-    const std::lock_guard lock(queues_[t.index]->mu);
-    queues_[t.index]->tasks.push_back(std::move(task));
+    // Owner push: lock-free, no CAS on the fast path.
+    queues_[t.index]->push(new TaskFn(std::move(task)));
   } else {
     const std::lock_guard lock(inject_mu_);
     inject_.push_back(std::move(task));
@@ -72,17 +82,17 @@ void Executor::submit(std::function<void()> task) {
 
 bool Executor::on_worker_thread() const { return tls_worker.exec == this; }
 
-bool Executor::pop_task(unsigned self, std::function<void()>& out) {
+bool Executor::current_task_stolen() { return tls_task_stolen; }
+
+bool Executor::pop_task(unsigned self, TaskFn& out, bool& stolen) {
+  stolen = false;
   // 1. Own deque, newest first: the task most likely still in cache, and
-  //    the one a nested join is most likely waiting on.
-  {
-    Shard& own = *queues_[self];
-    const std::lock_guard lock(own.mu);
-    if (!own.tasks.empty()) {
-      out = std::move(own.tasks.back());
-      own.tasks.pop_back();
-      return true;
-    }
+  //    the one a nested join is most likely waiting on. Owner pop is
+  //    lock-free (one CAS only when racing a thief for the last element).
+  if (TaskFn* own = queues_[self]->pop()) {
+    out = std::move(*own);
+    delete own;
+    return true;
   }
   // 2. Injector queue, oldest first (external submission order).
   {
@@ -93,9 +103,12 @@ bool Executor::pop_task(unsigned self, std::function<void()>& out) {
       return true;
     }
   }
-  // 3. Steal FIFO from a random victim, scanning every shard once so an
-  //    empty-handed return really means "no runnable task existed during
-  //    the scan".
+  // 3. Steal FIFO from a random victim, scanning every deque once. A
+  //    steal that loses its CAS (ABORT) is retried on the same victim —
+  //    the element went to the winner, but the deque may still hold a
+  //    backlog, and misreading it as empty could park this worker while
+  //    runnable work sits queued. An empty-handed return therefore means
+  //    every deque was observed genuinely empty during the scan.
   const unsigned n = static_cast<unsigned>(queues_.size());
   const unsigned start = static_cast<unsigned>(next_rand() % n);
   for (unsigned k = 0; k < n; ++k) {
@@ -103,25 +116,31 @@ bool Executor::pop_task(unsigned self, std::function<void()>& out) {
     if (v == self) {
       continue;
     }
-    Shard& victim = *queues_[v];
-    const std::lock_guard lock(victim.mu);
-    if (!victim.tasks.empty()) {
-      out = std::move(victim.tasks.front());
-      victim.tasks.pop_front();
-      steals_.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    }
+    bool lost_race = false;
+    do {
+      if (TaskFn* loot = queues_[v]->steal(&lost_race)) {
+        out = std::move(*loot);
+        delete loot;
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        stolen = true;
+        return true;
+      }
+    } while (lost_race);
   }
   return false;
 }
 
 bool Executor::try_run_one(unsigned self) {
-  std::function<void()> task;
-  if (!pop_task(self, task)) {
+  TaskFn task;
+  bool stolen = false;
+  if (!pop_task(self, task, stolen)) {
     return false;
   }
   executed_.fetch_add(1, std::memory_order_relaxed);
+  const bool prev = tls_task_stolen;  // nested help_until runs inner tasks
+  tls_task_stolen = stolen;
   task();
+  tls_task_stolen = prev;
   return true;
 }
 

@@ -1,0 +1,178 @@
+#ifndef SNETSAC_RUNTIME_CHASE_LEV_HPP
+#define SNETSAC_RUNTIME_CHASE_LEV_HPP
+
+/// \file chase_lev.hpp
+/// Lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005) with
+/// the C11 memory orderings of Lê, Pop, Cohen & Zappa Nardelli (PPoPP
+/// 2013, "Correct and Efficient Work-Stealing for Weak Memory Models").
+///
+/// Ownership contract:
+///  * exactly one *owner* thread calls push()/pop(), lock- and CAS-free in
+///    the common case (one CAS only on the last-element race);
+///  * any number of *thief* threads call steal(), arbitrated by a CAS on
+///    `top`. A steal may return nullptr spuriously when it loses the race
+///    for an element that another thread removed — the element is then
+///    owned by the winner, never lost.
+///
+/// Memory-ordering contract (the part reviews should check against the
+/// paper): the owner's pop publishes its speculative `bottom` decrement
+/// with a seq_cst fence before reading `top`; a thief reads `top`
+/// (acquire), issues a seq_cst fence, then reads `bottom` (acquire). These
+/// two fences order the owner's decrement against the thief's CAS so both
+/// can never claim the same element. push publishes the slot write with a
+/// release fence before advancing `bottom`; steal's acquire load of
+/// `bottom` + acquire load of the buffer pointer make the slot contents
+/// visible before the CAS commits the claim.
+///
+/// Elements are raw pointers (the deque never owns them). The ring buffer
+/// grows on demand; retired buffers are kept until destruction because a
+/// thief may still be reading through a stale buffer pointer — its CAS
+/// then decides whether the value it read was current.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace snetsac::runtime {
+
+template <class T>
+class ChaseLevDeque {
+  static_assert(std::is_pointer_v<T>, "elements must be raw pointers");
+
+ public:
+  explicit ChaseLevDeque(std::int64_t capacity = 64)
+      : buffer_(new Buffer(capacity)) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Frees the buffers only — any elements still queued are the caller's
+  /// to reclaim (pop until nullptr first).
+  ~ChaseLevDeque() { delete buffer_.load(std::memory_order_relaxed); }
+
+  /// Owner only: enqueue at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: dequeue at the bottom (LIFO); nullptr when empty.
+  T pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T item = nullptr;
+    if (t <= b) {
+      item = a->get(b);
+      if (t == b) {
+        // Last element: race the thieves for it via the same CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);  // was empty
+    }
+    return item;
+  }
+
+  /// Any thread: dequeue at the top (FIFO). nullptr when empty *or* when
+  /// the claiming CAS lost a race (ABORT in the paper — the element went
+  /// to the winner, but others may remain). \p lost_race, when provided,
+  /// distinguishes the two so callers can retry the victim instead of
+  /// misreading a contended deque as drained.
+  T steal(bool* lost_race = nullptr) {
+    if (lost_race != nullptr) {
+      *lost_race = false;
+    }
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) {
+      return nullptr;
+    }
+    Buffer* a = buffer_.load(std::memory_order_acquire);
+    T item = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      if (lost_race != nullptr) {
+        *lost_race = true;
+      }
+      return nullptr;  // lost the race; the element belongs to the winner
+    }
+    return item;
+  }
+
+  /// Approximate (racy) size; exact only when quiescent or owner-called.
+  std::int64_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  /// Power-of-two ring of atomic slots; indices are absolute (monotone),
+  /// wrapped by the mask on access.
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(round_up(cap)), mask(capacity - 1),
+          slots(new std::atomic<T>[static_cast<std::size_t>(capacity)]) {}
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T x) {
+      slots[static_cast<std::size_t>(i & mask)].store(x,
+                                                      std::memory_order_relaxed);
+    }
+
+    static std::int64_t round_up(std::int64_t v) {
+      std::int64_t p = 8;
+      while (p < v) {
+        p <<= 1;
+      }
+      return p;
+    }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  /// Owner only. The old buffer is retired, not freed: a thief holding the
+  /// stale pointer may still call get() on it, and the elements reachable
+  /// there are exactly the ones copied (same absolute indices) — its CAS
+  /// on `top` decides whether the value it read was still current.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    Buffer* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->put(i, old->get(i));
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only
+};
+
+}  // namespace snetsac::runtime
+
+#endif

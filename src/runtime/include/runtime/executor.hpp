@@ -11,8 +11,10 @@
 /// dispatch through two global locks. This executor replaces both:
 ///
 ///  * one worker thread per core (see `default_executor_threads()`),
-///  * a lock-sharded deque per worker — owners push/pop LIFO at the back
-///    for locality, thieves steal FIFO from the front of a random victim,
+///  * a lock-free Chase–Lev deque per worker (chase_lev.hpp) — the owner
+///    pushes/pops LIFO at the bottom without locks or (in the common case)
+///    CAS; thieves steal FIFO from the top of a random victim, arbitrated
+///    by a single CAS,
 ///  * an injector queue for submissions from non-worker threads,
 ///  * an epoch-stamped parking lot so idle workers sleep instead of
 ///    spinning, with the classic Dekker-style sleeper/epoch handshake to
@@ -38,6 +40,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/chase_lev.hpp"
 
 namespace snetsac::runtime {
 
@@ -82,6 +86,12 @@ class Executor {
   /// Tasks obtained by stealing from another worker's deque.
   std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
+  /// True while a task is executing on this thread *and* that task was
+  /// obtained by stealing from another worker's deque. Lets clients (the
+  /// S-Net scheduler) attribute pool-level steals to their own workload —
+  /// the per-network counters in `NetworkStats`.
+  static bool current_task_stolen();
+
   /// The process-wide executor shared by the SaC with-loop engine and
   /// every S-Net network. Sized by `default_executor_threads()` on first
   /// use. One pool, one set of threads — layering happens in the tasks,
@@ -89,20 +99,18 @@ class Executor {
   static Executor& global();
 
  private:
-  /// One shard: a worker's deque. The lock is per-worker, so owner pushes
-  /// and thief pops contend only pairwise, never globally.
-  struct Shard {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
-  };
+  /// Tasks live on the heap while queued: the Chase–Lev ring holds raw
+  /// pointers (its elements must be trivially copyable words).
+  using TaskFn = std::function<void()>;
 
   void worker_loop(unsigned index);
   /// Pops one runnable task (own deque → injector → steal); empty-handed
-  /// returns false. \p self is the calling worker's shard index.
-  bool pop_task(unsigned self, std::function<void()>& out);
+  /// returns false. \p self is the calling worker's shard index; \p stolen
+  /// reports whether the task came off another worker's deque.
+  bool pop_task(unsigned self, TaskFn& out, bool& stolen);
   bool try_run_one(unsigned self);
 
-  std::vector<std::unique_ptr<Shard>> queues_;
+  std::vector<std::unique_ptr<ChaseLevDeque<TaskFn*>>> queues_;
 
   std::mutex inject_mu_;
   std::deque<std::function<void()>> inject_;

@@ -16,14 +16,20 @@ void OutputEntity::on_record(Record r) {
 // ------------------------------------------------------------------- Box
 
 BoxEntity::BoxEntity(Network& net, std::string name, Net node, Entity* successor)
-    : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor) {}
+    : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor),
+      input_type_(node_->sig.input.type()) {}
 
 void BoxEntity::on_record(Record r) {
-  // Bind declared input labels; their presence is a type obligation.
-  for (const Label l : node_->sig.input.labels) {
-    if (!r.has(l)) {
-      throw NetTypeError("box " + node_->name + " received record " + r.to_string() +
-                         " lacking declared label " + label_display(l));
+  // Bind declared input labels; their presence is a type obligation. The
+  // mask-then-subset match settles the common case; the per-label rescan
+  // on failure only serves the error message.
+  if (!input_type_.matches(r)) {
+    for (const Label l : node_->sig.input.labels) {
+      if (!r.has(l)) {
+        throw NetTypeError("box " + node_->name + " received record " +
+                           r.to_string() + " lacking declared label " +
+                           label_display(l));
+      }
     }
   }
   current_ = &r;
@@ -69,7 +75,7 @@ void BoxEntity::emit(int variant, std::vector<BoxArg> args) {
   // records and extend any output record produced in response to this very
   // input record by these fields and tags, unless some label is already
   // present in the output record".
-  const RecordType consumed = node_->sig.input.type();
+  const RecordType& consumed = input_type_;
   for (const auto& [label, value] : current_->fields()) {
     if (!consumed.contains(label) && !out.has_field(label)) {
       out.set_field(label, value);
@@ -91,7 +97,16 @@ FilterEntity::FilterEntity(Network& net, std::string name, Net node,
     : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor) {}
 
 void FilterEntity::on_record(Record r) {
-  std::vector<Record> produced = node_->filter->apply(r);
+  // Memoize the pattern's type match per shape; the guard (tag values)
+  // cannot be memoized and is evaluated per record. The non-matching path
+  // goes through apply() so the error is identical to the unmemoized one.
+  const Pattern& pat = node_->filter->pattern();
+  const bool type_ok =
+      type_match_.get_or(r.shape(), [&] { return pat.type.matches(r); });
+  std::vector<Record> produced =
+      type_ok && (!pat.guard || pat.guard->eval_bool(r))
+          ? node_->filter->apply_matched(r)
+          : node_->filter->apply(r);
   for (auto& out : produced) {
     send(succ_, std::move(out));
   }
@@ -99,40 +114,39 @@ void FilterEntity::on_record(Record r) {
 
 // -------------------------------------------------------------- Parallel
 
+namespace {
+
+std::vector<MultiType> branch_inputs(std::vector<ParallelEntity::Branch>& branches) {
+  std::vector<MultiType> inputs;
+  inputs.reserve(branches.size());
+  for (auto& b : branches) {
+    inputs.push_back(std::move(b.input));
+  }
+  return inputs;
+}
+
+}  // namespace
+
 ParallelEntity::ParallelEntity(Network& net, std::string name,
                                std::vector<Branch> branches)
-    : Entity(net, std::move(name)), branches_(std::move(branches)) {}
+    : Entity(net, std::move(name)), router_(branch_inputs(branches)) {
+  entries_.reserve(branches.size());
+  for (const Branch& b : branches) {
+    entries_.push_back(b.entry);
+  }
+}
 
 void ParallelEntity::on_record(Record r) {
-  int best = -1;
-  std::size_t chosen = 0;
-  bool tie = false;
-  for (std::size_t i = 0; i < branches_.size(); ++i) {
-    const int score = branches_[i].input.match_score(r);
-    if (score > best) {
-      best = score;
-      chosen = i;
-      tie = false;
-    } else if (score == best && score >= 0) {
-      tie = true;
-    }
-  }
-  if (best < 0) {
+  // Best-match routing, memoized per shape: each branch is scored once
+  // when a shape is first seen; afterwards the decision is a hash lookup.
+  // "If both branches in the streaming network match equally well, one is
+  // selected non-deterministically" — ties alternate for fairness.
+  const std::size_t chosen = router_.route(r);
+  if (chosen == ParallelRouter::npos) {
     throw NetTypeError("parallel combinator " + name() + ": record " + r.to_string() +
                        " matches no branch");
   }
-  if (tie) {
-    // "If both branches in the streaming network match equally well, one
-    // is selected non-deterministically." Alternate for fairness.
-    std::vector<std::size_t> tied;
-    for (std::size_t i = 0; i < branches_.size(); ++i) {
-      if (branches_[i].input.match_score(r) == best) {
-        tied.push_back(i);
-      }
-    }
-    chosen = tied[tie_break_++ % tied.size()];
-  }
-  send(branches_[chosen].entry, std::move(r));
+  send(entries_[chosen], std::move(r));
 }
 
 // ------------------------------------------------------------------ Star
@@ -146,7 +160,12 @@ StarStageEntity::StarStageEntity(Network& net, std::string prefix, Net node,
       stage_(stage) {}
 
 void StarStageEntity::on_record(Record r) {
-  if (node_->exit.matches(r)) {
+  // Exit-tap decision, memoized per shape (the Fig. 3 guard `<level> > 40`
+  // still runs per record — only the label-set half is cached).
+  const Pattern& exit = node_->exit;
+  const bool type_ok =
+      exit_type_match_.get_or(r.shape(), [&] { return exit.type.matches(r); });
+  if (type_ok && (!exit.guard || exit.guard->eval_bool(r))) {
     send(exit_target_, std::move(r));
     return;
   }
@@ -245,10 +264,31 @@ SyncEntity::SyncEntity(Network& net, std::string name, Net node, Entity* success
     : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor),
       slots_(node_->sync_patterns.size()) {}
 
+std::uint64_t SyncEntity::slot_type_matches(const Record& r) {
+  return slot_match_.get_or(r.shape(), [&] {
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (node_->sync_patterns[i].type.matches(r)) {
+        bits |= 1ULL << i;
+      }
+    }
+    return bits;
+  });
+}
+
 void SyncEntity::on_record(Record r) {
   if (!fired_) {
+    // Per-shape slot bitset when the cell is small enough; the guard of a
+    // pattern is still evaluated per record.
+    const bool memoized = slots_.size() <= 64;
+    const std::uint64_t bits = memoized ? slot_type_matches(r) : 0;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].has_value() || !node_->sync_patterns[i].matches(r)) {
+      if (slots_[i].has_value()) {
+        continue;
+      }
+      const Pattern& pat = node_->sync_patterns[i];
+      if (memoized ? ((bits >> i) & 1) == 0 || (pat.guard && !pat.guard->eval_bool(r))
+                   : !pat.matches(r)) {
         continue;
       }
       const bool last_missing =

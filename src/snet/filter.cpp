@@ -66,6 +66,10 @@ std::vector<Record> FilterSpec::apply(const Record& in) const {
     throw FilterError("record " + in.to_string() + " does not match filter pattern " +
                       pattern_.to_string());
   }
+  return apply_matched(in);
+}
+
+std::vector<Record> FilterSpec::apply_matched(const Record& in) const {
   std::vector<Record> produced;
   produced.reserve(outputs_.size());
   for (const auto& out_spec : outputs_) {

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "snet/box.hpp"
@@ -16,6 +17,8 @@
 #include "snet/filter.hpp"
 #include "snet/net.hpp"
 #include "snet/network.hpp"
+#include "snet/router.hpp"
+#include "snet/shapes.hpp"
 
 namespace snet::detail {
 
@@ -41,6 +44,7 @@ class BoxEntity final : public Entity, private BoxOutput {
  private:
   Net node_;
   Entity* succ_;
+  RecordType input_type_;  // set view of the declared input (hoisted)
   const Record* current_ = nullptr;  // input being processed (for inheritance)
 };
 
@@ -55,10 +59,15 @@ class FilterEntity final : public Entity {
  private:
   Net node_;
   Entity* succ_;
+  /// Per-shape memo of the pattern's *type* match (guards, which depend on
+  /// tag values rather than the label set, are evaluated per record).
+  ShapeMemo<bool> type_match_;
 };
 
 /// Parallel-composition dispatcher: best-match routing over branch input
-/// types; ties alternate (the non-deterministic choice).
+/// types; ties alternate (the non-deterministic choice). The decision is
+/// memoized per record shape (see router.hpp), so steady-state routing is
+/// one hash lookup instead of a per-variant label scan.
 class ParallelEntity final : public Entity {
  public:
   struct Branch {
@@ -71,8 +80,8 @@ class ParallelEntity final : public Entity {
   void on_record(Record r) override;
 
  private:
-  std::vector<Branch> branches_;
-  std::uint64_t tie_break_ = 0;
+  std::vector<Entity*> entries_;
+  ParallelRouter router_;
 };
 
 /// One stage of a serial replication: "the chain is tapped before every
@@ -94,6 +103,8 @@ class StarStageEntity final : public Entity {
   Entity* exit_target_;
   unsigned stage_;
   Entity* replica_entry_ = nullptr;  // lazily instantiated
+  /// Per-shape memo of the exit pattern's type match (guard per record).
+  ShapeMemo<bool> exit_type_match_;
 };
 
 /// Parallel replication dispatcher: routes on the value of the split tag;
@@ -161,9 +172,15 @@ class SyncEntity final : public Entity {
   void on_record(Record r) override;
 
  private:
+  /// Pattern indices whose *type* matches records of a given shape, as a
+  /// bitset (synchrocells have a handful of patterns; >64 falls back to
+  /// unmemoized matching). Guards are evaluated per record.
+  std::uint64_t slot_type_matches(const Record& r);
+
   Net node_;
   Entity* succ_;
   std::vector<std::optional<Record>> slots_;
+  ShapeMemo<std::uint64_t> slot_match_;
   bool fired_ = false;
 };
 

@@ -55,6 +55,11 @@ class FilterSpec {
   /// the pattern (a type error the static checker should have caught).
   std::vector<Record> apply(const Record& in) const;
 
+  /// Applies the filter to a record the caller has already matched against
+  /// the pattern (e.g. via a shape-memoized route table). Precondition:
+  /// `pattern().matches(in)`.
+  std::vector<Record> apply_matched(const Record& in) const;
+
   /// The guaranteed labels of each produced record (excluding flow
   /// inheritance) — the filter's declared output type.
   MultiType output_type() const;

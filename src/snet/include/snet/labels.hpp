@@ -10,7 +10,9 @@
 /// angular brackets." (paper, Section 4).
 ///
 /// Label names are interned process-wide so records and types can compare
-/// labels as integers.
+/// labels as integers. Whole label *sets* are interned one level up as
+/// shapes (shapes.hpp), which is what makes record routing O(1): a label's
+/// contribution to a shape's bloom mask is `label_bit` there.
 
 #include <compare>
 #include <cstdint>

@@ -64,6 +64,11 @@ struct NetworkStats {
   std::uint64_t injected = 0;
   std::uint64_t produced = 0;
   std::int64_t peak_live = 0;
+  /// Entity quanta this network dispatched into the shared executor.
+  std::uint64_t quanta = 0;
+  /// Of those, how many ran on a worker they were stolen onto — this
+  /// network's share of pool-level work stealing, not the pool-wide count.
+  std::uint64_t steals = 0;
 
   std::size_t entity_count() const { return entities.size(); }
   /// Number of entities whose name contains \p needle — used to count

@@ -28,7 +28,10 @@ struct Pattern {
   static Pattern parse(const std::string& text);
 
   /// A record matches when it carries all pattern labels and, if present,
-  /// the guard evaluates to true.
+  /// the guard evaluates to true. The label half runs the mask-then-subset
+  /// protocol (see shapes.hpp); only the guard touches the record's tag
+  /// values — which is why routing entities can memoize `type.matches`
+  /// per shape but must evaluate guards per record.
   bool matches(const Record& r) const {
     return type.matches(r) && (!guard || guard->eval_bool(r));
   }

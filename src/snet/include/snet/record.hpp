@@ -9,8 +9,10 @@
 /// are shared immutably, so the copies are cheap).
 ///
 /// Records additionally carry hidden runtime metadata: the stack of
-/// deterministic-combinator stamps (see detscope.hpp). The metadata is
-/// invisible to boxes and to the type system.
+/// deterministic-combinator stamps (see detscope.hpp) and the interned
+/// `ShapeId`/bloom mask of their label set (see shapes.hpp), maintained
+/// incrementally across mutations so structural matching never rescans
+/// labels. The metadata is invisible to boxes and to the type system.
 
 #include <cstdint>
 #include <optional>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "snet/labels.hpp"
+#include "snet/shapes.hpp"
 #include "snet/value.hpp"
 
 namespace snet {
@@ -76,6 +79,13 @@ class Record {
   const std::vector<std::pair<Label, Value>>& fields() const { return fields_; }
   const std::vector<std::pair<Label, std::int64_t>>& tags() const { return tags_; }
 
+  /// The interned shape of this record's label set. Maintained across
+  /// every mutation; two records with the same labels always report the
+  /// same id. O(1) amortised (thread-local transition cache).
+  ShapeId shape() const { return shape_; }
+  /// The bloom mask of the shape: OR of `label_bit` over all labels.
+  std::uint64_t shape_mask() const { return mask_; }
+
   /// Human-readable form, e.g. `{board, opts, <k>=3}`.
   std::string to_string() const;
 
@@ -90,10 +100,14 @@ class Record {
  private:
   const Value* find_field(Label label) const;
   const std::int64_t* find_tag(Label label) const;
+  void shape_add(Label label);
+  void shape_remove(Label label);
 
   std::vector<std::pair<Label, Value>> fields_;
   std::vector<std::pair<Label, std::int64_t>> tags_;
   std::vector<DetStamp> det_;
+  ShapeId shape_ = 0;  // id 0 is the empty shape by construction
+  std::uint64_t mask_ = 0;
 };
 
 /// Builder-style helpers for tests and examples.

@@ -1,0 +1,107 @@
+#ifndef SNETSAC_SNET_ROUTER_HPP
+#define SNETSAC_SNET_ROUTER_HPP
+
+/// \file router.hpp (internal)
+/// Shape-memoized branch selection for parallel combinators. The branch
+/// input types are fixed at instantiation and a record's match outcome
+/// depends only on its label set, so the full best-match decision — the
+/// winning score and the set of equally-scored branches — is computed once
+/// per distinct `ShapeId` and replayed as a single hash lookup thereafter.
+/// Ties still rotate per record ("one is selected non-deterministically");
+/// only the tied *set* is memoized, not the pick.
+///
+/// Not thread-safe: a router belongs to one entity, and entities are run
+/// by at most one worker at a time. Shared with bench_routing so the
+/// microbenchmark measures exactly the production decision path.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "snet/rtypes.hpp"
+#include "snet/shapes.hpp"
+
+namespace snet::detail {
+
+/// Per-shape memo table: one immutable value per record shape, computed
+/// on first sight. The idiom behind every entity route table — filters
+/// and star exits memoize a bool (pattern type match), synchrocells a
+/// slot bitset. Unsynchronised by design: a memo belongs to one entity,
+/// and entities are run by at most one worker at a time.
+template <class Value>
+class ShapeMemo {
+ public:
+  /// The memoized value for \p shape, computing it via \p fill on a miss.
+  template <class Fill>
+  const Value& get_or(ShapeId shape, Fill&& fill) {
+    const auto [it, fresh] = table_.try_emplace(shape);
+    if (fresh) {
+      it->second = fill();
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<ShapeId, Value> table_;
+};
+
+class ParallelRouter {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit ParallelRouter(std::vector<MultiType> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  std::size_t branch_count() const { return inputs_.size(); }
+
+  /// The branch index \p r routes to, or npos when no branch matches.
+  std::size_t route(const Record& r) {
+    const Route& route = decide(r.shape(), r);
+    if (route.tied.empty()) {
+      return npos;
+    }
+    if (route.tied.size() == 1) {
+      return route.tied.front();
+    }
+    return route.tied[tie_break_++ % route.tied.size()];
+  }
+
+ private:
+  struct Route {
+    std::vector<std::uint32_t> tied;  // branches sharing the best score
+  };
+
+  const Route& decide(ShapeId shape, const Record& r) {
+    const auto it = table_.find(shape);
+    if (it != table_.end()) {
+      return it->second;
+    }
+    // Fresh shape: score every branch once into the scratch vector, then
+    // collect the argmax set.
+    scores_.clear();
+    int best = -1;
+    for (const MultiType& input : inputs_) {
+      const int score = input.match_score(r);
+      scores_.push_back(score);
+      best = score > best ? score : best;
+    }
+    Route route;
+    if (best >= 0) {
+      for (std::uint32_t i = 0; i < scores_.size(); ++i) {
+        if (scores_[i] == best) {
+          route.tied.push_back(i);
+        }
+      }
+    }
+    return table_.emplace(shape, std::move(route)).first->second;
+  }
+
+  std::vector<MultiType> inputs_;
+  std::unordered_map<ShapeId, Route> table_;
+  std::vector<int> scores_;  // scratch, reused across misses
+  std::uint64_t tie_break_ = 0;
+};
+
+}  // namespace snet::detail
+
+#endif

@@ -16,6 +16,7 @@
 
 #include "snet/labels.hpp"
 #include "snet/record.hpp"
+#include "snet/shapes.hpp"
 
 namespace snet {
 
@@ -39,7 +40,20 @@ class RecordType {
 
   /// A record matches a variant when the variant's labels are all present
   /// (the record may carry more — that is record subtyping in action).
-  bool matches(const Record& r) const;
+  ///
+  /// Mask-then-subset protocol: a bloom-mask reject settles most
+  /// non-matches in two bitops; survivors (including mask false positives)
+  /// are decided by the exact, thread-locally memoized shape subset test.
+  bool matches(const Record& r) const {
+    if ((mask_ & ~r.shape_mask()) != 0) {
+      return false;  // some required label is provably absent
+    }
+    return ShapeRegistry::instance().subset(shape_, r.shape());
+  }
+
+  /// The interned shape of this label set.
+  ShapeId shape() const { return shape_; }
+  std::uint64_t shape_mask() const { return mask_; }
 
   std::size_t size() const { return labels_.size(); }
   bool empty() const { return labels_.empty(); }
@@ -58,7 +72,11 @@ class RecordType {
   std::string to_string() const;
 
  private:
+  void reintern();
+
   std::vector<Label> labels_;  // sorted, unique
+  ShapeId shape_ = 0;          // interned form of labels_ (kept in sync)
+  std::uint64_t mask_ = 0;
 };
 
 /// The record type of a concrete record (all its labels).

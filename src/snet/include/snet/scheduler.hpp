@@ -16,6 +16,7 @@
 /// Each dispatched task runs one Entity::run_quantum, then refills the
 /// dispatch window.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,9 +53,10 @@ class Scheduler {
   unsigned workers() const { return limit_; }
   std::uint64_t quanta_executed() const;
 
-  /// Tasks stolen across workers of the underlying executor
-  /// (pool-wide observability, not scoped to this network).
-  std::uint64_t steals() const { return exec_.steals(); }
+  /// Quanta of *this network* that ran on a worker other than the one
+  /// they were submitted from (per-network, not pool-wide: attribution
+  /// comes from `Executor::current_task_stolen()` at quantum start).
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
 
  private:
   /// Moves ready entities into \p batch while the dispatch window has
@@ -81,6 +83,7 @@ class Scheduler {
   unsigned active_ = 0;
   bool stopping_ = false;
   std::uint64_t quanta_ = 0;
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace snet

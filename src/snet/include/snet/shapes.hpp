@@ -1,0 +1,92 @@
+#ifndef SNETSAC_SNET_SHAPES_HPP
+#define SNETSAC_SNET_SHAPES_HPP
+
+/// \file shapes.hpp
+/// Record *shape* interning. A shape is the sorted set of labels (fields
+/// and tags) a record carries — exactly the information every structural
+/// match in the coordination layer consumes. Interning shapes process-wide
+/// gives each distinct label set a dense `ShapeId` plus a 64-bit label
+/// bloom mask, so that on the steady-state path
+///
+///   * `RecordType::matches` is a mask reject followed by a memoized
+///     subset test instead of a per-label scan, and
+///   * routing entities can memoize their entire branch decision per
+///     `ShapeId` (streams carry a handful of shapes, so the table is tiny).
+///
+/// Records maintain their `ShapeId` incrementally: every `set_*`/`remove_*`
+/// that changes the label set follows a shape *transition* (the hidden-
+/// class technique of dynamic-language VMs). Transitions and subset
+/// verdicts are immutable facts, so they are cached in thread-local maps —
+/// the hot path takes no lock and no fence beyond the TLS lookup.
+
+#include <cstdint>
+#include <vector>
+
+#include "snet/labels.hpp"
+
+namespace snet {
+
+/// Dense process-wide shape identifier. Id 0 is always the empty shape.
+using ShapeId = std::uint32_t;
+
+/// A shape id together with its bloom mask; what a transition returns, so
+/// records can refresh both without a second registry lookup.
+struct ShapeRef {
+  ShapeId id = 0;
+  std::uint64_t mask = 0;
+};
+
+/// The bloom bit of one label: bit `h(kind, id) mod 64`. A shape's mask is
+/// the OR over its labels. `(need.mask & ~have.mask) != 0` proves a label
+/// of `need` is absent from `have`; the converse may be a false positive
+/// (two labels can share a bit) and falls back to the exact subset test.
+inline std::uint64_t label_bit(Label label) {
+  // splitmix64 finalizer over the packed (kind, id) pair.
+  std::uint64_t x = (static_cast<std::uint64_t>(label.kind) << 32) |
+                    static_cast<std::uint32_t>(label.id);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return 1ULL << (x & 63U);
+}
+
+/// Process-wide shape intern table. All methods are thread-safe.
+class ShapeRegistry {
+ public:
+  static ShapeRegistry& instance();
+
+  /// Interns a label set; \p labels need not be sorted or unique.
+  /// Structurally equal sets always receive the same id.
+  ShapeRef intern(std::vector<Label> labels);
+
+  /// The shape reached from \p from by adding \p label (no-op transition
+  /// when already present). Thread-locally cached.
+  ShapeRef with(ShapeId from, Label label);
+
+  /// The shape reached from \p from by removing \p label (no-op when
+  /// absent). Thread-locally cached.
+  ShapeRef without(ShapeId from, Label label);
+
+  /// Exact test: labels(sub) ⊆ labels(super). Thread-locally memoized —
+  /// this is the cached half of the mask-then-subset match protocol.
+  bool subset(ShapeId sub, ShapeId super);
+
+  /// The sorted label set of a shape (by value: the registry outlives any
+  /// caller, but callers must not hold references across interning).
+  std::vector<Label> labels(ShapeId id) const;
+
+  std::uint64_t mask(ShapeId id) const;
+
+  /// Number of distinct shapes interned so far (observability, tests).
+  std::size_t size() const;
+
+ private:
+  ShapeRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked intentionally: records may outlive static dtors
+};
+
+}  // namespace snet
+
+#endif

@@ -135,6 +135,8 @@ NetworkStats Network::stats() const {
     s.produced = produced_;
   }
   s.peak_live = peak_live_.load();
+  s.quanta = sched_->quanta_executed();
+  s.steals = sched_->steals();
   return s;
 }
 

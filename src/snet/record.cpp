@@ -14,6 +14,18 @@ auto lower_bound_label(Vec& vec, Key label) {
 }
 }  // namespace
 
+void Record::shape_add(Label label) {
+  const ShapeRef ref = ShapeRegistry::instance().with(shape_, label);
+  shape_ = ref.id;
+  mask_ = ref.mask;
+}
+
+void Record::shape_remove(Label label) {
+  const ShapeRef ref = ShapeRegistry::instance().without(shape_, label);
+  shape_ = ref.id;
+  mask_ = ref.mask;
+}
+
 const Value* Record::find_field(Label label) const {
   const auto it = lower_bound_label(fields_, label);
   return (it != fields_.end() && it->first == label) ? &it->second : nullptr;
@@ -33,6 +45,7 @@ void Record::set_field(Label label, Value v) {
     it->second = std::move(v);
   } else {
     fields_.insert(it, {label, std::move(v)});
+    shape_add(label);
   }
 }
 
@@ -49,6 +62,7 @@ void Record::remove_field(Label label) {
   const auto it = lower_bound_label(fields_, label);
   if (it != fields_.end() && it->first == label) {
     fields_.erase(it);
+    shape_remove(label);
   }
 }
 
@@ -61,6 +75,7 @@ void Record::set_tag(Label label, std::int64_t v) {
     it->second = v;
   } else {
     tags_.insert(it, {label, v});
+    shape_add(label);
   }
 }
 
@@ -77,6 +92,7 @@ void Record::remove_tag(Label label) {
   const auto it = lower_bound_label(tags_, label);
   if (it != tags_.end() && it->first == label) {
     tags_.erase(it);
+    shape_remove(label);
   }
 }
 

@@ -12,12 +12,20 @@ void sort_unique(std::vector<Label>& labels) {
 }
 }  // namespace
 
+void RecordType::reintern() {
+  const ShapeRef ref = ShapeRegistry::instance().intern(labels_);
+  shape_ = ref.id;
+  mask_ = ref.mask;
+}
+
 RecordType::RecordType(std::initializer_list<Label> labels) : labels_(labels) {
   sort_unique(labels_);
+  reintern();
 }
 
 RecordType::RecordType(std::vector<Label> labels) : labels_(std::move(labels)) {
   sort_unique(labels_);
+  reintern();
 }
 
 RecordType RecordType::of(std::initializer_list<std::string_view> fields,
@@ -42,19 +50,11 @@ bool RecordType::included_in(const RecordType& other) const {
                        labels_.end());
 }
 
-bool RecordType::matches(const Record& r) const {
-  for (const auto label : labels_) {
-    if (!r.has(label)) {
-      return false;
-    }
-  }
-  return true;
-}
-
 void RecordType::add(Label label) {
   const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
   if (it == labels_.end() || *it != label) {
     labels_.insert(it, label);
+    reintern();
   }
 }
 
@@ -62,6 +62,7 @@ void RecordType::remove(Label label) {
   const auto it = std::lower_bound(labels_.begin(), labels_.end(), label);
   if (it != labels_.end() && *it == label) {
     labels_.erase(it);
+    reintern();
   }
 }
 

@@ -55,6 +55,12 @@ void Scheduler::run_one(Entity* entity) {
   // Bounded so a busy network still yields the worker; everything beyond
   // the inline continuation is submitted for other workers to pick up.
   constexpr int kMaxChain = 64;
+  // Attribute the executor-level steal (if any) to this network. Only the
+  // dispatched task itself can have been stolen; tail-chained entities run
+  // inline on the same worker.
+  if (snetsac::runtime::Executor::current_task_stolen()) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+  }
   Entity* current = entity;
   int chained = 0;
   while (current != nullptr) {

@@ -1,0 +1,173 @@
+#include "snet/shapes.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace snet {
+
+namespace {
+
+/// Transition-cache key: op(1) | kind(1) | label id(30) | shape(32).
+/// Label ids are dense per kind and realistically far below 2^30.
+std::uint64_t transition_key(ShapeId from, Label label, bool add) {
+  return (static_cast<std::uint64_t>(add) << 63) |
+         (static_cast<std::uint64_t>(label.kind) << 62) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(label.id)) << 32) |
+         from;
+}
+
+std::uint64_t subset_key(ShapeId sub, ShapeId super) {
+  return (static_cast<std::uint64_t>(sub) << 32) | super;
+}
+
+struct LabelVecHash {
+  std::size_t operator()(const std::vector<Label>& labels) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Label l : labels) {
+      h ^= (static_cast<std::uint64_t>(l.kind) << 32) |
+           static_cast<std::uint32_t>(l.id);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Per-thread caches of immutable registry facts. Never invalidated:
+/// a transition or subset verdict, once computed, holds forever.
+struct TlsCaches {
+  std::unordered_map<std::uint64_t, ShapeRef> transitions;
+  std::unordered_map<std::uint64_t, bool> subsets;
+};
+
+TlsCaches& tls_caches() {
+  thread_local TlsCaches caches;
+  return caches;
+}
+
+}  // namespace
+
+struct ShapeRegistry::Impl {
+  mutable std::shared_mutex mu;
+  /// Stable storage: infos are never mutated after insertion, and the
+  /// unique_ptr indirection keeps pointers valid across vector growth.
+  struct Info {
+    std::vector<Label> labels;  // sorted, unique
+    std::uint64_t mask = 0;
+  };
+  std::vector<std::unique_ptr<Info>> shapes;
+  std::unordered_map<std::vector<Label>, ShapeId, LabelVecHash> ids;
+
+  /// Reads an info pointer; valid forever once obtained (append-only).
+  const Info* info(ShapeId id) const {
+    const std::shared_lock lock(mu);
+    return shapes.at(id).get();
+  }
+};
+
+ShapeRegistry::ShapeRegistry() : impl_(new Impl) {
+  // Reserve id 0 for the empty shape so default-constructed records carry
+  // a valid shape without touching the registry.
+  auto empty = std::make_unique<Impl::Info>();
+  impl_->ids.emplace(std::vector<Label>{}, 0);
+  impl_->shapes.push_back(std::move(empty));
+}
+
+ShapeRegistry& ShapeRegistry::instance() {
+  static ShapeRegistry* reg = new ShapeRegistry;  // leaked: see header
+  return *reg;
+}
+
+ShapeRef ShapeRegistry::intern(std::vector<Label> labels) {
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  {
+    const std::shared_lock lock(impl_->mu);
+    const auto it = impl_->ids.find(labels);
+    if (it != impl_->ids.end()) {
+      return ShapeRef{it->second, impl_->shapes[it->second]->mask};
+    }
+  }
+  const std::unique_lock lock(impl_->mu);
+  const auto it = impl_->ids.find(labels);
+  if (it != impl_->ids.end()) {
+    return ShapeRef{it->second, impl_->shapes[it->second]->mask};
+  }
+  auto info = std::make_unique<Impl::Info>();
+  info->labels = labels;
+  for (const Label l : info->labels) {
+    info->mask |= label_bit(l);
+  }
+  const auto id = static_cast<ShapeId>(impl_->shapes.size());
+  const std::uint64_t mask = info->mask;
+  impl_->shapes.push_back(std::move(info));
+  impl_->ids.emplace(std::move(labels), id);
+  return ShapeRef{id, mask};
+}
+
+ShapeRef ShapeRegistry::with(ShapeId from, Label label) {
+  auto& cache = tls_caches().transitions;
+  const std::uint64_t key = transition_key(from, label, /*add=*/true);
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  std::vector<Label> ls = labels(from);
+  const auto pos = std::lower_bound(ls.begin(), ls.end(), label);
+  if (pos == ls.end() || *pos != label) {
+    ls.insert(pos, label);
+  }
+  const ShapeRef ref = intern(std::move(ls));
+  cache.emplace(key, ref);
+  return ref;
+}
+
+ShapeRef ShapeRegistry::without(ShapeId from, Label label) {
+  auto& cache = tls_caches().transitions;
+  const std::uint64_t key = transition_key(from, label, /*add=*/false);
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  std::vector<Label> ls = labels(from);
+  const auto pos = std::lower_bound(ls.begin(), ls.end(), label);
+  if (pos != ls.end() && *pos == label) {
+    ls.erase(pos);
+  }
+  const ShapeRef ref = intern(std::move(ls));
+  cache.emplace(key, ref);
+  return ref;
+}
+
+bool ShapeRegistry::subset(ShapeId sub, ShapeId super) {
+  if (sub == super || sub == 0) {
+    return true;
+  }
+  auto& cache = tls_caches().subsets;
+  const std::uint64_t key = subset_key(sub, super);
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const Impl::Info* a = impl_->info(sub);
+  const Impl::Info* b = impl_->info(super);
+  const bool verdict = std::includes(b->labels.begin(), b->labels.end(),
+                                     a->labels.begin(), a->labels.end());
+  cache.emplace(key, verdict);
+  return verdict;
+}
+
+std::vector<Label> ShapeRegistry::labels(ShapeId id) const {
+  return impl_->info(id)->labels;
+}
+
+std::uint64_t ShapeRegistry::mask(ShapeId id) const { return impl_->info(id)->mask; }
+
+std::size_t ShapeRegistry::size() const {
+  const std::shared_lock lock(impl_->mu);
+  return impl_->shapes.size();
+}
+
+}  // namespace snet

@@ -1,0 +1,146 @@
+/// Chase–Lev deque: owner LIFO / thief FIFO semantics, buffer growth, and
+/// the exactly-once guarantee under concurrent stealing (the property the
+/// memory-ordering contract in chase_lev.hpp exists to uphold).
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/chase_lev.hpp"
+#include "runtime/executor.hpp"
+
+namespace {
+
+using snetsac::runtime::ChaseLevDeque;
+
+TEST(ChaseLev, OwnerPopsLifo) {
+  ChaseLevDeque<int*> dq;
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  for (int& it : items) {
+    dq.push(&it);
+  }
+  for (int expect = 99; expect >= 0; --expect) {
+    int* got = dq.pop();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, expect);
+  }
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(ChaseLev, ThiefStealsFifo) {
+  ChaseLevDeque<int*> dq;
+  std::vector<int> items(10);
+  std::iota(items.begin(), items.end(), 0);
+  for (int& it : items) {
+    dq.push(&it);
+  }
+  // Single-threaded here, so no steal can spuriously fail.
+  for (int expect = 0; expect < 10; ++expect) {
+    int* got = dq.steal();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, expect);
+  }
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(ChaseLev, GrowthPreservesAllItems) {
+  ChaseLevDeque<int*> dq(8);  // force several growth episodes
+  std::vector<int> items(10000);
+  std::iota(items.begin(), items.end(), 0);
+  for (int& it : items) {
+    dq.push(&it);
+  }
+  std::vector<bool> seen(items.size(), false);
+  while (int* got = dq.pop()) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(*got)]);
+    seen[static_cast<std::size_t>(*got)] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(ChaseLev, StealStressExactlyOnce) {
+  // Owner pushes kItems (popping every third), thieves hammer steal().
+  // Every item must be claimed exactly once across owner and thieves.
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 4;
+  ChaseLevDeque<int*> dq(16);
+  std::vector<int> items(kItems);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<std::atomic<int>> claims(kItems);
+  for (auto& c : claims) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<bool> owner_done{false};
+  std::atomic<std::uint64_t> stolen{0};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!owner_done.load(std::memory_order_acquire) ||
+             dq.size_approx() > 0) {
+        if (int* got = dq.steal()) {
+          claims[static_cast<std::size_t>(*got)].fetch_add(1,
+                                                           std::memory_order_relaxed);
+          stolen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::uint64_t popped = 0;
+  for (int i = 0; i < kItems; ++i) {
+    dq.push(&items[static_cast<std::size_t>(i)]);
+    if (i % 3 == 2) {
+      if (int* got = dq.pop()) {
+        claims[static_cast<std::size_t>(*got)].fetch_add(1,
+                                                         std::memory_order_relaxed);
+        ++popped;
+      }
+    }
+  }
+  // Drain whatever the thieves have not taken yet.
+  while (int* got = dq.pop()) {
+    claims[static_cast<std::size_t>(*got)].fetch_add(1, std::memory_order_relaxed);
+    ++popped;
+  }
+  owner_done.store(true, std::memory_order_release);
+  for (auto& th : thieves) {
+    th.join();
+  }
+
+  std::uint64_t total = 0;
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(claims[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " claimed " << claims[static_cast<std::size_t>(i)].load()
+        << " times";
+    ++total;
+  }
+  EXPECT_EQ(popped + stolen.load(), total);
+}
+
+TEST(ChaseLev, ExecutorDrainsNestedSubmitsThroughLockFreeDeques) {
+  // Executor-level smoke of the same structure: external submits fan out
+  // into worker-local (Chase–Lev) submits; destruction drains everything.
+  constexpr int kOuter = 2000;
+  constexpr int kInner = 4;
+  std::atomic<int> ran{0};
+  {
+    snetsac::runtime::Executor exec(4);
+    for (int i = 0; i < kOuter; ++i) {
+      exec.submit([&] {
+        for (int j = 0; j < kInner; ++j) {
+          exec.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    }
+  }  // destructor = full drain
+  EXPECT_EQ(ran.load(), kOuter * kInner);
+}
+
+}  // namespace
