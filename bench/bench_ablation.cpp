@@ -26,8 +26,8 @@ void run_net(benchmark::State& state, const snet::Net& topo,
     snet::Options opts;
     opts.workers = 2;
     snet::Network net(topo, std::move(opts));
-    net.inject(board_record(puzzle));
-    const auto records = net.collect();
+    net.input().inject(board_record(puzzle));
+    const auto records = net.output().collect();
     if (solutions_in(records).empty()) {
       state.SkipWithError("network failed to solve");
       return;

@@ -35,9 +35,9 @@ void run_records(benchmark::State& state, const Net& topo, int batch,
   for (auto _ : state) {
     Network net(topo, Options{});
     for (int i = 0; i < batch; ++i) {
-      net.inject(make(i));
+      net.input().inject(make(i));
     }
-    const auto out = net.collect();
+    const auto out = net.output().collect();
     total += out.size();
     benchmark::DoNotOptimize(out);
   }
@@ -124,12 +124,12 @@ void BM_SyncCellJoin(benchmark::State& state) {
     for (int i = 0; i < 500; ++i) {
       Record ra;
       ra.set_field("a", make_value(i));
-      net.inject(std::move(ra));
+      net.input().inject(std::move(ra));
       Record rb;
       rb.set_field("b", make_value(i));
-      net.inject(std::move(rb));
+      net.input().inject(std::move(rb));
     }
-    outs += net.collect().size();
+    outs += net.output().collect().size();
   }
   state.SetItemsProcessed(state.iterations() * 1000);
   benchmark::DoNotOptimize(outs);

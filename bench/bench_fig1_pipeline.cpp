@@ -25,8 +25,8 @@ void BM_Fig1(benchmark::State& state, const std::string& name, unsigned workers)
     snet::Options opts;
     opts.workers = workers;
     snet::Network net(fig1_net(), std::move(opts));
-    net.inject(board_record(puzzle));
-    const auto records = net.collect();
+    net.input().inject(board_record(puzzle));
+    const auto records = net.output().collect();
     outputs = records.size();
     const auto stats = net.stats();
     replicas = stats.count_containing("box:solveOneLevel");

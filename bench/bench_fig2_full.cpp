@@ -26,8 +26,8 @@ void BM_Fig2(benchmark::State& state, const std::string& name, unsigned workers)
     snet::Options opts;
     opts.workers = workers;
     snet::Network net(fig2_net(), std::move(opts));
-    net.inject(board_record(puzzle));
-    net.collect();
+    net.input().inject(board_record(puzzle));
+    net.output().collect();
     const auto stats = net.stats();
     instances = stats.count_containing("box:solveOneLevel");
     stages = stats.count_containing("/stage");

@@ -35,8 +35,8 @@ void BM_Fig3(benchmark::State& state, const std::string& name, int throttle,
     snet::Network net(
         fig3_net(Fig3Params{.throttle = throttle, .level_threshold = threshold}),
         std::move(opts));
-    net.inject(board_record(puzzle));
-    const auto records = net.collect();
+    net.input().inject(board_record(puzzle));
+    const auto records = net.output().collect();
     exits = records.size();
     solutions = solutions_in(records).size();
     const auto stats = net.stats();

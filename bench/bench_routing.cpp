@@ -160,9 +160,9 @@ double e2e_rps() {
     Record r;
     r.set_field(field_label(field_name(i % kBranches)), make_value(i));
     r.set_field(field_label("payload"), make_value(i * 31));
-    net.inject(std::move(r));
+    net.input().inject(std::move(r));
   }
-  const std::vector<Record> out = net.collect();
+  const std::vector<Record> out = net.output().collect();
   const auto t1 = std::chrono::steady_clock::now();
   if (out.size() != kE2eRecords) {
     std::fprintf(stderr, "e2e record loss: %zu/%d\n", out.size(), kE2eRecords);

@@ -72,8 +72,8 @@ void BM_NetBySize(benchmark::State& state, const std::string& which) {
     snet::Options opts;
     opts.workers = 2;
     snet::Network net(topo, std::move(opts));
-    net.inject(board_record(puzzle));
-    const auto records = net.collect();
+    net.input().inject(board_record(puzzle));
+    const auto records = net.output().collect();
     solutions = solutions_in(records).size();
   }
   state.counters["N"] = n * n;
@@ -126,8 +126,8 @@ void emit_scaling_json() {
       snet::Network net(fig2_net(), std::move(opts));
       const std::uint64_t steals_before = net.scheduler().steals();
       const auto t0 = std::chrono::steady_clock::now();
-      net.inject(board_record(puzzle));
-      net.collect();
+      net.input().inject(board_record(puzzle));
+      net.output().collect();
       const auto t1 = std::chrono::steady_clock::now();
       seconds += std::chrono::duration<double>(t1 - t0).count();
       const auto stats = net.stats();

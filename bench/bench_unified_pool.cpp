@@ -53,9 +53,9 @@ RunResult run_once(unsigned threads, int records) {
     Record r;
     r.set_field(field_label("x"), make_value(i));
     r.set_tag(tag_label("k"), i % 8);
-    net.inject(std::move(r));
+    net.input().inject(std::move(r));
   }
-  net.collect();
+  net.output().collect();
   const auto t1 = std::chrono::steady_clock::now();
   // Quantum/steal counters are per-network now (NetworkStats), so no
   // before/after delta against a pool-wide number is needed.

@@ -45,9 +45,9 @@ int main() {
     r.set_tag("n0", n);
     r.set_tag("n", n);
     r.set_tag("steps", 0);
-    net.inject(std::move(r));
+    net.input().inject(std::move(r));
   }
-  const auto results = net.collect();
+  const auto results = net.output().collect();
 
   std::int64_t longest_n = 0;
   std::int64_t longest = -1;

@@ -2,7 +2,9 @@
 /// Quickstart: the two-layer model in one page.
 ///
 ///  1. The SaC layer: data-parallel with-loops (paper, Section 2).
-///  2. The S-Net layer: boxes, filters and combinators (Section 4).
+///  2. The S-Net layer: boxes, filters and combinators (Section 4),
+///     consumed through the port/session client API — bounded InputPort,
+///     range-iterable OutputPort, concurrent sessions over one network.
 ///  3. The hybrid sudoku solver (Sections 3+5): sequential solve and the
 ///     three coordination networks of Figs. 1-3.
 
@@ -42,15 +44,46 @@ int main() {
   std::cout << "\nnetwork: " << snet::describe(net) << "\n";
   std::cout << "type:    " << snet::infer(net).to_string() << "\n";
 
-  snet::Network running(net);
+  // Clients talk to a running network through ports. With
+  // inbox_capacity/output_capacity set the streams are bounded end to
+  // end: a fast producer blocks in inject() (or sees try_inject() refuse)
+  // instead of ballooning memory, and a full OutputPort suspends the
+  // network's producers until the consumer catches up.
+  snet::Options opts;
+  opts.inbox_capacity = 64;
+  snet::Network running(net, std::move(opts));
+  snet::InputPort& in = running.input();
   for (int i = 1; i <= 3; ++i) {
     snet::Record r;
     r.set_field("x", snet::make_value(i));
-    running.inject(std::move(r));
+    in.inject(std::move(r));
   }
-  for (const auto& rec : running.collect()) {
+  in.close();
+  // OutputPort is range-iterable; the loop ends when the stream drains.
+  for (snet::Record& rec : running.output()) {
     std::cout << "  out: " << rec.to_string()
               << "  y=" << snet::value_as<int>(rec.field("y")) << "\n";
+  }
+
+  // Sessions: independent logical clients over the *same* instantiated
+  // network. Each session's records are stamped on entry and demuxed
+  // back to its own OutputPort — a multi-tenant server keeps one
+  // topology, not one network per request.
+  snet::Session alice = running.open_session();
+  snet::Session bob = running.open_session();
+  for (int i = 0; i < 2; ++i) {
+    snet::Record ra;
+    ra.set_field("x", snet::make_value(10 + i));
+    alice.input().inject(std::move(ra));
+    snet::Record rb;
+    rb.set_field("x", snet::make_value(20 + i));
+    bob.input().inject(std::move(rb));
+  }
+  for (const auto& rec : alice.output().collect()) {
+    std::cout << "  alice: y=" << snet::value_as<int>(rec.field("y")) << "\n";
+  }
+  for (const auto& rec : bob.output().collect()) {
+    std::cout << "  bob:   y=" << snet::value_as<int>(rec.field("y")) << "\n";
   }
 
   // ---- Hybrid sudoku solver -------------------------------------------

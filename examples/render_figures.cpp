@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
   }
   if (want("fig2run")) {
     snet::Network net(sudoku::fig2_net());
-    net.inject(sudoku::board_record(sudoku::corpus_board("hard")));
-    net.collect();
+    net.input().inject(sudoku::board_record(sudoku::corpus_board("hard")));
+    net.output().collect();
     std::cout << "// Fig. 2 after solving 'hard' — materialised entities\n"
               << snet::to_dot(net.stats()) << "\n";
   }

@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
 
     const auto puzzle = sudoku::corpus_board(puzzle_name);
     snet::Network net(parsed.topology);
-    net.inject(sudoku::board_record(puzzle));
-    const auto records = net.collect();
+    net.input().inject(sudoku::board_record(puzzle));
+    const auto records = net.output().collect();
     const auto sols = sudoku::solutions_in(records);
     std::cout << "outputs: " << records.size() << " record(s), solutions: "
               << sols.size() << "\n";

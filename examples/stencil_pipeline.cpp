@@ -82,9 +82,9 @@ int main() {
     r.set_field("grid", snet::make_value(seed));
     r.set_tag("id", id);
     r.set_tag("iter", 0);
-    net.inject(std::move(r));
+    net.input().inject(std::move(r));
   }
-  const auto results = net.collect();
+  const auto results = net.output().collect();
 
   std::cout << std::fixed << std::setprecision(3);
   for (const auto& r : results) {

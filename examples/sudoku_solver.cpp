@@ -120,8 +120,8 @@ int main(int argc, char** argv) {
       snet::Options opts;
       opts.workers = args.workers;
       snet::Network net(topo, std::move(opts));
-      net.inject(sudoku::board_record(puzzle));
-      const auto records = net.collect();
+      net.input().inject(sudoku::board_record(puzzle));
+      const auto records = net.output().collect();
       const auto sols = sudoku::solutions_in(records);
       if (!sols.empty()) {
         solution = sols.front();

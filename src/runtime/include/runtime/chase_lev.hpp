@@ -35,6 +35,23 @@
 #include <type_traits>
 #include <vector>
 
+// ThreadSanitizer does not model std::atomic_thread_fence (documented
+// limitation): the owner's publish sequence — slot write, release fence,
+// relaxed bottom store — is correct on real hardware but invisible to the
+// analyzer, which then reports the thief's read through a stolen pointer
+// as racing the producer's writes. TSan builds strengthen the bottom
+// store to release: the same happens-before edge, expressed per-operation.
+#if defined(__SANITIZE_THREAD__)
+#define SNETSAC_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SNETSAC_TSAN_BUILD 1
+#endif
+#endif
+#ifndef SNETSAC_TSAN_BUILD
+#define SNETSAC_TSAN_BUILD 0
+#endif
+
 namespace snetsac::runtime {
 
 template <class T>
@@ -62,7 +79,7 @@ class ChaseLevDeque {
     }
     a->put(b, item);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, kBottomPublishOrder);
   }
 
   /// Owner only: dequeue at the bottom (LIFO); nullptr when empty.
@@ -124,6 +141,11 @@ class ChaseLevDeque {
   }
 
  private:
+  /// Relaxed on hardware (the release fence in push orders the publish);
+  /// release under TSan so the analyzer sees the edge (see file comment).
+  static constexpr std::memory_order kBottomPublishOrder =
+      SNETSAC_TSAN_BUILD ? std::memory_order_release : std::memory_order_relaxed;
+
   /// Power-of-two ring of atomic slots; indices are absolute (monotone),
   /// wrapped by the mask on access.
   struct Buffer {

@@ -7,13 +7,24 @@
 /// exactly the non-deterministic merge of the paper's parallel combinator:
 /// "any record produced proceeds as soon as possible".
 ///
+/// The queue has an optional *bounded* mode (`set_capacity`): producers can
+/// ask whether a push crossed the bound (`PushResult::congested`), reject a
+/// push outright (`try_push`), or register a credit waiter that fires once
+/// the consumer drains the queue back below the release watermark
+/// (`wait_for_credit` / `take_released`). The bound is a soft one by
+/// design: an unconditional `push` always succeeds — a producer that is
+/// mid-record finishes its emissions and *then* suspends — so overshoot is
+/// bounded by the emissions of one record per producer, never unbounded.
+///
 /// The consumer side is only ever touched by the scheduler worker that is
 /// currently running the owning entity, so a mutex-protected deque is both
 /// simple and adequate (Core Guidelines CP.1/CP.2: correctness first; the
 /// queue is the *only* shared state, and the lock is held for O(1) work).
 
 #include <algorithm>
+#include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -24,24 +35,60 @@ namespace snetsac::runtime {
 template <class T>
 class MpscQueue {
  public:
+  struct PushResult {
+    bool was_empty = false;  // the consumer may need waking
+    bool congested = false;  // the producer should back off
+    /// Compatibility with the historical `bool push` (was-empty) contract.
+    explicit operator bool() const { return was_empty; }
+  };
+
   MpscQueue() = default;
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
 
-  /// Pushes an element; returns true when the queue was empty beforehand
-  /// (the caller uses this to decide whether the consumer must be woken).
-  bool push(T value) {
+  /// Enables bounded mode: \p cap elements (0 = unbounded). The release
+  /// watermark is cap/2 — credit waiters fire only once the consumer has
+  /// drained half the bound, so producers do not thrash at the boundary.
+  void set_capacity(std::size_t cap) {
     const std::lock_guard lock(mu_);
-    const bool was_empty = items_.empty();
+    capacity_ = cap;
+  }
+
+  std::size_t capacity() const {
+    const std::lock_guard lock(mu_);
+    return capacity_;
+  }
+
+  /// Pushes an element unconditionally (see file comment: the bound is
+  /// soft for in-flight producers). Reports both whether the queue was
+  /// empty beforehand and whether it is now at/over capacity.
+  PushResult push(T value) {
+    const std::lock_guard lock(mu_);
+    PushResult res;
+    res.was_empty = items_.empty();
     items_.push_back(std::move(value));
-    return was_empty;
+    res.congested = capacity_ != 0 && items_.size() >= capacity_;
+    return res;
+  }
+
+  /// Bounded push: refuses (and leaves \p value untouched) when the queue
+  /// is at capacity. This is the hard edge of the bound, used by client
+  /// injection (`InputPort::try_inject`) rather than by in-flight records.
+  bool try_push(T& value) {
+    const std::lock_guard lock(mu_);
+    if (capacity_ != 0 && items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    return true;
   }
 
   /// Batched pop: moves up to \p max_n oldest elements into \p out
   /// (appending), taking the lock once for the whole batch. Returns the
   /// number of elements moved. This is the consumer's fast path — an
   /// entity quantum drains its inbox with one lock acquisition instead of
-  /// one per message.
+  /// one per message. Call `take_released` afterwards to collect credit
+  /// waiters the drain made runnable.
   std::size_t drain_into(std::vector<T>& out, std::size_t max_n) {
     const std::lock_guard lock(mu_);
     const std::size_t n = std::min(max_n, items_.size());
@@ -73,9 +120,45 @@ class MpscQueue {
     return items_.size();
   }
 
+  /// True when bounded and currently at/over capacity.
+  bool congested() const {
+    const std::lock_guard lock(mu_);
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  /// Credit protocol, producer side: registers \p cb to be fired once the
+  /// consumer drains the queue to the release watermark. Returns false —
+  /// without registering — when credit is already available (unbounded, or
+  /// below capacity): the caller should simply proceed/retry instead of
+  /// waiting. At most one firing per registration.
+  bool wait_for_credit(std::function<void()> cb) {
+    const std::lock_guard lock(mu_);
+    if (capacity_ == 0 || items_.size() < capacity_) {
+      return false;
+    }
+    waiters_.push_back(std::move(cb));
+    return true;
+  }
+
+  /// Credit protocol, consumer side: moves out every registered waiter
+  /// when the queue has drained to the release watermark (cap/2). The
+  /// caller invokes them *outside* the lock — a waiter typically
+  /// re-enqueues a suspended entity into the scheduler.
+  void take_released(std::vector<std::function<void()>>& out) {
+    const std::lock_guard lock(mu_);
+    if (waiters_.empty() || (capacity_ != 0 && items_.size() > capacity_ / 2)) {
+      return;
+    }
+    out.insert(out.end(), std::make_move_iterator(waiters_.begin()),
+               std::make_move_iterator(waiters_.end()));
+    waiters_.clear();
+  }
+
  private:
   mutable std::mutex mu_;
   std::deque<T> items_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::vector<std::function<void()>> waiters_;
 };
 
 }  // namespace snetsac::runtime

@@ -10,7 +10,20 @@ void OutputEntity::on_record(Record r) {
   // Stamps must not escape to the client: det regions are closed by their
   // collectors before this point; clearing here is belt-and-braces.
   r.det_stack().clear();
-  net_.push_output(std::move(r));
+  // Captured as an *id*, not a pointer: by the time the stall gate runs,
+  // a released session may have been reclaimed — the id lookup resolves
+  // that to "credit available" instead of a dangling dereference.
+  const SessionState* const session = r.session_state();
+  const std::uint32_t session_id = session != nullptr ? session->id() : 0;
+  if (!net_.push_output(std::move(r))) {
+    // The session's OutputPort buffer hit its bound: suspend until the
+    // client pops it below the watermark. Upstream inboxes then fill and
+    // stall their producers in turn — pressure propagates output port to
+    // input port.
+    request_stall([this, session_id](Entity* producer) {
+      return net_.await_output_credit(session_id, producer);
+    });
+  }
 }
 
 // ------------------------------------------------------------------- Box
@@ -239,18 +252,28 @@ void DetCollectorEntity::on_record(Record r) {
   for (const auto& s : stack) {
     s.scope->adjust(s.seq, +1);
   }
-  net_.live_add(1);
+  net_.live_add(r.session_state(), 1);
   buffer_[seq].push_back(std::move(r));
 }
 
 void DetCollectorEntity::on_poke() { release_ready(); }
 
 void DetCollectorEntity::release_ready() {
-  while (next_release_ < scope_.groups_opened() && scope_.complete(next_release_)) {
+  // Stall-aware: a transfer into a congested successor requests a stall;
+  // we then park mid-group (the deque keeps the resume point) and the
+  // resume poke re-enters this loop once credit returns.
+  while (!stall_requested() && next_release_ < scope_.groups_opened() &&
+         scope_.complete(next_release_)) {
     const auto it = buffer_.find(next_release_);
     if (it != buffer_.end()) {
-      for (auto& rec : it->second) {
+      auto& group = it->second;
+      while (!group.empty() && !stall_requested()) {
+        Record rec = std::move(group.front());
+        group.pop_front();
         transfer(succ_, std::move(rec));
+      }
+      if (!group.empty()) {
+        return;  // suspended mid-group; next_release_ stays put
       }
       buffer_.erase(it);
     }
@@ -301,7 +324,7 @@ void SyncEntity::on_record(Record r) {
         for (const auto& s : r.det_stack()) {
           s.scope->adjust(s.seq, +1);
         }
-        net_.live_add(1);
+        net_.live_add(r.session_state(), 1);
         slots_[i] = std::move(r);
         return;
       }
@@ -323,10 +346,13 @@ void SyncEntity::on_record(Record r) {
           }
         }
         // The stored record is consumed now: undo its storage accounting.
+        // (A record stored by session A may complete a cell fired by
+        // session B: the merged record belongs to B, A's contribution is
+        // consumed here — synchrocells join across sessions by design.)
         for (const auto& s : slot->det_stack()) {
           s.scope->adjust(s.seq, -1);
         }
-        net_.live_sub(1);
+        net_.live_sub(slot->session_state(), 1);
         slot.reset();
       }
       fired_ = true;

@@ -5,13 +5,11 @@
 
 namespace snet {
 
-Entity::Entity(Network& net, std::string name) : net_(net), name_(std::move(name)) {}
+Entity::Entity(Network& net, std::string name) : net_(net), name_(std::move(name)) {
+  inbox_.set_capacity(net_.inbox_capacity());
+}
 
-void Entity::deliver(Message m) {
-  if (m.kind == Message::Kind::Rec && net_.tracing()) {
-    net_.trace_record(*this, m.rec);
-  }
-  inbox_.push(std::move(m));
+void Entity::schedule_after_push() {
   for (;;) {
     int s = state_.load(std::memory_order_acquire);
     switch (s) {
@@ -31,21 +29,94 @@ void Entity::deliver(Message m) {
         break;
       case kRunningPending:
         return;
+      case kStalled:
+        // Parked on downstream credit: the message waits in the inbox;
+        // only resume_from_stall() may re-queue the entity.
+        return;
       default:
         return;
     }
   }
 }
 
+bool Entity::deliver(Message m) {
+  if (m.kind == Message::Kind::Rec && net_.tracing()) {
+    net_.trace_record(*this, m.rec);
+  }
+  const auto res = inbox_.push(std::move(m));
+  schedule_after_push();
+  return res.congested;
+}
+
+bool Entity::try_deliver(Message& m) {
+  if (m.kind == Message::Kind::Rec && net_.tracing()) {
+    // The trace observer needs the record before it is moved into the
+    // queue, so under tracing the capacity check and the push are two
+    // steps; concurrent injectors can overshoot by their count. The
+    // untraced path below is exact.
+    if (inbox_.congested()) {
+      return false;
+    }
+    net_.trace_record(*this, m.rec);
+    inbox_.push(std::move(m));
+  } else if (!inbox_.try_push(m)) {
+    return false;
+  }
+  schedule_after_push();
+  return true;
+}
+
+bool Entity::await_inbox_credit(Entity* producer) {
+  return inbox_.wait_for_credit([producer] { producer->resume_from_stall(); });
+}
+
+bool Entity::await_inbox_credit_cb(std::function<void()> cb) {
+  return inbox_.wait_for_credit(std::move(cb));
+}
+
+void Entity::resume_from_stall() {
+  // The poke flag makes the resumed quantum start with on_poke(): an
+  // entity whose pending work is internal (a det collector's buffered
+  // groups) continues draining even when its inbox stays empty.
+  resume_poke_.store(true, std::memory_order_release);
+  int expected = kStalled;
+  if (state_.compare_exchange_strong(expected, kQueued, std::memory_order_acq_rel)) {
+    net_.scheduler().enqueue(this);
+  }
+}
+
+void Entity::release_inbox_credit() {
+  released_.clear();
+  inbox_.take_released(released_);
+  for (auto& cb : released_) {
+    cb();
+  }
+  released_.clear();
+}
+
 void Entity::run_quantum(unsigned max_messages) {
   state_.store(kRunning, std::memory_order_release);
-  // Batched drain: one inbox lock acquisition per quantum, not one per
-  // message. batch_ is only touched by the single worker running us.
-  batch_.clear();
-  inbox_.drain_into(batch_, max_messages);
-  for (auto& msg : batch_) {
-    auto* m = &msg;
-    if (m->kind == Message::Kind::Poke) {
+  if (resume_poke_.exchange(false, std::memory_order_acq_rel)) {
+    try {
+      on_poke();
+    } catch (...) {
+      net_.fail(std::current_exception());
+    }
+  }
+  if (batch_pos_ >= batch_.size()) {
+    // Batched drain: one inbox lock acquisition per quantum, not one per
+    // message. batch_ is only touched by the single worker running us.
+    batch_.clear();
+    batch_pos_ = 0;
+    inbox_.drain_into(batch_, max_messages);
+    release_inbox_credit();
+  }
+  // Process the batch up to the quantum end or a stall request — a stall
+  // leaves the remainder in batch_ (resume point batch_pos_), so nothing
+  // is re-ordered or lost across a suspension.
+  while (batch_pos_ < batch_.size() && !stall_gate_) {
+    Message& msg = batch_[batch_pos_++];
+    if (msg.kind == Message::Kind::Poke) {
       try {
         on_poke();
       } catch (...) {
@@ -54,11 +125,12 @@ void Entity::run_quantum(unsigned max_messages) {
       continue;
     }
     in_count_.fetch_add(1, std::memory_order_relaxed);
-    Record r = std::move(m->rec);
-    // The stamp stack as the record arrived: the consume decrement below
-    // must target exactly these groups even if on_record rewrites the
-    // record's metadata.
+    Record r = std::move(msg.rec);
+    // The stamp stack and session as the record arrived: the consume
+    // decrements below must target exactly these even if on_record
+    // rewrites the record's metadata.
     const std::vector<DetStamp> stamps = r.det_stack();
+    SessionState* const session = r.session_state();
     try {
       on_record(std::move(r));
     } catch (...) {
@@ -75,9 +147,26 @@ void Entity::run_quantum(unsigned max_messages) {
     } catch (...) {
       net_.fail(std::current_exception());
     }
-    net_.live_sub(1);
+    net_.live_sub(session, 1);
   }
-  batch_.clear();  // drop payloads before parking, not at the next quantum
+  if (batch_pos_ >= batch_.size()) {
+    batch_.clear();  // drop payloads before parking, not at the next quantum
+    batch_pos_ = 0;
+  }
+  if (stall_gate_) {
+    // Suspension: park as stalled *before* registering with the credit
+    // source, so a release racing the registration finds the state it
+    // must CAS. If credit returned in the meantime the gate declines the
+    // registration and we re-queue ourselves immediately.
+    StallGate gate = std::move(stall_gate_);
+    stall_gate_ = nullptr;
+    state_.store(kStalled, std::memory_order_release);
+    net_.note_suspension();
+    if (!gate(this)) {
+      resume_from_stall();
+    }
+    return;
+  }
   // Finalisation handshake with deliver(): either requeue (more input or a
   // producer raced us) or park as idle.
   for (;;) {
@@ -103,13 +192,23 @@ void Entity::send(Entity* target, Record r) {
   for (const auto& s : r.det_stack()) {
     s.scope->adjust(s.seq, +1);
   }
-  net_.live_add(1);
-  target->deliver(Message::record(std::move(r)));
+  net_.live_add(r.session_state(), 1);
+  const bool congested = target->deliver(Message::record(std::move(r)));
+  if (congested && target != this) {
+    request_stall([target](Entity* producer) {
+      return target->await_inbox_credit(producer);
+    });
+  }
 }
 
 void Entity::transfer(Entity* target, Record r) {
   out_count_.fetch_add(1, std::memory_order_relaxed);
-  target->deliver(Message::record(std::move(r)));
+  const bool congested = target->deliver(Message::record(std::move(r)));
+  if (congested && target != this) {
+    request_stall([target](Entity* producer) {
+      return target->await_inbox_credit(producer);
+    });
+  }
 }
 
 }  // namespace snet

@@ -5,6 +5,7 @@
 /// Concrete runtime entities behind each topology construct. Not part of
 /// the public API: clients interact with Net (topology) and Network.
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,7 +23,10 @@
 
 namespace snet::detail {
 
-/// Terminal entity: forwards records to the network's output queue.
+/// Terminal entity: demultiplexes records to their session's OutputPort.
+/// A full session buffer (Options::output_capacity) suspends this entity,
+/// which is how client-side consumption pressure propagates back into the
+/// network.
 class OutputEntity final : public Entity {
  public:
   explicit OutputEntity(Network& net) : Entity(net, "output") {}
@@ -143,6 +147,9 @@ class DetEntryEntity final : public Entity {
 
 /// Exit of a deterministic region: buffers records per group and releases
 /// groups strictly in sequence order once they have drained upstream.
+/// Under backpressure a release pauses mid-group (the deque keeps the
+/// resume point) and continues when the downstream credit returns — the
+/// resume poke re-enters release_ready even with an empty inbox.
 class DetCollectorEntity final : public Entity {
  public:
   DetCollectorEntity(Network& net, std::string name, Entity* successor);
@@ -158,7 +165,7 @@ class DetCollectorEntity final : public Entity {
 
   DetScope scope_;
   Entity* succ_;
-  std::map<std::uint64_t, std::vector<Record>> buffer_;
+  std::map<std::uint64_t, std::deque<Record>> buffer_;
   std::uint64_t next_release_ = 0;
 };
 

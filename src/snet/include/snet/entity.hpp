@@ -10,14 +10,21 @@
 /// threads).
 ///
 /// The base class centralises the bookkeeping every entity needs:
-///  * the idle/queued/running state machine that guarantees an entity is
-///    run by at most one worker at a time,
-///  * live-record accounting for network quiescence detection, and
+///  * the idle/queued/running/stalled state machine that guarantees an
+///    entity is run by at most one worker at a time,
+///  * live-record accounting for network quiescence detection,
 ///  * deterministic-scope accounting (a consumed record with k emissions
-///    contributes k-1 to every det group it belongs to).
+///    contributes k-1 to every det group it belongs to), and
+///  * the credit/backpressure protocol: a send into a full downstream
+///    inbox marks the producer *stalled* — it stops consuming at the next
+///    message boundary, parks without occupying a worker, and is
+///    re-queued into the scheduler when the consumer drains the inbox
+///    below the release watermark. A pool thread is never blocked; the
+///    suspension is a state transition, not a wait.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,12 +46,33 @@ class Entity {
   const std::string& name() const { return name_; }
 
   /// Producer side: enqueue a message and make sure the entity gets
-  /// scheduled. Thread-safe.
-  void deliver(Message m);
+  /// scheduled. Thread-safe. Returns true when the inbox is at/over its
+  /// bound after the push — the producing entity should suspend (the
+  /// push itself always succeeds: a producer mid-record finishes its
+  /// emissions, so overshoot stays bounded by one record's fan-out).
+  bool deliver(Message m);
+
+  /// Bounded enqueue for client injection: refuses — leaving \p m intact
+  /// — when the inbox is at capacity. On success the entity is scheduled
+  /// as with deliver().
+  bool try_deliver(Message& m);
 
   /// Scheduler side: process up to \p max_messages; must only be invoked
   /// by the scheduler after the entity transitioned to queued state.
   void run_quantum(unsigned max_messages);
+
+  /// Credit protocol: registers \p producer to be re-queued once this
+  /// entity's inbox drains below the release watermark. Returns false —
+  /// without registering — when credit is already available.
+  bool await_inbox_credit(Entity* producer);
+  /// Same, with an arbitrary callback (client injection waits on a
+  /// condition variable rather than as an entity).
+  bool await_inbox_credit_cb(std::function<void()> cb);
+
+  /// Re-queues an entity parked by the stall protocol; no-op unless the
+  /// entity is currently stalled. Called by credit releasers (a drained
+  /// inbox, a popped output buffer).
+  void resume_from_stall();
 
   std::uint64_t records_in() const { return in_count_.load(std::memory_order_relaxed); }
   std::uint64_t records_out() const { return out_count_.load(std::memory_order_relaxed); }
@@ -52,27 +80,65 @@ class Entity {
  protected:
   /// Consumes one record. Emissions go through send()/transfer().
   virtual void on_record(Record r) = 0;
-  /// Handles a control poke (det group completion, etc.).
+  /// Handles a control poke (det group completion, stall resumption...).
   virtual void on_poke() {}
 
   /// Emits a derived record downstream: counted as an emission of the
   /// record currently being consumed (det accounting, live accounting).
+  /// A congested target requests a stall of this entity.
   void send(Entity* target, Record r);
 
   /// Moves a record the entity had previously buffered (and manually
   /// accounted for) downstream without counting it as a fresh emission.
+  /// A congested target requests a stall of this entity.
   void transfer(Entity* target, Record r);
+
+  /// Attempts to register this entity with a credit source; it must
+  /// return false when credit is (again) available, in which case the
+  /// entity is re-queued immediately instead of parking.
+  using StallGate = std::function<bool(Entity*)>;
+
+  /// Asks the runtime to suspend this entity at the end of the message
+  /// currently being processed (honoured by run_quantum; unprocessed
+  /// batch remainder and inbox survive the suspension).
+  void request_stall(StallGate gate) { stall_gate_ = std::move(gate); }
+  /// True once the current quantum has a pending suspension — long
+  /// release loops (det collectors) should yield when they see this.
+  bool stall_requested() const { return static_cast<bool>(stall_gate_); }
 
   Network& net_;
 
  private:
+  /// The deliver()-side scheduling handshake, shared by deliver and
+  /// try_deliver once the message is in the inbox.
+  void schedule_after_push();
+  /// Fires credit waiters the last drain made runnable.
+  void release_inbox_credit();
+
   std::string name_;
   snetsac::runtime::MpscQueue<Message> inbox_;
   /// Quantum drain buffer (reused across quanta; only the worker currently
-  /// running the entity touches it).
+  /// running the entity touches it). batch_pos_ marks the resume point
+  /// after a stall — messages past it are still owned by the entity.
   std::vector<Message> batch_;
+  std::size_t batch_pos_ = 0;
+  std::vector<std::function<void()>> released_;  // scratch for credit firing
 
-  enum State : int { kIdle = 0, kQueued = 1, kRunning = 2, kRunningPending = 3 };
+  /// Set while a quantum is processing; honoured at the next message
+  /// boundary. Only touched by the worker currently running the entity.
+  StallGate stall_gate_;
+  /// Set by resume_from_stall: the next quantum starts with an on_poke so
+  /// entities with internal backlogs (det collectors) resume draining
+  /// even when no new message arrives.
+  std::atomic<bool> resume_poke_{false};
+
+  enum State : int {
+    kIdle = 0,
+    kQueued = 1,
+    kRunning = 2,
+    kRunningPending = 3,
+    kStalled = 4,  // parked on downstream credit; deliver() must not queue
+  };
   std::atomic<int> state_{kIdle};
 
   // Only touched by the single worker currently running the entity.

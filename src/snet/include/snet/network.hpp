@@ -4,14 +4,30 @@
 /// \file network.hpp
 /// Network: a running instantiation of a Net topology.
 ///
-/// The client injects records into the (single) global input stream,
-/// closes it, and drains the (single) global output stream. Internally the
-/// topology unfolds — demand-driven, exactly as the paper describes for
-/// the replication combinators — into entities scheduled on a fixed worker
-/// pool. Completion is detected by quiescence: a network-wide live-record
-/// counter reaches zero after the input was closed (dynamic unfolding
+/// Clients talk to a network through *ports* (see session.hpp):
+///
+///   snet::Network net(topology, opts);
+///   net.input().inject(r);          // bounded, blocking under pressure
+///   net.input().close();
+///   for (snet::Record& out : net.output()) consume(out);
+///
+/// `open_session()` opens an independent logical client session over the
+/// same instantiated topology; records are session-stamped on entry and
+/// demultiplexed back to that session's OutputPort, so many concurrent
+/// clients share one entity graph. Internally the topology unfolds —
+/// demand-driven, exactly as the paper describes for the replication
+/// combinators — into entities scheduled on a fixed worker pool.
+/// Completion is detected by quiescence: a per-session live-record counter
+/// reaches zero after the session's input was closed (dynamic unfolding
 /// makes static EOS flooding awkward; counting is robust against it).
+///
+/// With `Options::inbox_capacity` set, every entity inbox is bounded and a
+/// full downstream inbox suspends the producing entity (credit-based
+/// backpressure, see entity.hpp) — pressure propagates from the output
+/// port all the way back to `InputPort::inject`, capping `peak_live` by
+/// configuration rather than by luck.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -22,6 +38,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/env.hpp"
@@ -29,6 +46,7 @@
 #include "snet/entity.hpp"
 #include "snet/net.hpp"
 #include "snet/scheduler.hpp"
+#include "snet/session.hpp"
 
 namespace snet {
 
@@ -45,6 +63,15 @@ struct Options {
   unsigned workers = snetsac::runtime::default_snet_workers();
   /// Max records an entity processes per scheduling quantum (fairness).
   unsigned quantum = 16;
+  /// Per-entity inbox bound in messages (0 = unbounded). When a
+  /// downstream inbox reaches the bound, the producing entity suspends at
+  /// its next message boundary and is re-queued once the consumer drains
+  /// — so total in-flight records are O(inbox_capacity × entities).
+  std::size_t inbox_capacity = 0;
+  /// Per-session OutputPort buffer bound in records (0 = unbounded). A
+  /// full buffer suspends the output entity, propagating pressure
+  /// upstream. Ignored for sessions in on_output (push callback) mode.
+  std::size_t output_capacity = 0;
   /// Run static signature inference/checking at construction.
   bool type_check = true;
   /// Optional per-stream observer: invoked for every record delivered to
@@ -69,6 +96,11 @@ struct NetworkStats {
   /// Of those, how many ran on a worker they were stolen onto — this
   /// network's share of pool-level work stealing, not the pool-wide count.
   std::uint64_t steals = 0;
+  /// Times an entity suspended on a full downstream inbox / output buffer
+  /// (credit-based backpressure events; always 0 when unbounded).
+  std::uint64_t suspensions = 0;
+  /// Client sessions opened over this network (including the default).
+  std::uint64_t sessions = 0;
 
   std::size_t entity_count() const { return entities.size(); }
   /// Number of entities whose name contains \p needle — used to count
@@ -89,29 +121,64 @@ class Network {
   /// The statically inferred signature of the topology.
   const NetSignature& signature() const { return signature_; }
 
-  /// Feeds a record into the network's input stream.
-  void inject(Record r);
+  // ------- the port/session client API ---------------------------------
 
-  /// Declares the input stream finished; required before wait()/collect().
-  void close_input();
+  /// The default session's input port (bounded inject / try_inject /
+  /// inject_all / close). The default session is created lazily on first
+  /// use, so clients that only ever open_session() never owe it a close
+  /// before wait().
+  InputPort& input();
 
-  /// Blocks for the next output record; std::nullopt once the network has
-  /// quiesced after close_input(). Rethrows the first entity error.
-  std::optional<Record> next_output();
+  /// The default session's output port (next / collect / range-for /
+  /// on_output).
+  OutputPort& output();
 
-  /// Closes the input (if still open) and drains every remaining output.
-  std::vector<Record> collect();
+  /// Opens an independent logical client session over the shared
+  /// topology. Records injected through the session's InputPort are
+  /// stamped on entry and demultiplexed back to the session's OutputPort
+  /// — concurrent clients do not see each other's records. Destroying
+  /// the handle *releases* the session: its input closes, unconsumed
+  /// output is discarded, and the session's state is reclaimed once its
+  /// in-flight records drain.
+  Session open_session();
 
-  /// Blocks until the network has quiesced (input must be closed).
+  /// Blocks until the whole network has quiesced: every session closed
+  /// and no record in flight. Rethrows the first entity error.
   void wait();
 
   NetworkStats stats() const;
 
-  // ------- runtime-internal interface (used by entities) ---------------
+  // ------- deprecated single-funnel shims (default session) ------------
+
+  [[deprecated("use input().inject(); ports carry the bounded-stream "
+               "semantics")]]
+  void inject(Record r);
+
+  [[deprecated("use input().close()")]]
+  void close_input();
+
+  [[deprecated("use output().next()")]]
+  std::optional<Record> next_output();
+
+  [[deprecated("use output().collect()")]]
+  std::vector<Record> collect();
+
+  // ------- runtime-internal interface (used by entities/ports) ---------
   Scheduler& scheduler() { return *sched_; }
-  void live_add(std::int64_t n = 1);
-  void live_sub(std::int64_t n = 1);
-  void push_output(Record r);
+  void live_add(SessionState* session, std::int64_t n = 1);
+  void live_sub(SessionState* session, std::int64_t n = 1);
+  /// Delivers an output record to its session's port (records of a
+  /// released session are dropped). Returns false when the session
+  /// buffer reached its bound — the caller (output entity) should
+  /// suspend via await_output_credit.
+  bool push_output(Record r);
+  /// Credit registration for a full session output buffer; false when
+  /// credit is already available again. Takes the session *id*, not the
+  /// pointer: a released session may have been reclaimed, and the
+  /// id lookup under out_mu_ resolves that race to "credit available".
+  bool await_output_credit(std::uint32_t session_id, Entity* producer);
+  void note_suspension() { suspensions_.fetch_add(1, std::memory_order_relaxed); }
+  std::size_t inbox_capacity() const { return opts_.inbox_capacity; }
   void fail(std::exception_ptr err);
   bool tracing() const { return static_cast<bool>(opts_.trace); }
   void trace_record(const Entity& target, const Record& r);
@@ -121,7 +188,26 @@ class Network {
   /// Registers an entity; returns a stable raw pointer owned by the net.
   Entity* adopt(std::unique_ptr<Entity> entity);
 
+  // ------- port-internal interface (used by InputPort/OutputPort) ------
+  void port_inject(SessionState& s, Record r);
+  bool port_try_inject(SessionState& s, Record& r);
+  void port_close(SessionState& s);
+  std::optional<Record> port_next(SessionState& s);
+  void port_on_output(SessionState& s, std::function<void(Record)> callback);
+  /// Session-handle destruction: closes the input, discards unconsumed
+  /// output, resumes producers stalled on it, and reclaims the state if
+  /// the session has fully drained (else it is marked abandoned and
+  /// future outputs are dropped). \p s must not be used afterwards.
+  void port_release(SessionState& s);
+
  private:
+  SessionState* new_session_state(std::uint32_t id);
+  /// The lazily created default session (id 0).
+  SessionState* default_state();
+  /// Pops the front of \p s's buffer and resumes output-stalled producers
+  /// once the buffer crosses the release watermark. \p lock is released.
+  Record pop_output_locked(SessionState& s, std::unique_lock<std::mutex>& lock);
+
   Net topology_;
   Options opts_;
   NetSignature signature_;
@@ -134,17 +220,36 @@ class Network {
 
   std::atomic<std::int64_t> live_{0};
   std::atomic<std::int64_t> peak_live_{0};
-  std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> suspensions_{0};
+  /// Lock-free mirror of `error_ != nullptr` so producers blocked on
+  /// entry credit can observe a failure without taking out_mu_.
+  std::atomic<bool> failed_{false};
+
+  /// Live sessions by id, guarded by out_mu_. A session is erased (and
+  /// freed) when its handle is released *and* its records have drained —
+  /// records carry raw SessionState pointers, and live > 0 guarantees
+  /// the pointee survives (the last consumer's decrement never touches
+  /// the state afterwards, see live_sub).
+  std::unordered_map<std::uint32_t, std::unique_ptr<SessionState>> sessions_;
+  std::atomic<SessionState*> default_session_{nullptr};
+  std::uint64_t sessions_opened_ = 0;  // guarded by out_mu_ (monotone)
+  std::atomic<std::uint32_t> next_session_id_{1};
+  std::atomic<std::int64_t> open_sessions_{0};
+
+  /// Input-credit handshake for blocking inject on a bounded entry inbox.
+  std::mutex in_mu_;
+  std::condition_variable in_cv_;
+  std::uint64_t in_credit_epoch_ = 0;  // guarded by in_mu_
 
   mutable std::mutex out_mu_;
   std::condition_variable out_cv_;
-  std::deque<Record> outputs_;
-  std::uint64_t produced_ = 0;
+  std::uint64_t produced_ = 0;  // across all sessions
   std::exception_ptr error_;
 
   bool done_locked() const {
-    return closed_.load() && live_.load(std::memory_order_acquire) == 0;
+    return open_sessions_.load(std::memory_order_acquire) == 0 &&
+           live_.load(std::memory_order_acquire) == 0;
   }
 };
 

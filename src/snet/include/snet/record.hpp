@@ -25,7 +25,8 @@
 
 namespace snet {
 
-class DetScope;  // runtime machinery, see detscope.hpp
+class DetScope;      // runtime machinery, see detscope.hpp
+class SessionState;  // runtime machinery, see session.hpp
 
 /// One deterministic-region stamp: which scope, which input group.
 struct DetStamp {
@@ -92,10 +93,20 @@ class Record {
   // -- hidden runtime metadata -----------------------------------------
   std::vector<DetStamp>& det_stack() { return det_; }
   const std::vector<DetStamp>& det_stack() const { return det_; }
-  /// Copies runtime metadata (det stamps) from a progenitor record; every
-  /// record a component emits in response to an input record inherits the
-  /// input's metadata.
-  void inherit_meta(const Record& from) { det_ = from.det_; }
+  /// The client session this record belongs to: stamped on entry by
+  /// `InputPort::inject`, inherited by every derived record, and used by
+  /// the output entity to demultiplex results back to the right session's
+  /// `OutputPort`. Null means "default session" (e.g. records built in
+  /// tests that never crossed a port). Invisible to boxes and types.
+  SessionState* session_state() const { return session_; }
+  void set_session(SessionState* s) { session_ = s; }
+  /// Copies runtime metadata (det stamps, session stamp) from a progenitor
+  /// record; every record a component emits in response to an input record
+  /// inherits the input's metadata.
+  void inherit_meta(const Record& from) {
+    det_ = from.det_;
+    session_ = from.session_;
+  }
 
  private:
   const Value* find_field(Label label) const;
@@ -106,6 +117,7 @@ class Record {
   std::vector<std::pair<Label, Value>> fields_;
   std::vector<std::pair<Label, std::int64_t>> tags_;
   std::vector<DetStamp> det_;
+  SessionState* session_ = nullptr;
   ShapeId shape_ = 0;  // id 0 is the empty shape by construction
   std::uint64_t mask_ = 0;
 };

@@ -10,6 +10,15 @@
 /// Ties still rotate per record ("one is selected non-deterministically");
 /// only the tied *set* is memoized, not the pick.
 ///
+/// Route tables are *bounded*: steady-state streams carry a handful of
+/// shapes, but an adversarial workload can mint unbounded distinct label
+/// sets (the ROADMAP follow-up from PR 2). At `max_entries` the table is
+/// evicted wholesale (epoch reset — O(1) amortised for workloads that
+/// merely drift); a workload that keeps blowing through the cap
+/// (`kMaxResets` evictions) is genuinely churn-heavy, so caching turns
+/// itself off and every decision falls back to uncached matching — always
+/// correct, never unbounded memory.
+///
 /// Not thread-safe: a router belongs to one entity, and entities are run
 /// by at most one worker at a time. Shared with bench_routing so the
 /// microbenchmark measures exactly the production decision path.
@@ -23,6 +32,12 @@
 
 namespace snet::detail {
 
+/// Cap policy shared by every per-entity route table.
+struct RouteTableBounds {
+  static constexpr std::size_t kDefaultMaxEntries = 1024;
+  static constexpr unsigned kMaxResets = 8;
+};
+
 /// Per-shape memo table: one immutable value per record shape, computed
 /// on first sight. The idiom behind every entity route table — filters
 /// and star exits memoize a bool (pattern type match), synchrocells a
@@ -31,26 +46,52 @@ namespace snet::detail {
 template <class Value>
 class ShapeMemo {
  public:
+  explicit ShapeMemo(std::size_t max_entries = RouteTableBounds::kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
   /// The memoized value for \p shape, computing it via \p fill on a miss.
+  /// Returns by value: once caching is disabled (sustained shape churn)
+  /// there is no stored entry to reference.
   template <class Fill>
-  const Value& get_or(ShapeId shape, Fill&& fill) {
-    const auto [it, fresh] = table_.try_emplace(shape);
-    if (fresh) {
-      it->second = fill();
+  Value get_or(ShapeId shape, Fill&& fill) {
+    if (disabled_) {
+      return fill();
     }
-    return it->second;
+    const auto it = table_.find(shape);
+    if (it != table_.end()) {
+      return it->second;
+    }
+    Value v = fill();
+    if (table_.size() >= max_entries_) {
+      if (++resets_ > RouteTableBounds::kMaxResets) {
+        disabled_ = true;
+        table_.clear();
+        return v;
+      }
+      table_.clear();
+    }
+    table_.emplace(shape, v);
+    return v;
   }
+
+  std::size_t size() const { return table_.size(); }
+  unsigned resets() const { return resets_; }
+  bool caching_disabled() const { return disabled_; }
 
  private:
   std::unordered_map<ShapeId, Value> table_;
+  std::size_t max_entries_;
+  unsigned resets_ = 0;
+  bool disabled_ = false;
 };
 
 class ParallelRouter {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  explicit ParallelRouter(std::vector<MultiType> inputs)
-      : inputs_(std::move(inputs)) {}
+  explicit ParallelRouter(std::vector<MultiType> inputs,
+                          std::size_t max_entries = RouteTableBounds::kDefaultMaxEntries)
+      : inputs_(std::move(inputs)), max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
   std::size_t branch_count() const { return inputs_.size(); }
 
@@ -66,15 +107,21 @@ class ParallelRouter {
     return route.tied[tie_break_++ % route.tied.size()];
   }
 
+  std::size_t table_size() const { return table_.size(); }
+  unsigned resets() const { return resets_; }
+  bool caching_disabled() const { return disabled_; }
+
  private:
   struct Route {
     std::vector<std::uint32_t> tied;  // branches sharing the best score
   };
 
   const Route& decide(ShapeId shape, const Record& r) {
-    const auto it = table_.find(shape);
-    if (it != table_.end()) {
-      return it->second;
+    if (!disabled_) {
+      const auto it = table_.find(shape);
+      if (it != table_.end()) {
+        return it->second;
+      }
     }
     // Fresh shape: score every branch once into the scratch vector, then
     // collect the argmax set.
@@ -85,20 +132,37 @@ class ParallelRouter {
       scores_.push_back(score);
       best = score > best ? score : best;
     }
-    Route route;
+    scratch_.tied.clear();
     if (best >= 0) {
       for (std::uint32_t i = 0; i < scores_.size(); ++i) {
         if (scores_[i] == best) {
-          route.tied.push_back(i);
+          scratch_.tied.push_back(i);
         }
       }
     }
-    return table_.emplace(shape, std::move(route)).first->second;
+    if (disabled_) {
+      return scratch_;
+    }
+    if (table_.size() >= max_entries_) {
+      // Bounded table (see file comment): evict wholesale, and give up on
+      // caching entirely under sustained churn.
+      if (++resets_ > RouteTableBounds::kMaxResets) {
+        disabled_ = true;
+        table_.clear();
+        return scratch_;
+      }
+      table_.clear();
+    }
+    return table_.emplace(shape, scratch_).first->second;
   }
 
   std::vector<MultiType> inputs_;
   std::unordered_map<ShapeId, Route> table_;
   std::vector<int> scores_;  // scratch, reused across misses
+  Route scratch_;            // decision of record, valid until the next decide
+  std::size_t max_entries_;
+  unsigned resets_ = 0;
+  bool disabled_ = false;
   std::uint64_t tie_break_ = 0;
 };
 

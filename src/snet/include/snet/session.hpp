@@ -1,0 +1,235 @@
+#ifndef SNETSAC_SNET_SESSION_HPP
+#define SNETSAC_SNET_SESSION_HPP
+
+/// \file session.hpp
+/// The port/session client surface of a running Network.
+///
+/// A `Network` is no longer a single global inject/collect funnel: clients
+/// talk to it through *ports*. `Network::input()` / `Network::output()`
+/// are the ports of the built-in default session; `Network::open_session()`
+/// opens an independent logical client session over the *same* instantiated
+/// topology — records are session-stamped on entry (hidden metadata, like
+/// det stamps, so the stamp never perturbs type matching or shape-interned
+/// routing) and demultiplexed back to the owning session's `OutputPort`.
+/// Many concurrent clients therefore share one entity graph instead of
+/// instantiating a network per request.
+///
+/// Ports are where the end-to-end resource bound surfaces (the
+/// extra-functional stream semantics of S+Net): with
+/// `Options::inbox_capacity` set, `InputPort::inject` blocks when the
+/// entry inbox is full (cooperatively — a worker thread helps execute
+/// tasks instead of blocking its pool slot), `try_inject` reports "full"
+/// without blocking, and a full session `OutputPort` buffer
+/// (`Options::output_capacity`) suspends the producing entity so pressure
+/// propagates upstream, output port to input port.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iterator>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "snet/record.hpp"
+
+namespace snet {
+
+class Entity;
+class Network;
+class SessionState;
+
+/// Bounded input side of a session. Thread-safe: multiple producer
+/// threads may inject into the same port concurrently.
+class InputPort {
+ public:
+  InputPort(const InputPort&) = delete;
+  InputPort& operator=(const InputPort&) = delete;
+
+  /// Feeds a record into the session. With a bounded entry inbox this
+  /// blocks until credit is available; on an executor worker (a box
+  /// injecting into a nested network) it helps execute tasks instead of
+  /// blocking the pool slot. Throws std::logic_error after close(), and
+  /// rethrows the network's first entity error if the network fails
+  /// while the inject is blocked (a dead pipeline never releases
+  /// credit).
+  void inject(Record r);
+
+  /// Non-blocking inject: returns false — leaving \p r intact — when the
+  /// entry inbox is at capacity, so the client can apply its own policy
+  /// (drop, retry, shed load) instead of stalling.
+  bool try_inject(Record& r);
+
+  /// Batched inject: feeds every record, blocking as needed. The batch
+  /// shares the session stamp/credit bookkeeping of a single call site.
+  void inject_all(std::vector<Record> records);
+
+  /// Declares this session's input finished. Idempotent. The session's
+  /// OutputPort completes once the session's in-flight records drain.
+  void close();
+
+  bool closed() const;
+
+ private:
+  friend class SessionState;
+  InputPort(Network& net, SessionState& state) : net_(&net), state_(&state) {}
+
+  Network* net_;
+  SessionState* state_;
+};
+
+/// Output side of a session: a stream of the session's own results,
+/// consumable by blocking pops (`next`), bulk drain (`collect`), range
+/// iteration, or a push callback (`on_output`).
+class OutputPort {
+ public:
+  OutputPort(const OutputPort&) = delete;
+  OutputPort& operator=(const OutputPort&) = delete;
+
+  /// Blocks for the session's next output record; std::nullopt once the
+  /// session is closed and drained. Rethrows the first entity error.
+  std::optional<Record> next();
+
+  /// Closes the session's input (if still open) and drains every
+  /// remaining output of this session.
+  std::vector<Record> collect();
+
+  /// Push mode: \p callback is invoked for every output record of this
+  /// session *from a worker thread* (must be thread-compatible with the
+  /// client's world; calls are serialised and in session order). Records
+  /// already buffered are flushed to the callback first; afterwards the
+  /// port never buffers, so output backpressure is disabled for this
+  /// session — the callback itself is the consumer. Install-once: a
+  /// second call throws std::logic_error.
+  void on_output(std::function<void(Record)> callback);
+
+  struct sentinel {};
+
+  /// Input iterator over the session's outputs; ++ blocks like next().
+  class iterator {
+   public:
+    using value_type = Record;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::input_iterator_tag;
+
+    Record& operator*() { return *current_; }
+    Record* operator->() { return &*current_; }
+    iterator& operator++() {
+      current_ = port_->next();
+      return *this;
+    }
+    void operator++(int) { ++*this; }
+    bool operator==(sentinel) const { return !current_.has_value(); }
+
+   private:
+    friend class OutputPort;
+    explicit iterator(OutputPort* port) : port_(port), current_(port->next()) {}
+
+    OutputPort* port_;
+    std::optional<Record> current_;
+  };
+
+  /// `for (snet::Record& r : net.output()) ...` — terminates when the
+  /// session closes and drains. begin() already blocks for the first
+  /// record.
+  iterator begin() { return iterator(this); }
+  sentinel end() const { return {}; }
+
+ private:
+  friend class SessionState;
+  OutputPort(Network& net, SessionState& state) : net_(&net), state_(&state) {}
+
+  Network* net_;
+  SessionState* state_;
+};
+
+/// Internal per-session runtime state, owned by the Network for its whole
+/// lifetime (records carry a raw pointer to it as their session stamp).
+/// Clients only ever see the facade ports and the Session handle.
+class SessionState {
+ public:
+  SessionState(Network& net, std::uint32_t id)
+      : id_(id), in_(net, *this), out_(net, *this) {}
+
+  SessionState(const SessionState&) = delete;
+  SessionState& operator=(const SessionState&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  InputPort& input() { return in_; }
+  OutputPort& output() { return out_; }
+
+ private:
+  friend class Network;
+  friend class InputPort;
+  friend class OutputPort;
+
+  const std::uint32_t id_;
+
+  /// Records of this session currently inside the network (quiescence is
+  /// per session: closed + live == 0 completes the OutputPort).
+  std::atomic<std::int64_t> live_{0};
+  std::atomic<bool> closed_{false};
+
+  // --- guarded by Network::out_mu_ ------------------------------------
+  std::deque<Record> buffer_;          ///< demuxed outputs awaiting the client
+  std::uint64_t produced_ = 0;
+  std::function<void(Record)> sink_;   ///< on_output callback, if any
+  std::vector<Entity*> out_waiters_;   ///< producers stalled on a full buffer
+  /// Handle released while records were still in flight: further outputs
+  /// are dropped (nobody can consume them), so an abandoned session can
+  /// never congest the shared output entity.
+  bool abandoned_ = false;
+
+  InputPort in_;
+  OutputPort out_;
+};
+
+/// A client session handle: an independent logical stream pair over a
+/// shared Network. Move-only; destroying the handle *releases* the
+/// session — input closed, unconsumed output discarded, state reclaimed
+/// once in-flight records drain — so a forgotten session can neither
+/// wedge network quiescence nor congest the shared output entity.
+/// Port references obtained from the handle die with it; the handle must
+/// not outlive the Network.
+class Session {
+ public:
+  Session() = default;
+  Session(Session&& other) noexcept
+      : net_(std::exchange(other.net_, nullptr)),
+        state_(std::exchange(other.state_, nullptr)) {}
+  Session& operator=(Session&& other) noexcept {
+    if (this != &other) {
+      release();
+      net_ = std::exchange(other.net_, nullptr);
+      state_ = std::exchange(other.state_, nullptr);
+    }
+    return *this;
+  }
+  ~Session() { release(); }
+
+  /// False for a default-constructed or moved-from handle. Calling any
+  /// accessor below on such an empty handle is undefined — check first.
+  explicit operator bool() const { return state_ != nullptr; }
+  std::uint32_t id() const { return state_->id(); }
+
+  InputPort& input() { return state_->input(); }
+  OutputPort& output() { return state_->output(); }
+
+  /// Closes the session's input stream (== input().close()); the handle
+  /// stays valid for draining the output.
+  void close() { state_->input().close(); }
+
+ private:
+  friend class Network;
+  Session(Network& net, SessionState& state) : net_(&net), state_(&state) {}
+
+  void release();  // defined in session.cpp (needs Network)
+
+  Network* net_ = nullptr;
+  SessionState* state_ = nullptr;
+};
+
+}  // namespace snet
+
+#endif

@@ -46,24 +46,156 @@ Network::~Network() {
   sched_->stop();
 }
 
-void Network::inject(Record r) {
-  if (closed_.load()) {
-    throw std::logic_error("inject after close_input");
+SessionState* Network::new_session_state(std::uint32_t id) {
+  auto state = std::make_unique<SessionState>(*this, id);
+  SessionState* raw = state.get();
+  {
+    const std::lock_guard lock(out_mu_);
+    sessions_.emplace(id, std::move(state));
+    ++sessions_opened_;
   }
-  injected_.fetch_add(1, std::memory_order_relaxed);
-  live_add(1);
-  entry_->deliver(Message::record(std::move(r)));
+  open_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  return raw;
 }
 
-void Network::close_input() {
-  closed_.store(true);
-  // A network that was already quiescent must wake waiters.
+SessionState* Network::default_state() {
+  // The default session (id 0) backs input()/output() and the deprecated
+  // single-funnel shims. Created lazily so a client that only ever
+  // open_session()s never owes it a close before wait().
+  SessionState* s = default_session_.load(std::memory_order_acquire);
+  if (s != nullptr) {
+    return s;
+  }
+  auto state = std::make_unique<SessionState>(*this, 0);
+  {
+    const std::lock_guard lock(out_mu_);
+    s = default_session_.load(std::memory_order_relaxed);
+    if (s != nullptr) {
+      return s;  // another thread won the race
+    }
+    s = state.get();
+    sessions_.emplace(0U, std::move(state));
+    ++sessions_opened_;
+    default_session_.store(s, std::memory_order_release);
+  }
+  open_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  return s;
+}
+
+InputPort& Network::input() { return default_state()->input(); }
+
+OutputPort& Network::output() { return default_state()->output(); }
+
+Session Network::open_session() {
+  return Session(
+      *this,
+      *new_session_state(next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+void Network::port_inject(SessionState& s, Record r) {
+  if (s.closed_.load(std::memory_order_acquire)) {
+    throw std::logic_error("inject after close_input");
+  }
+  r.set_session(&s);
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  // The live increment precedes visibility downstream — a blocked inject
+  // holds its record "live", so the network cannot quiesce under it.
+  live_add(&s, 1);
+  Message m = Message::record(std::move(r));
+  if (entry_->try_deliver(m)) {
+    return;
+  }
+  // Bounded entry inbox is full: wait for credit. On an executor worker
+  // (a box injecting into a nested network) help_until executes queued
+  // tasks instead of blocking the pool slot. A network failure wakes the
+  // wait too (fail() bumps the epoch): a dead pipeline may never release
+  // entry credit, so a blocked inject must rethrow rather than hang.
+  auto& exec = snetsac::runtime::Executor::global();
+  for (;;) {
+    if (failed_.load(std::memory_order_acquire)) {
+      live_sub(&s, 1);  // the record never became visible downstream
+      std::exception_ptr err;
+      {
+        const std::lock_guard lock(out_mu_);
+        err = error_;
+      }
+      std::rethrow_exception(err);
+    }
+    std::uint64_t epoch;
+    {
+      const std::lock_guard lock(in_mu_);
+      epoch = in_credit_epoch_;
+    }
+    const bool registered = entry_->await_inbox_credit_cb([this] {
+      {
+        const std::lock_guard lock(in_mu_);
+        ++in_credit_epoch_;
+      }
+      in_cv_.notify_all();
+    });
+    if (registered) {
+      exec.help_until(in_mu_, in_cv_, [&] { return in_credit_epoch_ != epoch; });
+    }
+    if (entry_->try_deliver(m)) {
+      return;
+    }
+  }
+}
+
+bool Network::port_try_inject(SessionState& s, Record& r) {
+  if (s.closed_.load(std::memory_order_acquire)) {
+    throw std::logic_error("inject after close_input");
+  }
+  r.set_session(&s);
+  live_add(&s, 1);
+  Message m = Message::record(std::move(r));
+  if (entry_->try_deliver(m)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  live_sub(&s, 1);
+  r = std::move(m.rec);  // hand the record back untouched
+  return false;
+}
+
+void Network::port_close(SessionState& s) {
+  if (!s.closed_.exchange(true, std::memory_order_acq_rel)) {
+    open_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  // A session that was already drained must wake its output waiters (and
+  // wait() waiters watching for whole-network quiescence).
+  {
+    const std::lock_guard lock(out_mu_);
+  }
   out_cv_.notify_all();
 }
 
-std::optional<Record> Network::next_output() {
+Record Network::pop_output_locked(SessionState& s,
+                                  std::unique_lock<std::mutex>& lock) {
+  Record r = std::move(s.buffer_.front());
+  s.buffer_.pop_front();
+  std::vector<Entity*> resumed;
+  if (!s.out_waiters_.empty() &&
+      (opts_.output_capacity == 0 ||
+       s.buffer_.size() <= opts_.output_capacity / 2)) {
+    resumed.swap(s.out_waiters_);
+  }
+  lock.unlock();
+  for (Entity* e : resumed) {
+    e->resume_from_stall();
+  }
+  return r;
+}
+
+std::optional<Record> Network::port_next(SessionState& s) {
   auto& exec = snetsac::runtime::Executor::global();
-  const auto ready = [&] { return error_ || !outputs_.empty() || done_locked(); };
+  const auto session_done = [&] {
+    return s.closed_.load(std::memory_order_acquire) &&
+           s.live_.load(std::memory_order_acquire) == 0;
+  };
+  const auto ready = [&] {
+    return error_ || !s.buffer_.empty() || session_done();
+  };
   if (!exec.on_worker_thread()) {
     // Client thread: classic single-lock wait-and-pop.
     std::unique_lock lock(out_mu_);
@@ -71,14 +203,12 @@ std::optional<Record> Network::next_output() {
     if (error_) {
       std::rethrow_exception(error_);
     }
-    if (!outputs_.empty()) {
-      Record r = std::move(outputs_.front());
-      outputs_.pop_front();
-      return r;
+    if (!s.buffer_.empty()) {
+      return pop_output_locked(s, lock);
     }
     return std::nullopt;
   }
-  // Executor worker (a box running a nested network): wait cooperatively —
+  // Executor worker (a box draining a nested network): wait cooperatively —
   // execute queued tasks, including this network's own quanta, instead of
   // blocking the pool slot. Loops because the lock is released between the
   // wait and the pop: a concurrent consumer may take the output we were
@@ -89,27 +219,68 @@ std::optional<Record> Network::next_output() {
     if (error_) {
       std::rethrow_exception(error_);
     }
-    if (!outputs_.empty()) {
-      Record r = std::move(outputs_.front());
-      outputs_.pop_front();
-      return r;
+    if (!s.buffer_.empty()) {
+      return pop_output_locked(s, lock);
     }
-    if (done_locked()) {
+    if (session_done()) {
       return std::nullopt;
     }
   }
 }
 
-std::vector<Record> Network::collect() {
-  if (!closed_.load()) {
-    close_input();
+void Network::port_on_output(SessionState& s, std::function<void(Record)> callback) {
+  // Flush-then-install loop: the sink is only installed once the buffer
+  // is observed empty under the lock, so a record pushed concurrently is
+  // either buffered (and flushed by a later iteration, in order) or
+  // delivered directly strictly after the flush completed — the callback
+  // sees every record exactly once, in session order, serialised.
+  std::vector<Entity*> resumed;
+  for (;;) {
+    std::deque<Record> pending;
+    {
+      const std::lock_guard lock(out_mu_);
+      if (s.sink_) {
+        // Install-once: push_output calls through the stored sink
+        // without copying it, which is only safe if it never changes.
+        throw std::logic_error("on_output already installed for this session");
+      }
+      if (s.buffer_.empty()) {
+        s.sink_ = std::move(callback);
+        resumed.swap(s.out_waiters_);
+        break;
+      }
+      pending.swap(s.buffer_);
+    }
+    for (auto& r : pending) {
+      callback(std::move(r));
+    }
   }
+  for (Entity* e : resumed) {
+    e->resume_from_stall();
+  }
+}
+
+// ------------------------------------------ deprecated single-funnel shims
+
+void Network::inject(Record r) { port_inject(*default_state(), std::move(r)); }
+
+void Network::close_input() { port_close(*default_state()); }
+
+std::optional<Record> Network::next_output() {
+  return port_next(*default_state());
+}
+
+std::vector<Record> Network::collect() {
+  SessionState* s = default_state();
+  port_close(*s);
   std::vector<Record> all;
-  while (auto r = next_output()) {
+  while (auto r = port_next(*s)) {
     all.push_back(std::move(*r));
   }
   return all;
 }
+
+// -------------------------------------------------------------------------
 
 void Network::wait() {
   snetsac::runtime::Executor::global().help_until(
@@ -133,14 +304,19 @@ NetworkStats Network::stats() const {
   {
     const std::lock_guard lock(out_mu_);
     s.produced = produced_;
+    s.sessions = sessions_opened_;  // cumulative, survives reclamation
   }
   s.peak_live = peak_live_.load();
   s.quanta = sched_->quanta_executed();
   s.steals = sched_->steals();
+  s.suspensions = suspensions_.load(std::memory_order_relaxed);
   return s;
 }
 
-void Network::live_add(std::int64_t n) {
+void Network::live_add(SessionState* session, std::int64_t n) {
+  if (session != nullptr) {
+    session->live_.fetch_add(n, std::memory_order_acq_rel);
+  }
   const std::int64_t now = live_.fetch_add(n, std::memory_order_acq_rel) + n;
   std::int64_t peak = peak_live_.load(std::memory_order_relaxed);
   while (now > peak &&
@@ -148,21 +324,104 @@ void Network::live_add(std::int64_t n) {
   }
 }
 
-void Network::live_sub(std::int64_t n) {
+void Network::live_sub(SessionState* session, std::int64_t n) {
+  bool session_drained = false;
+  if (session != nullptr) {
+    // The decrement to zero is the *last* touch of the session state: a
+    // drained session may be reclaimed by a concurrent handle release
+    // the moment live hits 0, so no closed_/etc. reads after fetch_sub.
+    // The notify below is unconditional on drain-to-zero; waiters
+    // re-check closed/live under out_mu_ (spurious wakeups are cheap,
+    // and the close path notifies too — between them every transition
+    // of "closed && live == 0" is covered).
+    session_drained = session->live_.fetch_sub(n, std::memory_order_acq_rel) - n == 0;
+  }
   const std::int64_t now = live_.fetch_sub(n, std::memory_order_acq_rel) - n;
-  if (now == 0 && closed_.load()) {
+  const bool network_drained =
+      now == 0 && open_sessions_.load(std::memory_order_acquire) == 0;
+  if (session_drained || network_drained) {
     const std::lock_guard lock(out_mu_);
     out_cv_.notify_all();
   }
 }
 
-void Network::push_output(Record r) {
+bool Network::push_output(Record r) {
+  SessionState* s = r.session_state();
+  if (s == nullptr) {
+    s = default_state();  // records that never crossed a port
+  }
+  bool has_sink = false;
+  bool congested = false;
   {
     const std::lock_guard lock(out_mu_);
-    outputs_.push_back(std::move(r));
+    if (s->abandoned_) {
+      // Released mid-flight: nobody can ever consume this session's
+      // output, so drop it rather than congest the shared output entity.
+      return true;
+    }
     ++produced_;
+    ++s->produced_;
+    has_sink = static_cast<bool>(s->sink_);
+    if (!has_sink) {
+      s->buffer_.push_back(std::move(r));
+      congested = opts_.output_capacity != 0 &&
+                  s->buffer_.size() >= opts_.output_capacity;
+    }
   }
-  out_cv_.notify_all();
+  if (has_sink) {
+    // Invoked through the stored sink outside the lock — safe without a
+    // per-record copy because a sink is install-once (port_on_output
+    // rejects re-installation), the install was observed under out_mu_,
+    // and the record in hand keeps the session state alive (live > 0
+    // until the output entity's consume decrement). Serialised: only the
+    // single worker currently running the output entity reaches here.
+    s->sink_(std::move(r));
+  } else {
+    out_cv_.notify_all();
+  }
+  return !congested;
+}
+
+bool Network::await_output_credit(std::uint32_t session_id, Entity* producer) {
+  const std::lock_guard lock(out_mu_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return false;  // session reclaimed since the push: credit forever
+  }
+  SessionState& s = *it->second;
+  if (opts_.output_capacity == 0 || s.abandoned_ || s.sink_ ||
+      s.buffer_.size() < opts_.output_capacity) {
+    return false;
+  }
+  s.out_waiters_.push_back(producer);
+  return true;
+}
+
+void Network::port_release(SessionState& s) {
+  port_close(s);  // idempotent; decrements open_sessions_ once
+  const std::uint32_t id = s.id();
+  std::vector<Entity*> resumed;
+  {
+    const std::lock_guard lock(out_mu_);
+    s.abandoned_ = true;
+    s.buffer_.clear();  // unconsumed output is discarded
+    resumed.swap(s.out_waiters_);
+    if (s.live_.load(std::memory_order_acquire) == 0) {
+      // Fully drained: reclaim. live == 0 guarantees no record carries
+      // the pointer and no consumer will touch the state again (see
+      // live_sub); stall gates re-resolve by id under this same lock.
+      sessions_.erase(id);  // frees s — do not touch it below
+      if (default_session_.load(std::memory_order_relaxed) == &s) {
+        default_session_.store(nullptr, std::memory_order_release);
+      }
+    }
+    // Else: records still in flight keep the state alive; they drain
+    // into the abandoned-drop path above and the small state persists
+    // until network teardown.
+  }
+  for (Entity* e : resumed) {
+    e->resume_from_stall();
+  }
 }
 
 void Network::fail(std::exception_ptr err) {
@@ -172,7 +431,15 @@ void Network::fail(std::exception_ptr err) {
       error_ = err;
     }
   }
+  failed_.store(true, std::memory_order_release);
   out_cv_.notify_all();
+  // Wake producers blocked on entry credit (see port_inject): a failed
+  // pipeline may never drain, and they must observe the error.
+  {
+    const std::lock_guard lock(in_mu_);
+    ++in_credit_epoch_;
+  }
+  in_cv_.notify_all();
 }
 
 void Network::trace_record(const Entity& target, const Record& r) {

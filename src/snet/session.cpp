@@ -1,0 +1,52 @@
+#include "snet/session.hpp"
+
+#include "snet/network.hpp"
+
+namespace snet {
+
+// Ports are thin facades: the logic (and all locking) lives in Network's
+// port_* methods, one translation unit away from the entity runtime that
+// shares the same mutexes.
+
+void InputPort::inject(Record r) { net_->port_inject(*state_, std::move(r)); }
+
+bool InputPort::try_inject(Record& r) { return net_->port_try_inject(*state_, r); }
+
+void InputPort::inject_all(std::vector<Record> records) {
+  for (auto& r : records) {
+    net_->port_inject(*state_, std::move(r));
+  }
+}
+
+void InputPort::close() { net_->port_close(*state_); }
+
+bool InputPort::closed() const {
+  return state_->closed_.load(std::memory_order_acquire);
+}
+
+std::optional<Record> OutputPort::next() { return net_->port_next(*state_); }
+
+std::vector<Record> OutputPort::collect() {
+  if (!state_->input().closed()) {
+    net_->port_close(*state_);
+  }
+  std::vector<Record> all;
+  while (auto r = net_->port_next(*state_)) {
+    all.push_back(std::move(*r));
+  }
+  return all;
+}
+
+void OutputPort::on_output(std::function<void(Record)> callback) {
+  net_->port_on_output(*state_, std::move(callback));
+}
+
+void Session::release() {
+  if (state_ != nullptr) {
+    net_->port_release(*state_);
+    state_ = nullptr;  // may be reclaimed; the handle must forget it
+    net_ = nullptr;
+  }
+}
+
+}  // namespace snet

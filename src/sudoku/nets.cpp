@@ -59,8 +59,8 @@ snet::Record board_record(const BoardArray& board) {
 std::vector<snet::Record> run_board(const snet::Net& net, const BoardArray& board,
                                     snet::Options opts) {
   snet::Network network(net, std::move(opts));
-  network.inject(board_record(board));
-  return network.collect();
+  network.input().inject(board_record(board));
+  return network.output().collect();
 }
 
 std::vector<BoardArray> solutions_in(const std::vector<snet::Record>& records) {

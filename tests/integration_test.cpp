@@ -76,8 +76,8 @@ TEST(Integration, TraceObserverReconstructsPipelineActivity) {
     ++per_entity[entity];
   };
   snet::Network net(fig1_net(), std::move(opts));
-  net.inject(board_record(corpus_board("mini4")));
-  net.collect();
+  net.input().inject(board_record(corpus_board("mini4")));
+  net.output().collect();
   const auto stats = net.stats();
   std::uint64_t from_stats = 0;
   int from_trace = 0;
@@ -97,8 +97,8 @@ TEST(Integration, SequentialAndNetworkShareTheRulesSubstrate) {
   const auto puzzle = corpus_board("mini4");
   auto [b_direct, o_direct] = compute_opts(puzzle);
   snet::Network net(compute_opts_box());
-  net.inject(board_record(puzzle));
-  auto records = net.collect();
+  net.input().inject(board_record(puzzle));
+  auto records = net.output().collect();
   ASSERT_EQ(records.size(), 1U);
   const auto& b_net = snet::value_as<BoardArray>(records[0].field("board"));
   const auto& o_net = snet::value_as<OptsArray>(records[0].field("opts"));

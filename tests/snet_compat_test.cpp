@@ -1,0 +1,68 @@
+/// The deprecated single-funnel shims (inject/close_input/next_output/
+/// collect) must keep working as thin wrappers over the default session —
+/// this is the one translation unit allowed to use them, with the
+/// deprecation diagnostics silenced locally. Everything else in the tree
+/// compiles against the port API only.
+
+#include <gtest/gtest.h>
+
+#include "snet/network.hpp"
+#include "snet/value.hpp"
+
+using namespace snet;
+
+namespace {
+
+Record int_rec(int v) {
+  Record r;
+  r.set_field(field_label("x"), make_value(v));
+  return r;
+}
+
+Net adder(const std::string& name, int delta) {
+  return box(name, "(x) -> (x)",
+             [delta](const BoxInput& in, BoxOutput& out) {
+               out.out(1, make_value(in.get<int>("x") + delta));
+             });
+}
+
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(Compat, LegacyInjectCollectRidesTheDefaultSession) {
+  Network net(adder("inc", 1));
+  for (int i = 0; i < 10; ++i) {
+    net.inject(int_rec(i));
+  }
+  const auto out = net.collect();
+  EXPECT_EQ(out.size(), 10U);
+  EXPECT_EQ(net.stats().injected, 10U);
+}
+
+TEST(Compat, LegacyNextOutputAndCloseInput) {
+  Network net(adder("inc", 1));
+  net.inject(int_rec(41));
+  net.close_input();
+  const auto r = net.next_output();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(value_as<int>(r->field("x")), 42);
+  EXPECT_FALSE(net.next_output().has_value());
+}
+
+TEST(Compat, LegacyAndPortApiTargetTheSameStream) {
+  Network net(adder("inc", 1));
+  net.inject(int_rec(1));               // legacy shim
+  net.input().inject(int_rec(2));       // port API
+  const auto out = net.output().collect();
+  EXPECT_EQ(out.size(), 2U);
+}
+
+TEST(Compat, LegacyInjectAfterCloseStillThrows) {
+  Network net(adder("inc", 1));
+  net.close_input();
+  EXPECT_THROW(net.inject(int_rec(0)), std::logic_error);
+}
+
+#pragma GCC diagnostic pop

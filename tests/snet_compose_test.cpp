@@ -67,9 +67,9 @@ TEST(Compose, SplitInsideStar) {
                  });
   Network net(star(split(dec, "k"), "{<done>}"), workers(2));
   for (int i = 0; i < 9; ++i) {
-    net.inject(rec(i, {{"k", i % 3}}));
+    net.input().inject(rec(i, {{"k", i % 3}}));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 9U);
   for (const auto& r : out) {
     EXPECT_EQ(value_as<int>(r.field("x")), 0);
@@ -89,9 +89,9 @@ TEST(Compose, StarInsideSplit) {
                    }
                  });
   Network net(split(star(dec, "{<done>}"), "k"), workers(2));
-  net.inject(rec(3, {{"k", 0}}));
-  net.inject(rec(5, {{"k", 1}}));
-  const auto out = net.collect();
+  net.input().inject(rec(3, {{"k", 0}}));
+  net.input().inject(rec(5, {{"k", 1}}));
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 2U);
   // Two independent star chains were built, one per lane; the deeper
   // countdown (x=5) materialises at least as many stages.
@@ -129,8 +129,8 @@ TEST(Compose, StarInsideStar) {
   // (required_input is inferred from the head of a serial chain).
   const Net declare = filter("{x, <inner>, <outer>} -> {x, <inner>, <outer>}");
   Network net(star(declare >> inner >> outer_step, "{<odone>}"), workers(2));
-  net.inject(rec(7, {{"outer", 3}, {"inner", 2}}));
-  const auto out = net.collect();
+  net.input().inject(rec(7, {{"outer", 3}, {"inner", 2}}));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(out[0].tag("odone"), 1);
   // Inner chains were materialised inside outer replicas.
@@ -152,9 +152,9 @@ TEST(Compose, ParallelOfStars) {
   const Net left = star(mk_dec("L", "ld"), "{<ld>}");
   const Net right = star(mk_dec("R", "rd"), "{<rd>}");
   Network net(parallel(left, right), workers(2));
-  net.inject(rec(1, {{"ldv", 3}}));
-  net.inject(rec(2, {{"rdv", 2}}));
-  const auto out = net.collect();
+  net.input().inject(rec(1, {{"ldv", 3}}));
+  net.input().inject(rec(2, {{"rdv", 2}}));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 2U);
   for (const auto& r : out) {
     EXPECT_TRUE(r.has_tag("ld") || r.has_tag("rd"));
@@ -165,10 +165,10 @@ TEST(Compose, SplitInsideSplit) {
   Network net(split(split(ident("w"), "inner"), "outer"), workers(2));
   for (int o = 0; o < 2; ++o) {
     for (int i = 0; i < 3; ++i) {
-      net.inject(rec(10 * o + i, {{"outer", o}, {"inner", i}}));
+      net.input().inject(rec(10 * o + i, {{"outer", o}, {"inner", i}}));
     }
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 6U);
   // 2 outer lanes x 3 inner lanes = 6 distinct box instances.
   EXPECT_EQ(net.stats().count_containing("box:w"), 6U);
@@ -190,9 +190,9 @@ TEST(Compose, DetRegionInsideNondetRegion) {
   const Net outer = parallel(inner_det, ident("bypass"));
   Network net(outer, workers(4));
   for (int i = 0; i < 10; ++i) {
-    net.inject(rec(i, {{"d", 1}}));
+    net.input().inject(rec(i, {{"d", 1}}));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 20U);
   // Each det group's two halves must be adjacent in the final stream
   // relative to other det-routed records... outer nondet merge may
@@ -219,10 +219,10 @@ TEST(Compose, DetStarOfDetSplit) {
   Network net(star_det(split_det(dec, "k"), "{<done>}"), workers(4));
   const std::vector<int> depths{5, 0, 3, 7, 1, 4};
   for (std::size_t i = 0; i < depths.size(); ++i) {
-    net.inject(rec(depths[i], {{"k", static_cast<std::int64_t>(i % 2)},
+    net.input().inject(rec(depths[i], {{"k", static_cast<std::int64_t>(i % 2)},
                                {"idx", static_cast<std::int64_t>(i)}}));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), depths.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].tag("idx"), static_cast<std::int64_t>(i));
@@ -235,9 +235,9 @@ TEST(Compose, FilterFanoutIntoSplit) {
                 split(add("inc", 1), "k");
   Network net(n, workers(2));
   for (int i = 0; i < 5; ++i) {
-    net.inject(rec(i));
+    net.input().inject(rec(i));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 15U);
   EXPECT_EQ(net.stats().count_containing("box:inc"), 3U);
 }
@@ -262,8 +262,8 @@ TEST(Compose, SyncInsidePipeline) {
                     [](const BoxInput&, BoxOutput&) { /* swallow */ });
   Network net(splitter >> sync({"{lo}", "{hi}"}) >> parallel(joiner, bypass),
               workers(1));
-  net.inject(rec(4217));
-  const auto out = net.collect();
+  net.input().inject(rec(4217));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), 4217);
 }
@@ -283,12 +283,12 @@ TEST(Compose, DeepNestingStress) {
                 add("final", 100);
   Network net(n, workers(4));
   for (int i = 0; i < 30; ++i) {
-    net.inject(rec(i % 6, {{"k", i % 3}}));
+    net.input().inject(rec(i % 6, {{"k", i % 3}}));
   }
   Record no_k;
   no_k.set_field("x", make_value(7));
-  net.inject(std::move(no_k));  // routes to the ident branch
-  const auto out = net.collect();
+  net.input().inject(std::move(no_k));  // routes to the ident branch
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 31U);
   std::multiset<int> vs = values(out);
   EXPECT_EQ(vs.count(100), 30U) << "all star outputs decremented to 0, then +100";
@@ -317,12 +317,12 @@ TEST_P(DetReferenceModel, MatchesSequentialSemantics) {
   const std::vector<int> xs{3, 1, 4, 2};
   for (std::size_t i = 0; i < xs.size(); ++i) {
     Record r = rec(xs[i], {{"k", static_cast<std::int64_t>(i % 2)}, {"go", 1}});
-    net.inject(std::move(r));
+    net.input().inject(std::move(r));
     for (int c = 0; c < xs[i]; ++c) {
       expected.emplace_back(xs[i], c);
     }
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), expected.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(value_as<int>(out[i].field("x")), expected[i].first) << i;

@@ -48,8 +48,8 @@ TEST(Dot, RunStatsRenderEntityCounters) {
   Network net(ident("id") >> ident("id2"));
   Record r;
   r.set_field("x", make_value(1));
-  net.inject(std::move(r));
-  net.collect();
+  net.input().inject(std::move(r));
+  net.output().collect();
   const std::string dot = to_dot(net.stats());
   EXPECT_NE(dot.find("digraph snet_run"), std::string::npos);
   EXPECT_NE(dot.find("box:id"), std::string::npos);

@@ -178,9 +178,9 @@ TEST_P(TopologyFuzz, RecordConservationAndQuiescence) {
       r.set_field("x", make_value(i));
       r.set_tag("k", i % 3);
       r.set_tag("hop", 0);
-      net.inject(std::move(r));
+      net.input().inject(std::move(r));
     }
-    const auto out = net.collect();
+    const auto out = net.output().collect();
     ASSERT_EQ(out.size(), static_cast<std::size_t>(kRecords))
         << "seed " << seed << " round " << round << " net: " << describe(topo);
     // Payloads are conserved as a multiset.

@@ -63,8 +63,8 @@ TEST(Lang, BareExpressionOverBoundNets) {
                       }));
   const Net n = parse_network("A .. A .. A", b);
   Network net(n);
-  net.inject(int_rec(0));
-  const auto out = net.collect();
+  net.input().inject(int_rec(0));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), 3);
 }
@@ -80,8 +80,8 @@ TEST(Lang, FullNetDefinitionWithBoxDecls) {
   const auto parsed = parse_network_named(src, arithmetic_bindings());
   EXPECT_EQ(parsed.name, "pipeline");
   Network net(parsed.topology);
-  net.inject(int_rec(3));
-  const auto out = net.collect();
+  net.input().inject(int_rec(3));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), (3 + 1) * 2 + 1);
 }
@@ -102,8 +102,8 @@ TEST(Lang, ReplicationPostfixes) {
     }
   )";
   Network net(parse_network(src, b));
-  net.inject(int_rec(4));
-  const auto out = net.collect();
+  net.input().inject(int_rec(4));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), 0);
   EXPECT_EQ(out[0].tag("done"), 1);
@@ -126,8 +126,8 @@ TEST(Lang, FiltersInlineInExpressions) {
   const Net n = parse_network(
       "net f { box inc ((x) -> (x)); connect inc .. [{x} -> {y=x, <m>=1}]; }", b);
   Network net(n);
-  net.inject(int_rec(1));
-  const auto out = net.collect();
+  net.input().inject(int_rec(1));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("y")), 2);
   EXPECT_EQ(out[0].tag("m"), 1);
@@ -141,9 +141,9 @@ TEST(Lang, SynchrocellLiteral) {
   ra.set_field("a", make_value(1));
   Record rb;
   rb.set_field("b", make_value(2));
-  net.inject(std::move(ra));
-  net.inject(std::move(rb));
-  const auto out = net.collect();
+  net.input().inject(std::move(ra));
+  net.input().inject(std::move(rb));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_TRUE(out[0].has_field("a"));
   EXPECT_TRUE(out[0].has_field("b"));
@@ -161,8 +161,8 @@ TEST(Lang, NestedNetDefinitions) {
     }
   )";
   Network net(parse_network(src, arithmetic_bindings()));
-  net.inject(int_rec(5));
-  const auto out = net.collect();
+  net.input().inject(int_rec(5));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), 12);
 }

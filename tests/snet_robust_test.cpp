@@ -48,9 +48,9 @@ TEST(Robust, BoxThrowingUnderLoadFailsFastWithoutHanging) {
                    });
   Network net(flaky >> ident("sink"), workers(4));
   for (int i = 0; i < 1000; ++i) {
-    net.inject(rec(i));
+    net.input().inject(rec(i));
   }
-  EXPECT_THROW(net.collect(), std::runtime_error);
+  EXPECT_THROW(net.output().collect(), std::runtime_error);
 }
 
 TEST(Robust, FirstErrorWinsWhenManyBoxesThrow) {
@@ -61,10 +61,10 @@ TEST(Robust, FirstErrorWinsWhenManyBoxesThrow) {
                   });
   Network net(bomb, workers(4));
   for (int i = 0; i < 50; ++i) {
-    net.inject(rec(i));
+    net.input().inject(rec(i));
   }
   try {
-    net.collect();
+    net.output().collect();
     FAIL() << "expected an error";
   } catch (const std::runtime_error& e) {
     EXPECT_TRUE(std::string(e.what()).rfind("fault ", 0) == 0);
@@ -81,7 +81,7 @@ TEST(Robust, DestructionWithInFlightRecordsIsSafe) {
   for (int round = 0; round < 5; ++round) {
     Network net(slow >> slow >> slow, workers(2));
     for (int i = 0; i < 100; ++i) {
-      net.inject(rec(i));
+      net.input().inject(rec(i));
     }
     // No close, no collect: destructor runs with records mid-network.
   }
@@ -96,8 +96,8 @@ TEST(Robust, ValueTypeMismatchSurfacesAsError) {
                       out.out(1, in.field("x"));
                     });
   Network net(reader);
-  net.inject(rec(7));
-  EXPECT_THROW(net.collect(), ValueError);
+  net.input().inject(rec(7));
+  EXPECT_THROW(net.output().collect(), ValueError);
 }
 
 TEST(Robust, FilterGuardRuntimeErrorFailsNetwork) {
@@ -108,9 +108,9 @@ TEST(Robust, FilterGuardRuntimeErrorFailsNetwork) {
       {FilterSpec::Output{{FilterSpec::Item{FilterSpec::Item::Kind::CopyField,
                                             field_label("x"), {}, {}}}}});
   Network net(filter(spec));
-  net.inject(rec(1, {{"d", 5}}));
-  net.inject(rec(2, {{"d", 0}}));  // division by zero in the guard
-  EXPECT_THROW(net.collect(), TagExprError);
+  net.input().inject(rec(1, {{"d", 5}}));
+  net.input().inject(rec(2, {{"d", 0}}));  // division by zero in the guard
+  EXPECT_THROW(net.output().collect(), TagExprError);
 }
 
 TEST(Robust, ConcurrentInjectionFromManyThreads) {
@@ -122,29 +122,29 @@ TEST(Robust, ConcurrentInjectionFromManyThreads) {
     for (int t = 0; t < kThreads; ++t) {
       producers.emplace_back([&net, t] {
         for (int i = 0; i < kEach; ++i) {
-          net.inject(rec(t * kEach + i));
+          net.input().inject(rec(t * kEach + i));
         }
       });
     }
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), static_cast<std::size_t>(kThreads * kEach));
 }
 
 TEST(Robust, StreamingConsumerOverlapsProducer) {
-  // Consume outputs with next_output() while the producer is still
+  // Consume outputs with output().next() while the producer is still
   // injecting — the network is a stream transformer, not batch-only.
   Network net(ident("id"), workers(2));
   std::atomic<int> seen{0};
   std::jthread consumer([&] {
-    while (net.next_output().has_value()) {
+    while (net.output().next().has_value()) {
       seen.fetch_add(1);
     }
   });
   for (int i = 0; i < 500; ++i) {
-    net.inject(rec(i));
+    net.input().inject(rec(i));
   }
-  net.close_input();
+  net.input().close();
   consumer.join();
   EXPECT_EQ(seen.load(), 500);
 }
@@ -154,18 +154,18 @@ TEST(Robust, RecordsDyingSilentlyStillQuiesce) {
   auto sink = box("sink", "(x) -> (x)", [](const BoxInput&, BoxOutput&) {});
   Network net(sink, workers(2));
   for (int i = 0; i < 100; ++i) {
-    net.inject(rec(i));
+    net.input().inject(rec(i));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_TRUE(out.empty());
 }
 
 TEST(Robust, SplitHandlesExtremeTagValues) {
   Network net(split(ident("w"), "k"), workers(2));
-  net.inject(rec(1, {{"k", std::numeric_limits<std::int64_t>::max()}}));
-  net.inject(rec(2, {{"k", std::numeric_limits<std::int64_t>::min()}}));
-  net.inject(rec(3, {{"k", -7}}));
-  const auto out = net.collect();
+  net.input().inject(rec(1, {{"k", std::numeric_limits<std::int64_t>::max()}}));
+  net.input().inject(rec(2, {{"k", std::numeric_limits<std::int64_t>::min()}}));
+  net.input().inject(rec(3, {{"k", -7}}));
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 3U);
   EXPECT_EQ(net.stats().count_containing("box:w"), 3U);
 }
@@ -174,8 +174,8 @@ TEST(Robust, ManyNetworksSequentially) {
   // Instantiation/teardown churn: no leaked workers or state.
   for (int i = 0; i < 50; ++i) {
     Network net(ident("id") >> ident("id2"), workers(1));
-    net.inject(rec(i));
-    const auto out = net.collect();
+    net.input().inject(rec(i));
+    const auto out = net.output().collect();
     ASSERT_EQ(out.size(), 1U);
   }
   SUCCEED();
@@ -185,32 +185,32 @@ TEST(Robust, TwoNetworksConcurrently) {
   Network a(ident("a"), workers(2));
   Network b(ident("b"), workers(2));
   for (int i = 0; i < 200; ++i) {
-    a.inject(rec(i));
-    b.inject(rec(-i));
+    a.input().inject(rec(i));
+    b.input().inject(rec(-i));
   }
-  EXPECT_EQ(a.collect().size(), 200U);
-  EXPECT_EQ(b.collect().size(), 200U);
+  EXPECT_EQ(a.output().collect().size(), 200U);
+  EXPECT_EQ(b.output().collect().size(), 200U);
 }
 
 TEST(Robust, WaitThenCollectIsIdempotent) {
   Network net(ident("id"));
-  net.inject(rec(1));
-  net.close_input();
+  net.input().inject(rec(1));
+  net.input().close();
   net.wait();
   net.wait();  // already quiescent
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 1U);
-  EXPECT_TRUE(net.collect().empty());
+  EXPECT_TRUE(net.output().collect().empty());
 }
 
 TEST(Robust, ErrorStateIsSticky) {
   auto bomb = box("bomb", "(x) -> (x)",
                   [](const BoxInput&, BoxOutput&) { throw std::logic_error("boom"); });
   Network net(bomb);
-  net.inject(rec(1));
-  EXPECT_THROW(net.collect(), std::logic_error);
+  net.input().inject(rec(1));
+  EXPECT_THROW(net.output().collect(), std::logic_error);
   EXPECT_THROW(net.wait(), std::logic_error);
-  EXPECT_THROW(net.next_output(), std::logic_error);
+  EXPECT_THROW(net.output().next(), std::logic_error);
 }
 
 TEST(Robust, QuantumFairnessUnderSingleWorker) {
@@ -220,7 +220,7 @@ TEST(Robust, QuantumFairnessUnderSingleWorker) {
   auto r = ident("R");
   Network net(parallel(l, r), workers(1));
   for (int i = 0; i < 1000; ++i) {
-    net.inject(rec(i));
+    net.input().inject(rec(i));
   }
-  EXPECT_EQ(net.collect().size(), 1000U);
+  EXPECT_EQ(net.output().collect().size(), 1000U);
 }

@@ -58,17 +58,17 @@ std::multiset<int> xs_of(const std::vector<Record>& recs) {
 TEST(Runtime, SingleBoxPipeline) {
   Network net(adder("inc", 1));
   for (int i = 0; i < 10; ++i) {
-    net.inject(int_rec("x", i));
+    net.input().inject(int_rec("x", i));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 10U);
   EXPECT_EQ(xs_of(out), (std::multiset<int>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
 }
 
 TEST(Runtime, SerialCompositionPipelines) {
   Network net(adder("a", 1) >> adder("b", 10) >> adder("c", 100));
-  net.inject(int_rec("x", 0));
-  const auto out = net.collect();
+  net.input().inject(int_rec("x", 0));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), 111);
 }
@@ -82,9 +82,9 @@ TEST(Runtime, BoxMayEmitZeroOrManyRecords) {
                    }
                  });
   Network net(fan);
-  net.inject(int_rec("x", 0));  // emits nothing: record dies
-  net.inject(int_rec("x", 3));
-  const auto out = net.collect();
+  net.input().inject(int_rec("x", 0));  // emits nothing: record dies
+  net.input().inject(int_rec("x", 3));
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 3U);
 }
 
@@ -93,8 +93,8 @@ TEST(Runtime, FlowInheritanceAtBoxes) {
   Network net(adder("inc", 1));
   Record r = int_rec("x", 1, {{"extra", 7}});
   r.set_field("payload", make_value(std::string("keep")));
-  net.inject(std::move(r));
-  const auto out = net.collect();
+  net.input().inject(std::move(r));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(out[0].tag("extra"), 7);
   EXPECT_EQ(value_as<std::string>(out[0].field("payload")), "keep");
@@ -106,8 +106,8 @@ TEST(Runtime, FlowInheritanceDiscardsWhenLabelProduced) {
                  out.out(1, in.field("x"), std::int64_t{99});
                });
   Network net(b);
-  net.inject(int_rec("x", 1, {{"t", 5}}));
-  const auto out = net.collect();
+  net.input().inject(int_rec("x", 1, {{"t", 5}}));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(out[0].tag("t"), 99) << "produced label wins over inherited";
 }
@@ -121,14 +121,14 @@ TEST(Runtime, BoxCannotSeeUndeclaredLabels) {
   Network net(nosy);
   Record r = int_rec("x", 1);
   r.set_field("hidden", make_value(42));
-  net.inject(std::move(r));
-  EXPECT_THROW(net.collect(), BoxError);
+  net.input().inject(std::move(r));
+  EXPECT_THROW(net.output().collect(), BoxError);
 }
 
 TEST(Runtime, FilterEntityAppliesSpec) {
   Network net(adder("inc", 1) >> filter("{x} -> {y=x, <m>=1}; {y=x, <m>=2}"));
-  net.inject(int_rec("x", 4));
-  auto out = net.collect();
+  net.input().inject(int_rec("x", 4));
+  auto out = net.output().collect();
   ASSERT_EQ(out.size(), 2U);
   std::multiset<std::int64_t> ms{out[0].tag("m"), out[1].tag("m")};
   EXPECT_EQ(ms, (std::multiset<std::int64_t>{1, 2}));
@@ -146,9 +146,9 @@ TEST(Runtime, ParallelRoutesByBestMatch) {
                  out.out(1, in.field("x"), make_value(std::string("R")));
                });
   Network net(parallel(l, r));
-  net.inject(int_rec("x", 1));
-  net.inject(int_rec("x", 2, {{"hi", 1}}));
-  const auto out = net.collect();
+  net.input().inject(int_rec("x", 1));
+  net.input().inject(int_rec("x", 2, {{"hi", 1}}));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 2U);
   for (const auto& rec : out) {
     const int x = value_as<int>(rec.field("x"));
@@ -172,9 +172,9 @@ TEST(Runtime, ParallelTieAlternates) {
   });
   Network net(parallel(l, r));
   for (int i = 0; i < 20; ++i) {
-    net.inject(int_rec("x", i));
+    net.input().inject(int_rec("x", i));
   }
-  EXPECT_EQ(net.collect().size(), 20U);
+  EXPECT_EQ(net.output().collect().size(), 20U);
   EXPECT_GT(l_count.load(), 0);
   EXPECT_GT(r_count.load(), 0);
   EXPECT_EQ(l_count.load() + r_count.load(), 20);
@@ -184,8 +184,8 @@ TEST(Runtime, ParallelNoMatchFailsNetwork) {
   Network net(parallel(adder("a", 1), adder("b", 2)));
   Record r;
   r.set_field("unrelated", make_value(0));
-  net.inject(std::move(r));
-  EXPECT_THROW(net.collect(), NetTypeError);
+  net.input().inject(std::move(r));
+  EXPECT_THROW(net.output().collect(), NetTypeError);
 }
 
 TEST(Runtime, StarUnfoldsOnDemandAndTapsExit) {
@@ -201,9 +201,9 @@ TEST(Runtime, StarUnfoldsOnDemandAndTapsExit) {
                    }
                  });
   Network net(star(dec, "{<done>}"));
-  net.inject(int_rec("x", 5));
-  net.inject(int_rec("x", 2));
-  const auto out = net.collect();
+  net.input().inject(int_rec("x", 5));
+  net.input().inject(int_rec("x", 2));
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), 2U);
   // Unfolding is demand-driven: the deepest chain (5 steps) bounds stages.
   const auto stats = net.stats();
@@ -219,8 +219,8 @@ TEST(Runtime, StarRecordMatchingExitImmediatelyBypasses) {
                  });
   Network net(star(dec, "{<done>}"));
   Record pre = int_rec("x", 9, {{"done", 1}});
-  net.inject(std::move(pre));
-  const auto out = net.collect();
+  net.input().inject(std::move(pre));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 1U);
   EXPECT_EQ(value_as<int>(out[0].field("x")), 9) << "never touched a replica";
   EXPECT_EQ(net.stats().count_containing("box:dec"), 0U);
@@ -233,9 +233,9 @@ TEST(Runtime, SplitRoutesSameTagToSameReplica) {
                    [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
   Network net(split(ident, "k"));
   for (int i = 0; i < 12; ++i) {
-    net.inject(int_rec("x", i, {{"k", i % 3}}));
+    net.input().inject(int_rec("x", i, {{"k", i % 3}}));
   }
-  EXPECT_EQ(net.collect().size(), 12U);
+  EXPECT_EQ(net.output().collect().size(), 12U);
   const auto stats = net.stats();
   EXPECT_EQ(stats.count_containing("box:w"), 3U) << "exactly one replica per tag value";
   for (const auto& e : stats.entities) {
@@ -247,8 +247,8 @@ TEST(Runtime, SplitRoutesSameTagToSameReplica) {
 
 TEST(Runtime, SplitMissingTagFailsNetwork) {
   Network net(split(adder("a", 0), "k"));
-  net.inject(int_rec("x", 1));
-  EXPECT_THROW(net.collect(), NetTypeError);
+  net.input().inject(int_rec("x", 1));
+  EXPECT_THROW(net.output().collect(), NetTypeError);
 }
 
 TEST(Runtime, DetParallelPreservesInputOrder) {
@@ -270,12 +270,12 @@ TEST(Runtime, DetParallelPreservesInputOrder) {
   Network net(parallel_det(slow, fast), workers(4));
   for (int i = 0; i < 12; ++i) {
     if (i % 3 == 0) {
-      net.inject(int_rec("x", i, {{"left", 1}}));
+      net.input().inject(int_rec("x", i, {{"left", 1}}));
     } else {
-      net.inject(int_rec("x", i));
+      net.input().inject(int_rec("x", i));
     }
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 12U);
   for (int i = 0; i < 12; ++i) {
     EXPECT_EQ(value_as<int>(out[static_cast<std::size_t>(i)].field("x")), i)
@@ -288,9 +288,9 @@ TEST(Runtime, NondetParallelDoesNotGuaranteeOrderButDeliversAll) {
   auto r = adder("r", 0);
   Network net(parallel(l, r), workers(4));
   for (int i = 0; i < 50; ++i) {
-    net.inject(int_rec("x", i));
+    net.input().inject(int_rec("x", i));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 50U);
   std::multiset<int> expect;
   for (int i = 0; i < 50; ++i) {
@@ -310,10 +310,10 @@ TEST(Runtime, DetParallelGroupsKeepMultiEmissionsTogether) {
   auto one = box("one", "(x) -> (x)",
                  [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
   Network net(parallel_det(dup, one), workers(4));
-  net.inject(int_rec("x", 0, {{"left", 1}}));
-  net.inject(int_rec("x", 1));
-  net.inject(int_rec("x", 2, {{"left", 1}}));
-  const auto out = net.collect();
+  net.input().inject(int_rec("x", 0, {{"left", 1}}));
+  net.input().inject(int_rec("x", 1));
+  net.input().inject(int_rec("x", 2, {{"left", 1}}));
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 5U);
   std::vector<int> xs;
   for (const auto& r : out) {
@@ -327,9 +327,9 @@ TEST(Runtime, DetSplitOrdersGroups) {
                    [](const BoxInput& in, BoxOutput& out) { out.out(1, in.field("x")); });
   Network net(split_det(ident, "k"), workers(4));
   for (int i = 0; i < 20; ++i) {
-    net.inject(int_rec("x", i, {{"k", i % 4}}));
+    net.input().inject(int_rec("x", i, {{"k", i % 4}}));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 20U);
   for (int i = 0; i < 20; ++i) {
     EXPECT_EQ(value_as<int>(out[static_cast<std::size_t>(i)].field("x")), i);
@@ -350,9 +350,9 @@ TEST(Runtime, DetStarOrdersGroups) {
   // Different depths: without det, short chains would overtake long ones.
   const std::vector<int> depths{9, 1, 5, 0, 7};
   for (std::size_t i = 0; i < depths.size(); ++i) {
-    net.inject(int_rec("x", depths[i], {{"idx", static_cast<std::int64_t>(i)}}));
+    net.input().inject(int_rec("x", depths[i], {{"idx", static_cast<std::int64_t>(i)}}));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), depths.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].tag("idx"), static_cast<std::int64_t>(i));
@@ -365,12 +365,12 @@ TEST(Runtime, SyncCellJoinsThenIdentity) {
   ra.set_field("a", make_value(1));
   Record rb;
   rb.set_field("b", make_value(2));
-  net.inject(std::move(ra));
-  net.inject(std::move(rb));
+  net.input().inject(std::move(ra));
+  net.input().inject(std::move(rb));
   Record rc;
   rc.set_field("a", make_value(3));
-  net.inject(std::move(rc));  // after firing: identity
-  const auto out = net.collect();
+  net.input().inject(std::move(rc));  // after firing: identity
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 2U);
   // One merged record {a,b}, one passed-through {a}.
   const bool first_merged = out[0].has_field("a") && out[0].has_field("b");
@@ -386,21 +386,21 @@ TEST(Runtime, ErrorsInBoxesSurfaceAtCollect) {
   auto bomb = box("bomb", "(x) -> (x)",
                   [](const BoxInput&, BoxOutput&) { throw std::runtime_error("kaboom"); });
   Network net(bomb);
-  net.inject(int_rec("x", 1));
-  EXPECT_THROW(net.collect(), std::runtime_error);
+  net.input().inject(int_rec("x", 1));
+  EXPECT_THROW(net.output().collect(), std::runtime_error);
 }
 
 TEST(Runtime, InjectAfterCloseRejected) {
   Network net(adder("a", 1));
-  net.close_input();
-  EXPECT_THROW(net.inject(int_rec("x", 1)), std::logic_error);
+  net.input().close();
+  EXPECT_THROW(net.input().inject(int_rec("x", 1)), std::logic_error);
 }
 
 TEST(Runtime, EmptyNetworkQuiescesImmediately) {
   Network net(adder("a", 1));
-  net.close_input();
+  net.input().close();
   net.wait();
-  EXPECT_FALSE(net.next_output().has_value());
+  EXPECT_FALSE(net.output().next().has_value());
 }
 
 TEST(Runtime, TraceObserverSeesEveryDelivery) {
@@ -408,8 +408,8 @@ TEST(Runtime, TraceObserverSeesEveryDelivery) {
   Options opts;
   opts.trace = [&](const std::string&, const Record&) { deliveries.fetch_add(1); };
   Network net(adder("a", 1) >> adder("b", 1), opts);
-  net.inject(int_rec("x", 0));
-  net.collect();
+  net.input().inject(int_rec("x", 0));
+  net.output().collect();
   // At least: entry box, second box, output entity.
   EXPECT_GE(deliveries.load(), 3);
 }
@@ -417,9 +417,9 @@ TEST(Runtime, TraceObserverSeesEveryDelivery) {
 TEST(Runtime, StatsCountersAreConsistent) {
   Network net(adder("a", 1) >> adder("b", 1));
   for (int i = 0; i < 5; ++i) {
-    net.inject(int_rec("x", i));
+    net.input().inject(int_rec("x", i));
   }
-  net.collect();
+  net.output().collect();
   const auto stats = net.stats();
   EXPECT_EQ(stats.injected, 5U);
   EXPECT_EQ(stats.produced, 5U);
@@ -442,9 +442,9 @@ TEST_P(RuntimeStress, PipelineWithFanOutDeliversExactly) {
               workers(GetParam()));
   constexpr int kInputs = 200;
   for (int i = 0; i < kInputs; ++i) {
-    net.inject(int_rec("x", i));
+    net.input().inject(int_rec("x", i));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   EXPECT_EQ(out.size(), static_cast<std::size_t>(kInputs * 8));
 }
 

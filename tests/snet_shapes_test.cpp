@@ -234,5 +234,92 @@ TEST(Shapes, RouterRotatesTies) {
   EXPECT_EQ(first, third);
 }
 
+// Adversarial shape churn: route tables are capped, evict wholesale on
+// overflow, and under sustained churn disable caching — decisions stay
+// correct either way, and memory stays bounded (ROADMAP follow-up, PR 2).
+
+namespace {
+
+/// A record with a distinct label subset per \p seed (12 pool labels →
+/// 4096 distinct shapes, far beyond the small caps used below).
+Record churn_record(const std::vector<Label>& pool, unsigned seed) {
+  Record r;
+  r.set_field("shp_f0", make_value(1));  // keep every record matchable
+  for (std::size_t i = 1; i < pool.size(); ++i) {
+    if ((seed >> (i - 1)) & 1U) {
+      add_label(r, pool[i]);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+TEST(Shapes, RouterTableStaysBoundedUnderShapeChurn) {
+  const std::vector<Label> pool = label_pool();
+  const MultiType input{RecordType::of({"shp_f0"})};
+  constexpr std::size_t kCap = 8;
+  detail::ParallelRouter router{{input}, kCap};
+  for (unsigned seed = 0; seed < 2048; ++seed) {
+    Record r = churn_record(pool, seed);
+    ASSERT_EQ(router.route(r), 0U);  // still routes correctly every time
+    ASSERT_LE(router.table_size(), kCap);
+  }
+  // 2048 distinct shapes through a cap of 8 blows through every reset:
+  // the router must have fallen back to uncached matching.
+  EXPECT_TRUE(router.caching_disabled());
+  EXPECT_EQ(router.table_size(), 0U);
+  // Still correct after the fallback, including the no-match path.
+  Record miss;
+  miss.set_tag("shp_t0", 1);
+  EXPECT_EQ(router.route(miss), detail::ParallelRouter::npos);
+}
+
+TEST(Shapes, RouterEvictsAndRecoversUnderMildDrift) {
+  const MultiType input{RecordType::of({"shp_f0"})};
+  constexpr std::size_t kCap = 16;
+  detail::ParallelRouter router{{input}, kCap};
+  const std::vector<Label> pool = label_pool();
+  // One eviction's worth of drift, then a steady state: caching must
+  // survive (resets below the churn threshold) and keep memoizing.
+  for (unsigned seed = 0; seed < kCap + 4; ++seed) {
+    ASSERT_EQ(router.route(churn_record(pool, seed)), 0U);
+  }
+  EXPECT_FALSE(router.caching_disabled());
+  EXPECT_GE(router.resets(), 1U);
+  Record steady = churn_record(pool, 1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(router.route(steady), 0U);
+  }
+  EXPECT_LE(router.table_size(), kCap);
+}
+
+TEST(Shapes, ShapeMemoStaysBoundedAndFallsBackUnderChurn) {
+  const std::vector<Label> pool = label_pool();
+  const RecordType want = RecordType::of({"shp_f0"});
+  constexpr std::size_t kCap = 8;
+  detail::ShapeMemo<bool> memo(kCap);
+  int fills = 0;
+  for (unsigned seed = 0; seed < 2048; ++seed) {
+    Record r = churn_record(pool, seed);
+    const bool got = memo.get_or(r.shape(), [&] {
+      ++fills;
+      return naive_matches(want, r);
+    });
+    ASSERT_EQ(got, naive_matches(want, r));
+    ASSERT_LE(memo.size(), kCap);
+  }
+  EXPECT_TRUE(memo.caching_disabled());
+  EXPECT_GT(fills, 0);
+  // Disabled caching means every call fills — but stays correct.
+  Record probe = churn_record(pool, 3);
+  const int before = fills;
+  memo.get_or(probe.shape(), [&] {
+    ++fills;
+    return naive_matches(want, probe);
+  });
+  EXPECT_EQ(fills, before + 1);
+}
+
 }  // namespace
 }  // namespace snet

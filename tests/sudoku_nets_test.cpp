@@ -61,8 +61,8 @@ TEST(Fig1, SerialUnfoldingBoundedByEmptyCells) {
   const auto puzzle = corpus_board("easy");
   const int empties = 81 - level(puzzle);
   snet::Network net(fig1_net());
-  net.inject(board_record(puzzle));
-  net.collect();
+  net.input().inject(board_record(puzzle));
+  net.output().collect();
   const auto stats = net.stats();
   const auto replicas = stats.count_containing("box:solveOneLevel");
   EXPECT_LE(replicas, static_cast<std::size_t>(empties) + 1);
@@ -92,8 +92,8 @@ TEST(Fig2, PerStageSplitBoundedByBoardSize) {
   //  k is the number being examined).
   const auto puzzle = corpus_board("medium");
   snet::Network net(fig2_net(), workers(2));
-  net.inject(board_record(puzzle));
-  net.collect();
+  net.input().inject(board_record(puzzle));
+  net.output().collect();
   const auto stats = net.stats();
   // Per split dispatcher: count distinct replica instances under it.
   for (const auto& e : stats.entities) {
@@ -146,8 +146,8 @@ TEST(Fig3, ThrottleCapsParallelWidth) {
   for (const int m : {1, 2, 4}) {
     snet::Network net(fig3_net(Fig3Params{.throttle = m, .level_threshold = 40}),
                       workers(2));
-    net.inject(board_record(corpus_board("medium")));
-    net.collect();
+    net.input().inject(board_record(corpus_board("medium")));
+    net.output().collect();
     const auto stats = net.stats();
     std::map<std::string, int> per_stage;
     for (const auto& e : stats.entities) {
@@ -170,8 +170,8 @@ TEST(Fig3, LevelGuardBoundsPipelineDepth) {
   const int threshold = 40;
   snet::Network net(fig3_net(Fig3Params{.throttle = 4, .level_threshold = threshold}),
                     workers(2));
-  net.inject(board_record(puzzle));
-  net.collect();
+  net.input().inject(board_record(puzzle));
+  net.output().collect();
   const auto stats = net.stats();
   const auto stages = stats.count_containing("/stage");
   EXPECT_LE(stages, static_cast<std::size_t>(threshold - 30 + 2));
@@ -225,8 +225,8 @@ TEST(Nets, StreamObserverSeesBoards) {
     }
   };
   snet::Network net(fig1_net(), opts);
-  net.inject(board_record(corpus_board("mini4")));
-  net.collect();
+  net.input().inject(board_record(corpus_board("mini4")));
+  net.output().collect();
   EXPECT_GT(sightings.load(), 0);
 }
 
@@ -235,9 +235,9 @@ TEST(Nets, MultipleBoardsThroughOneNetwork) {
   snet::Network net(fig1_net(), workers(2));
   const auto p1 = corpus_board("easy");
   const auto p2 = corpus_board("medium");
-  net.inject(board_record(p1));
-  net.inject(board_record(p2));
-  const auto records = net.collect();
+  net.input().inject(board_record(p1));
+  net.input().inject(board_record(p2));
+  const auto records = net.output().collect();
   const auto sols = solutions_in(records);
   ASSERT_EQ(sols.size(), 2U);
   EXPECT_TRUE((solves(p1, sols[0]) && solves(p2, sols[1])) ||

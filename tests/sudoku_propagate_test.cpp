@@ -66,14 +66,14 @@ TEST(Fig2Propagated, ShrinksTheUnfolding) {
   std::uint64_t propagated = 0;
   {
     snet::Network net(fig2_net());
-    net.inject(board_record(puzzle));
-    net.collect();
+    net.input().inject(board_record(puzzle));
+    net.output().collect();
     plain = net.stats().records_in_containing("box:solveOneLevel");
   }
   {
     snet::Network net(fig2_propagated_net());
-    net.inject(board_record(puzzle));
-    net.collect();
+    net.input().inject(board_record(puzzle));
+    net.output().collect();
     propagated = net.stats().records_in_containing("box:solveOneLevel");
   }
   EXPECT_LT(propagated, plain);

@@ -157,9 +157,9 @@ TEST(UnifiedExecutor, FloodStressSacInsideBoxes) {
   for (int i = 0; i < kRecords; ++i) {
     Record r = rec_xk(i, i % 16);
     r.set_tag(tag_label("j"), (i / 16) % 16);
-    net.inject(std::move(r));
+    net.input().inject(std::move(r));
   }
-  const auto out = net.collect();  // quiescence: returns only when drained
+  const auto out = net.output().collect();  // quiescence: returns only when drained
   EXPECT_EQ(out.size(), static_cast<std::size_t>(kRecords));
 
   const auto stats = net.stats();
@@ -193,16 +193,16 @@ TEST(UnifiedExecutor, NestedNetworkInsideBox) {
                      Options opts;
                      opts.workers = 2;
                      Network sub(inner_box, std::move(opts));
-                     sub.inject(rec_xk(in.get<int>("x"), 0));
-                     const auto res = sub.collect();
+                     sub.input().inject(rec_xk(in.get<int>("x"), 0));
+                     const auto res = sub.output().collect();
                      ASSERT_EQ(res.size(), 1U);
                      out.out(1, res[0].field("x"));
                    });
   Network net(outer);
   for (int i = 0; i < 20; ++i) {
-    net.inject(rec_xk(i, 0));
+    net.input().inject(rec_xk(i, 0));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), 20U);
   std::multiset<int> got;
   for (const auto& r : out) {
@@ -236,9 +236,9 @@ TEST(UnifiedExecutor, DetOrderingSurvivesWorkStealing) {
 
   constexpr int kRecords = 200;
   for (int i = 0; i < kRecords; ++i) {
-    net.inject(rec_xk(i, i % 8));
+    net.input().inject(rec_xk(i, i % 8));
   }
-  const auto out = net.collect();
+  const auto out = net.output().collect();
   ASSERT_EQ(out.size(), static_cast<std::size_t>(kRecords));
   for (int i = 0; i < kRecords; ++i) {
     EXPECT_EQ(value_as<int>(out[static_cast<std::size_t>(i)].field("x")), i)

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Diff current BENCH_*.json files against a committed baseline.
+
+Closes the ROADMAP gap "CI runs the benches and uploads the JSON, but
+nothing yet *diffs* them across PRs": every bench emits a flat JSON array
+of rows (see bench/bench_json.hpp); this script matches rows between the
+baseline directory (committed, bench/baselines/) and the current
+directory (the fresh build/ output) and fails on a >20% regression.
+
+Hardware-comparability rule: committed baselines come from whatever
+machine produced them, CI runs on different hardware, so *absolute*
+throughput numbers (records_per_sec) are not comparable across the two
+and are only checked with --absolute (for local A/B runs on one
+machine). *Ratio* metrics — a speedup over a legacy path measured in the
+same process, a bounded/unbounded comparison — are hardware-independent
+and are enforced by default.
+
+Usage:
+  tools/bench_diff.py --baseline bench/baselines --current build
+  tools/bench_diff.py --baseline old_build --current build --absolute
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Metrics enforced by default: dimensionless ratios measured within one
+# process, stable across machines.
+# peak_ratio_unbounded_vs_bounded is deliberately absent: the bounded
+# peak depends on scheduling interleave (hundreds vs tens), so the ratio
+# swings too much for a 20% gate — bench_backpressure enforces its own
+# hard >=10x bar in-process instead.
+RATIO_METRICS = {
+    "speedup_vs_legacy",
+    "throughput_bounded_vs_unbounded",
+}
+# Metrics enforced only with --absolute: machine-dependent throughput.
+ABSOLUTE_METRICS = {"records_per_sec"}
+# Keys that identify a row (everything string-valued plus these ints).
+IDENTITY_KEYS = ("bench", "mode", "branches", "threads", "bound")
+
+DEFAULT_TOLERANCE = 0.20
+
+
+def row_identity(row):
+    ident = []
+    for key in IDENTITY_KEYS:
+        if key in row:
+            ident.append((key, row[key]))
+    return tuple(ident)
+
+
+def load_rows(path):
+    with open(path) as f:
+        return {row_identity(r): r for r in json.load(f)}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="directory holding committed BENCH_*.json baselines")
+    ap.add_argument("--current", required=True,
+                    help="directory holding freshly produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional regression (default 0.20)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also enforce machine-dependent metrics "
+                         "(records_per_sec) — same-machine A/B runs only")
+    args = ap.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline)
+    current_dir = pathlib.Path(args.current)
+    metrics = set(RATIO_METRICS)
+    if args.absolute:
+        metrics |= ABSOLUTE_METRICS
+
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_diff: no baselines under {baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for base_path in baselines:
+        cur_path = current_dir / base_path.name
+        if not cur_path.exists():
+            # A bench that no longer runs is a regression of its own.
+            failures.append(f"{base_path.name}: missing from {current_dir}")
+            continue
+        base_rows = load_rows(base_path)
+        cur_rows = load_rows(cur_path)
+        for ident, base_row in base_rows.items():
+            cur_row = cur_rows.get(ident)
+            if cur_row is None:
+                failures.append(
+                    f"{base_path.name}: row {dict(ident)} missing from current run")
+                continue
+            for metric in sorted(metrics):
+                if metric not in base_row:
+                    continue
+                base_v = float(base_row[metric])
+                if base_v <= 0:
+                    continue
+                if metric not in cur_row:
+                    failures.append(
+                        f"{base_path.name}: {dict(ident)} lost metric {metric}")
+                    continue
+                cur_v = float(cur_row[metric])
+                change = (cur_v - base_v) / base_v
+                compared += 1
+                marker = "OK "
+                if change < -args.tolerance:
+                    marker = "REG"
+                    failures.append(
+                        f"{base_path.name}: {dict(ident)} {metric} "
+                        f"{base_v:.4g} -> {cur_v:.4g} ({change:+.1%})")
+                print(f"  [{marker}] {base_path.name} {dict(ident)} "
+                      f"{metric}: {base_v:.4g} -> {cur_v:.4g} ({change:+.1%})")
+
+    if compared == 0:
+        print("bench_diff: no comparable metrics found — check baselines",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nbench_diff: {len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: {compared} metric(s) within {args.tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
