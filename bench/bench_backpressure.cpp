@@ -30,9 +30,9 @@ namespace {
 Net slow_box(const std::string& name, int spin_iters) {
   return box(name, "(x) -> (x)",
              [spin_iters](const BoxInput& in, BoxOutput& out) {
-               volatile int sink = 0;
+               volatile unsigned sink = 0;  // unsigned: the sum may wrap
                for (int i = 0; i < spin_iters; ++i) {
-                 sink = sink + i;
+                 sink = sink + static_cast<unsigned>(i);
                }
                out.out(1, in.field("x"));
              });

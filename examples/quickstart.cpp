@@ -46,9 +46,12 @@ int main() {
 
   // Clients talk to a running network through ports. With
   // inbox_capacity/output_capacity set the streams are bounded end to
-  // end: a fast producer blocks in inject() (or sees try_inject() refuse)
-  // instead of ballooning memory, and a full OutputPort suspends the
-  // network's producers until the consumer catches up.
+  // end — and *per tenant*: inbox_capacity bounds each session's input
+  // staging queue (a fast producer blocks in inject(), or sees
+  // try_inject() refuse, instead of ballooning memory), and
+  // output_capacity is each session's output credit account — a client
+  // that stops reading throttles only its own injects, never its
+  // neighbours' streams.
   snet::Options opts;
   opts.inbox_capacity = 64;
   snet::Network running(net, std::move(opts));
@@ -68,9 +71,14 @@ int main() {
   // Sessions: independent logical clients over the *same* instantiated
   // network. Each session's records are stamped on entry and demuxed
   // back to its own OutputPort — a multi-tenant server keeps one
-  // topology, not one network per request.
+  // topology, not one network per request. SessionOptions sets the
+  // session's QoS: `weight` is its deficit-round-robin share of entry
+  // bandwidth under contention, `output_capacity` overrides the
+  // network-default output credit account.
   snet::Session alice = running.open_session();
-  snet::Session bob = running.open_session();
+  snet::SessionOptions premium;
+  premium.weight = 4;  // bob gets 4x alice's share when both are backlogged
+  snet::Session bob = running.open_session(premium);
   for (int i = 0; i < 2; ++i) {
     snet::Record ra;
     ra.set_field("x", snet::make_value(10 + i));

@@ -110,6 +110,29 @@ class MpscQueue {
     return out;
   }
 
+  /// Single-lock pop-and-release: pops the oldest element (if any) and, in
+  /// the same critical section, moves out credit waiters the pop made
+  /// runnable (the `take_released` watermark rule). The consumer's
+  /// per-record fast path — the S-Net input dispatcher pops one staged
+  /// record per DRR grant and must not pay a second lock acquisition to
+  /// check the credit list each time. Waiters are invoked by the caller
+  /// outside the lock.
+  std::optional<T> try_pop_collect(std::vector<std::function<void()>>& released) {
+    const std::lock_guard lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    if (!waiters_.empty() &&
+        (capacity_ == 0 || items_.size() <= capacity_ / 2)) {
+      released.insert(released.end(), std::make_move_iterator(waiters_.begin()),
+                      std::make_move_iterator(waiters_.end()));
+      waiters_.clear();
+    }
+    return out;
+  }
+
   bool empty() const {
     const std::lock_guard lock(mu_);
     return items_.empty();

@@ -6,23 +6,132 @@ namespace snet::detail {
 
 // ---------------------------------------------------------------- Output
 
+bool OutputEntity::try_push(Record& r, bool from_deferred) {
+  return net_.push_output(r, this, from_deferred) ==
+         Network::PushOutcome::kAccepted;
+}
+
 void OutputEntity::on_record(Record r) {
   // Stamps must not escape to the client: det regions are closed by their
   // collectors before this point; clearing here is belt-and-braces.
   r.det_stack().clear();
-  // Captured as an *id*, not a pointer: by the time the stall gate runs,
-  // a released session may have been reclaimed — the id lookup resolves
-  // that to "credit available" instead of a dangling dereference.
-  const SessionState* const session = r.session_state();
-  const std::uint32_t session_id = session != nullptr ? session->id() : 0;
-  if (!net_.push_output(std::move(r))) {
-    // The session's OutputPort buffer hit its bound: suspend until the
-    // client pops it below the watermark. Upstream inboxes then fill and
-    // stall their producers in turn — pressure propagates output port to
-    // input port.
-    request_stall([this, session_id](Entity* producer) {
-      return net_.await_output_credit(session_id, producer);
-    });
+  SessionState* const s = r.session_state();
+  if (defer_pending(s)) {
+    // Records of this session are already parked on the credit key: the
+    // newcomer queues behind them (per-session FIFO — it must not
+    // overtake), and is accounted against the session's credit so the
+    // inject gate sees it.
+    net_.note_deferred_output(s);
+    defer_record(s, std::move(r));
+    return;
+  }
+  if (!try_push(r, /*from_deferred=*/false)) {
+    // The session's output credit account is exhausted. Do NOT stall this
+    // shared entity (that was the cross-session head-of-line block):
+    // defer only this session's record; push_output registered us for a
+    // poke when the client replenishes the account.
+    defer_record(s, std::move(r));
+  }
+}
+
+void OutputEntity::on_poke() {
+  // Credit returned for some session (or one was released/failed): retry
+  // the deferred records. A refusal re-registers the waiter atomically,
+  // so stopping at the first refusal per session is safe.
+  flush_deferred([this](SessionState*, Record& r) {
+    return try_push(r, /*from_deferred=*/true);
+  });
+}
+
+// ----------------------------------------------------------------- Input
+
+void InputDispatchEntity::on_record(Record) {
+  // Clients reach the entry only through the staging queues; nothing may
+  // deliver records to the dispatcher itself.
+  throw std::logic_error("input dispatcher received a record");
+}
+
+void InputDispatchEntity::fire_released() {
+  for (auto& cb : released_) {
+    cb();
+  }
+  released_.clear();
+}
+
+void InputDispatchEntity::drop_staged(SessionState* s) {
+  while (auto r = s->staging_.try_pop_collect(released_)) {
+    net_.live_sub(s, 1);  // dropped: released/errored sessions owe nobody
+  }
+  fire_released();
+}
+
+void InputDispatchEntity::on_poke() {
+  // Weighted deficit-round-robin over the sessions with staged input.
+  // Each turn grants deficit proportional to the session's weight and
+  // forwards that many staged records into the shared entry; a hot
+  // session's surplus waits in its own staging queue. The quantum budget
+  // bounds one poke's work — leftover backlog re-pokes us so the worker
+  // is yielded between rounds.
+  net_.dispatch_take_ready(active_);
+  const unsigned grant = net_.drr_grant();
+  unsigned budget = grant * 4;
+  // Turns are bounded separately from the record budget: a ring full of
+  // throttled/dropped sessions must not spin a quantum forever.
+  unsigned turns = static_cast<unsigned>(active_.size()) + 4;
+  while (turns-- > 0 && budget > 0 && !active_.empty() && !stall_requested()) {
+    SessionState* s = active_.front();
+    active_.pop_front();
+    if (s->abandoned() || s->errored()) {
+      drop_staged(s);
+      if (!net_.dispatch_delist(s)) {
+        active_.push_back(s);  // a racing inject re-listed it: drop next turn
+      }
+      continue;
+    }
+    if (s->throttled()) {
+      // Interior (det/sync) account over its cap: pause this session's
+      // admission. dispatch_wake re-pokes us at the drain watermark; a
+      // fresh inject after the delist re-lists too.
+      if (!net_.dispatch_delist(s)) {
+        active_.push_back(s);  // re-listed into our hands: keep it parked here
+      }
+      continue;
+    }
+    s->deficit_ += static_cast<std::int64_t>(grant) * s->weight();
+    s->drr_turns_.fetch_add(1, std::memory_order_relaxed);
+    bool emptied = false;
+    while (s->deficit_ > 0 && budget > 0 && !stall_requested()) {
+      auto r = s->staging_.try_pop_collect(released_);
+      if (!r) {
+        emptied = true;
+        break;
+      }
+      --s->deficit_;
+      --budget;
+      s->forwarded_.fetch_add(1, std::memory_order_relaxed);
+      transfer(entry_, std::move(*r));
+    }
+    fire_released();
+    if (emptied) {
+      s->deficit_ = 0;  // classic DRR: no banking credit across idle gaps
+      if (!net_.dispatch_delist(s)) {
+        active_.push_back(s);  // a concurrent inject re-listed it our way
+      }
+    } else {
+      active_.push_back(s);  // rotate; deficit carries across the stall/budget
+    }
+  }
+  if (stall_requested()) {
+    return;  // the entry-credit resume re-enters here with the ring intact
+  }
+  // Self-poke only when some ring member is actually serviceable: a ring
+  // of throttled-only sessions waits for dispatch_wake instead of
+  // spinning poke → skip → poke.
+  for (SessionState* s : active_) {
+    if (!s->throttled()) {
+      poke();
+      break;
+    }
   }
 }
 
@@ -246,14 +355,39 @@ void DetCollectorEntity::on_record(Record r) {
   }
   const std::uint64_t seq = stack.back().seq;
   stack.pop_back();
+  SessionState* const session = r.session_state();
+  if (session != nullptr && session->errored()) {
+    // Fail-fast already hit this session: drop instead of buffering (the
+    // generic consume decrements in run_quantum retire the record).
+    return;
+  }
+  // Charge the record's session's interior account before buffering.
+  const bool within = net_.interior_admit(session);
+  if (!within && net_.overflow_policy() == OverflowPolicy::FailFast) {
+    net_.interior_release(session, 1);  // undo: the record is dropped
+    net_.fail_session(session,
+                      std::make_exception_ptr(SessionOverflowError(
+                          "det collector " + name() + " buffering for session " +
+                          std::to_string(session != nullptr ? session->id() : 0) +
+                          " exceeded Options::det_capacity")));
+    return;
+  }
   // The record lives on in the buffer: keep it counted in every enclosing
   // det group and in the network's live total (the generic consume
   // decrements in run_quantum are compensated here).
   for (const auto& s : stack) {
     s.scope->adjust(s.seq, +1);
   }
-  net_.live_add(r.session_state(), 1);
-  buffer_[seq].push_back(std::move(r));
+  net_.live_add(session, 1);
+  Group& group = buffer_[seq];
+  if (!within) {
+    // Spill: throttle the session's input dispatch and keep accepting.
+    // The spilling latch keeps `primary` a strict prefix of the group's
+    // arrivals, so primary-then-spill release preserves order.
+    net_.spill_session(session);
+    group.spilling = true;
+  }
+  (group.spilling ? group.spill : group.primary).push_back(std::move(r));
 }
 
 void DetCollectorEntity::on_poke() { release_ready(); }
@@ -266,10 +400,10 @@ void DetCollectorEntity::release_ready() {
          scope_.complete(next_release_)) {
     const auto it = buffer_.find(next_release_);
     if (it != buffer_.end()) {
-      auto& group = it->second;
+      Group& group = it->second;
       while (!group.empty() && !stall_requested()) {
-        Record rec = std::move(group.front());
-        group.pop_front();
+        Record rec = group.pop_front();
+        net_.interior_release(rec.session_state(), 1);
         transfer(succ_, std::move(rec));
       }
       if (!group.empty()) {
@@ -286,6 +420,28 @@ void DetCollectorEntity::release_ready() {
 SyncEntity::SyncEntity(Network& net, std::string name, Net node, Entity* successor)
     : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor),
       slots_(node_->sync_patterns.size()) {}
+
+void SyncEntity::on_poke() {
+  // Poked by fail_session / port_release: evict slots whose owning
+  // session died. The stored record's accounting (det stamps, interior
+  // charge, liveness) is unwound exactly as a merge-consume would, so
+  // the dead session can drain to zero and the network can quiesce.
+  for (auto& slot : slots_) {
+    if (!slot.has_value()) {
+      continue;
+    }
+    SessionState* const s = slot->session_state();
+    if (s == nullptr || (!s->errored() && !s->abandoned())) {
+      continue;
+    }
+    for (const auto& st : slot->det_stack()) {
+      st.scope->adjust(st.seq, -1);
+    }
+    net_.interior_release(s, 1);
+    net_.live_sub(s, 1);
+    slot.reset();
+  }
+}
 
 std::uint64_t SyncEntity::slot_type_matches(const Record& r) {
   return slot_match_.get_or(r.shape(), [&] {
@@ -319,12 +475,35 @@ void SyncEntity::on_record(Record r) {
                         [](const auto& s) { return s.has_value(); }) ==
           static_cast<std::ptrdiff_t>(slots_.size()) - 1;
       if (!last_missing) {
+        // Storing charges the record's session's interior account: a
+        // tenant filling synchrocell slots across many replicas is the
+        // same adversarial buffering a det collector sees.
+        SessionState* const session = r.session_state();
+        if (session != nullptr && (session->errored() || session->abandoned())) {
+          // Failed fast or released: drop instead of storing — a dead
+          // tenant must not leave ghost contributions in shared cells
+          // (nor hold its own liveness in a slot nobody will complete).
+          return;
+        }
+        if (!net_.interior_admit(session)) {
+          if (net_.overflow_policy() == OverflowPolicy::FailFast) {
+            net_.interior_release(session, 1);
+            net_.fail_session(session,
+                              std::make_exception_ptr(SessionOverflowError(
+                                  "synchrocell " + name() + " storage for session " +
+                                  std::to_string(session != nullptr ? session->id()
+                                                                    : 0) +
+                                  " exceeded Options::det_capacity")));
+            return;
+          }
+          net_.spill_session(session);
+        }
         // Store; compensate the generic consume accounting (the record
         // survives inside the cell).
         for (const auto& s : r.det_stack()) {
           s.scope->adjust(s.seq, +1);
         }
-        net_.live_add(r.session_state(), 1);
+        net_.live_add(session, 1);
         slots_[i] = std::move(r);
         return;
       }
@@ -352,6 +531,7 @@ void SyncEntity::on_record(Record r) {
         for (const auto& s : slot->det_stack()) {
           s.scope->adjust(s.seq, -1);
         }
+        net_.interior_release(slot->session_state(), 1);
         net_.live_sub(slot->session_state(), 1);
         slot.reset();
       }

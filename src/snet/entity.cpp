@@ -81,7 +81,44 @@ void Entity::resume_from_stall() {
   resume_poke_.store(true, std::memory_order_release);
   int expected = kStalled;
   if (state_.compare_exchange_strong(expected, kQueued, std::memory_order_acq_rel)) {
-    net_.scheduler().enqueue(this);
+    // Urgent: a credit-resumed entity jumps the ready queue. The consumer
+    // that released the credit is waiting on exactly this entity's output,
+    // so dispatching it behind a backlog of hot-session quanta would add
+    // the whole queue's latency to every stall/resume cycle.
+    net_.scheduler().enqueue(this, /*urgent=*/true);
+  }
+}
+
+bool Entity::defer_pending(const SessionState* s) const {
+  const auto it = deferred_.find(const_cast<SessionState*>(s));
+  return it != deferred_.end() && !it->second.empty();
+}
+
+void Entity::defer_record(SessionState* s, Record r) {
+  // The record survives inside the entity: keep it live (and its session
+  // state alive) past the generic consume decrement of run_quantum —
+  // the same compensation pattern det collectors use for their buffers.
+  net_.live_add(s, 1);
+  deferred_[s].push_back(std::move(r));
+  ++deferred_total_;
+}
+
+void Entity::flush_deferred(
+    const std::function<bool(SessionState*, Record&)>& attempt) {
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    auto& queue = it->second;
+    while (!queue.empty() && !stall_requested()) {
+      if (!attempt(it->first, queue.front())) {
+        break;  // no credit yet: the refusal re-registered the waiter
+      }
+      queue.pop_front();
+      --deferred_total_;
+      net_.live_sub(it->first, 1);
+    }
+    it = queue.empty() ? deferred_.erase(it) : std::next(it);
+    if (stall_requested()) {
+      return;
+    }
   }
 }
 

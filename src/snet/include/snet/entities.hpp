@@ -24,15 +24,51 @@
 namespace snet::detail {
 
 /// Terminal entity: demultiplexes records to their session's OutputPort.
-/// A full session buffer (Options::output_capacity) suspends this entity,
-/// which is how client-side consumption pressure propagates back into the
-/// network.
+/// A session whose output credit account is exhausted does *not* stall
+/// this (shared) entity: its records are deferred on the (entity, session)
+/// credit key — per-session FIFO preserved — while every other session's
+/// records keep flowing. The credit release (a client pop crossing the
+/// watermark, a handle release, a fail-fast) pokes the entity, whose
+/// on_poke retries the deferred sessions.
 class OutputEntity final : public Entity {
  public:
   explicit OutputEntity(Network& net) : Entity(net, "output") {}
 
  protected:
   void on_record(Record r) override;
+  void on_poke() override;
+
+ private:
+  /// push_output retry shared by the direct path and the deferred flush
+  /// (the session resolves from the record's stamp).
+  bool try_push(Record& r, bool from_deferred);
+};
+
+/// Head of the network: drains the per-session input staging queues into
+/// the shared entry entity by weighted deficit-round-robin, so entry
+/// bandwidth under contention is shared by session weight instead of by
+/// arrival order — a hot tenant's backlog waits in its own staging queue
+/// while lighter tenants' records keep being admitted. Receives no
+/// records, only pokes (new listing, staging credit, un-throttle); the
+/// listing handshake lives in Network::dispatch_list/dispatch_take_ready.
+class InputDispatchEntity final : public Entity {
+ public:
+  InputDispatchEntity(Network& net, Entity* entry)
+      : Entity(net, "input"), entry_(entry) {}
+
+ protected:
+  void on_record(Record r) override;  // never delivered; throws
+  void on_poke() override;
+
+ private:
+  /// Drops every staged record of a released/errored session.
+  void drop_staged(SessionState* s);
+  /// Fires staging-queue credit waiters collected during a turn.
+  void fire_released();
+
+  Entity* entry_;
+  std::deque<SessionState*> active_;  ///< DRR ring; dispatcher worker only
+  std::vector<std::function<void()>> released_;  // staging credit scratch
 };
 
 /// A box instance. Binds the declared input labels, runs the box function,
@@ -150,6 +186,13 @@ class DetEntryEntity final : public Entity {
 /// Under backpressure a release pauses mid-group (the deque keeps the
 /// resume point) and continues when the downstream credit returns — the
 /// resume poke re-enters release_ready even with an empty inbox.
+///
+/// Buffering is charged against the record's session
+/// (Options::det_capacity): over the cap, the overflow policy either
+/// spills the record to the group's secondary list and throttles the
+/// session's input dispatch (Spill — ordering preserved: once a group
+/// spills, all its later records spill too, and release drains primary
+/// before spill), or errors exactly the offending session (FailFast).
 class DetCollectorEntity final : public Entity {
  public:
   DetCollectorEntity(Network& net, std::string name, Entity* successor);
@@ -161,22 +204,43 @@ class DetCollectorEntity final : public Entity {
   void on_poke() override;
 
  private:
+  /// One det group's buffered output. `spilling` latches on first
+  /// overflow so primary stays a strict prefix of the group's arrivals.
+  struct Group {
+    std::deque<Record> primary;
+    std::deque<Record> spill;
+    bool spilling = false;
+
+    bool empty() const { return primary.empty() && spill.empty(); }
+    Record pop_front() {
+      auto& q = primary.empty() ? spill : primary;
+      Record r = std::move(q.front());
+      q.pop_front();
+      return r;
+    }
+  };
+
   void release_ready();
 
   DetScope scope_;
   Entity* succ_;
-  std::map<std::uint64_t, std::deque<Record>> buffer_;
+  std::map<std::uint64_t, Group> buffer_;
   std::uint64_t next_release_ = 0;
 };
 
 /// Synchrocell: stores one record per pattern; when all patterns are
-/// filled, emits the merged record and becomes the identity.
+/// filled, emits the merged record and becomes the identity. Storage is
+/// charged to the record's session (Options::det_capacity), and a poke
+/// evicts slots stored by sessions that were failed fast or released —
+/// a dead tenant's contribution must not hold the shared cell (and its
+/// own liveness) forever.
 class SyncEntity final : public Entity {
  public:
   SyncEntity(Network& net, std::string name, Net node, Entity* successor);
 
  protected:
   void on_record(Record r) override;
+  void on_poke() override;
 
  private:
   /// Pattern indices whose *type* matches records of a given shape, as a

@@ -20,12 +20,21 @@
 ///    message boundary, parks without occupying a worker, and is
 ///    re-queued into the scheduler when the consumer drains the inbox
 ///    below the release watermark. A pool thread is never blocked; the
-///    suspension is a state transition, not a wait.
+///    suspension is a state transition, not a wait, and
+///  * session-keyed record deferral: an entity serving many client
+///    sessions (the output demux) can park records on an *(entity,
+///    session)* credit key instead of stalling wholesale — records of the
+///    credit-starved session are held back in per-session FIFO order
+///    while every other session's records keep flowing, which is what
+///    turns the shared output entity's stall from a cross-session
+///    head-of-line block into a per-tenant pause.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/mpsc_queue.hpp"
@@ -34,6 +43,7 @@
 namespace snet {
 
 class Network;
+class SessionState;
 
 class Entity {
  public:
@@ -74,6 +84,12 @@ class Entity {
   /// inbox, a popped output buffer).
   void resume_from_stall();
 
+  /// Delivers a control nudge: the entity's next quantum starts with
+  /// on_poke even if no record arrives. Used by per-session credit
+  /// releases (the poked entity re-examines its deferred sessions) and by
+  /// the input dispatcher's wakeup protocol. Thread-safe.
+  void poke() { deliver(Message::poke()); }
+
   std::uint64_t records_in() const { return in_count_.load(std::memory_order_relaxed); }
   std::uint64_t records_out() const { return out_count_.load(std::memory_order_relaxed); }
 
@@ -106,6 +122,28 @@ class Entity {
   /// release loops (det collectors) should yield when they see this.
   bool stall_requested() const { return static_cast<bool>(stall_gate_); }
 
+  // --- (entity, session) deferral --------------------------------------
+  // Per-session parking for entities that must not stall wholesale when a
+  // single session runs out of credit. Only the worker currently running
+  // the entity touches the deferred map; the wakeup comes as a poke() from
+  // the credit release. A deferred record stays *live* (the compensation
+  // mirrors the det-collector buffering pattern), so quiescence and
+  // session-state lifetime remain correct while records are parked.
+
+  /// True when records of \p s are currently deferred — later records of
+  /// the same session must defer too (per-session FIFO, the
+  /// batch-remainder ordering rule of the stall protocol).
+  bool defer_pending(const SessionState* s) const;
+  /// Parks \p r on the (this, s) credit key.
+  void defer_record(SessionState* s, Record r);
+  /// Retries every deferred session through \p attempt (true = consumed:
+  /// the record was delivered or dropped). Stops per session at the first
+  /// refusal; a refusal re-registered the credit waiter, so a later poke
+  /// re-enters here. Respects stall_requested().
+  void flush_deferred(const std::function<bool(SessionState*, Record&)>& attempt);
+  /// Records currently parked across all sessions.
+  std::size_t deferred_count() const { return deferred_total_; }
+
   Network& net_;
 
  private:
@@ -123,6 +161,11 @@ class Entity {
   std::vector<Message> batch_;
   std::size_t batch_pos_ = 0;
   std::vector<std::function<void()>> released_;  // scratch for credit firing
+
+  /// (entity, session)-deferred records; only touched by the worker
+  /// currently running the entity (like batch_).
+  std::unordered_map<SessionState*, std::deque<Record>> deferred_;
+  std::size_t deferred_total_ = 0;
 
   /// Set while a quantum is processing; honoured at the next message
   /// boundary. Only touched by the worker currently running the entity.

@@ -21,11 +21,15 @@
 /// reaches zero after the session's input was closed (dynamic unfolding
 /// makes static EOS flooding awkward; counting is robust against it).
 ///
-/// With `Options::inbox_capacity` set, every entity inbox is bounded and a
-/// full downstream inbox suspends the producing entity (credit-based
-/// backpressure, see entity.hpp) — pressure propagates from the output
-/// port all the way back to `InputPort::inject`, capping `peak_live` by
-/// configuration rather than by luck.
+/// Resource bounds are *per tenant*: `Options::inbox_capacity` bounds the
+/// interior entity inboxes (credit-based backpressure, see entity.hpp) and
+/// each session's input staging queue; `Options::output_capacity` is a
+/// per-session output credit account, so a slow reader throttles only its
+/// own injects while other sessions keep streaming; sessions carry DRR
+/// weights (`SessionOptions::weight`) honoured by the input dispatcher so
+/// a hot tenant cannot monopolise entry bandwidth; and
+/// `Options::det_capacity` caps per-session det-collector/synchrocell
+/// buffering with a Spill-or-FailFast overflow policy.
 
 #include <atomic>
 #include <condition_variable>
@@ -56,22 +60,57 @@ class NetTypeError : public std::runtime_error {
   explicit NetTypeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// FailFast overflow policy verdict: the offending session's det/sync
+/// buffering exceeded Options::det_capacity. Only that session observes
+/// the error; its siblings keep running.
+class SessionOverflowError : public std::runtime_error {
+ public:
+  explicit SessionOverflowError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// What to do when a session's det-collector/synchrocell buffering
+/// exceeds Options::det_capacity.
+enum class OverflowPolicy {
+  /// Keep accepting (ordering is preserved): overflow records go to a
+  /// secondary spill list and the offending session's *input dispatch* is
+  /// paused until the region drains below the watermark — the spill is
+  /// bounded by what was already in flight.
+  Spill,
+  /// Error the offending session (SessionOverflowError on its ports) and
+  /// drop its overflowing records; other sessions are unaffected.
+  FailFast,
+};
+
 struct Options {
   /// Max entity quanta of this network running concurrently on the shared
   /// executor (not a thread count — threads belong to the process-wide
   /// pool, see runtime/executor.hpp).
   unsigned workers = snetsac::runtime::default_snet_workers();
-  /// Max records an entity processes per scheduling quantum (fairness).
+  /// Max records an entity processes per scheduling quantum (fairness);
+  /// also the per-weight-unit DRR grant of the input dispatcher.
   unsigned quantum = 16;
-  /// Per-entity inbox bound in messages (0 = unbounded). When a
-  /// downstream inbox reaches the bound, the producing entity suspends at
-  /// its next message boundary and is re-queued once the consumer drains
-  /// — so total in-flight records are O(inbox_capacity × entities).
+  /// Per-entity inbox bound in messages (0 = unbounded), also the bound of
+  /// each session's input staging queue. When a downstream inbox reaches
+  /// the bound, the producing entity suspends at its next message boundary
+  /// and is re-queued once the consumer drains — so total in-flight
+  /// records are O(inbox_capacity × entities).
   std::size_t inbox_capacity = 0;
-  /// Per-session OutputPort buffer bound in records (0 = unbounded). A
-  /// full buffer suspends the output entity, propagating pressure
-  /// upstream. Ignored for sessions in on_output (push callback) mode.
+  /// Per-session output credit account in records (0 = unbounded;
+  /// overridable per session via SessionOptions::output_capacity). A
+  /// session whose un-consumed output reaches the bound blocks its *own*
+  /// injects until the client pops; records of that session already at the
+  /// output entity are deferred on a per-session credit key, so other
+  /// sessions' outputs keep flowing (no cross-session head-of-line
+  /// blocking). Ignored for sessions in on_output (push callback) mode.
   std::size_t output_capacity = 0;
+  /// Per-session cap on records buffered *inside* det collectors and
+  /// synchrocells (0 = unbounded). Ordering/joining need interior
+  /// buffering by design; the cap plus `det_overflow` keeps an adversarial
+  /// det-heavy tenant from growing it without bound.
+  std::size_t det_capacity = 0;
+  /// Policy when a session exceeds det_capacity.
+  OverflowPolicy det_overflow = OverflowPolicy::Spill;
   /// Run static signature inference/checking at construction.
   bool type_check = true;
   /// Optional per-stream observer: invoked for every record delivered to
@@ -86,6 +125,30 @@ struct EntityStats {
   std::uint64_t records_out = 0;
 };
 
+/// Per-session QoS counters (one row per *live* session; released
+/// sessions whose state was reclaimed no longer appear).
+struct SessionStats {
+  std::uint32_t id = 0;
+  unsigned weight = 1;
+  bool errored = false;
+  /// Records of the session currently inside the network.
+  std::int64_t live = 0;
+  /// Un-consumed output charged against the session's credit account.
+  std::int64_t output_account = 0;
+  std::uint64_t produced = 0;
+  /// Records the DRR input dispatcher forwarded into the entry.
+  std::uint64_t forwarded = 0;
+  /// DRR turns the session received at the input dispatcher.
+  std::uint64_t dispatch_turns = 0;
+  /// Injects that blocked on the output credit account.
+  std::uint64_t credit_waits = 0;
+  /// Records deferred at the output entity for lack of output credit
+  /// (the per-session stall events of the shared output entity).
+  std::uint64_t output_stalls = 0;
+  /// Det/sync records accepted over the cap under the Spill policy.
+  std::uint64_t spilled = 0;
+};
+
 struct NetworkStats {
   std::vector<EntityStats> entities;
   std::uint64_t injected = 0;
@@ -96,11 +159,14 @@ struct NetworkStats {
   /// Of those, how many ran on a worker they were stolen onto — this
   /// network's share of pool-level work stealing, not the pool-wide count.
   std::uint64_t steals = 0;
-  /// Times an entity suspended on a full downstream inbox / output buffer
-  /// (credit-based backpressure events; always 0 when unbounded).
+  /// Times an entity suspended on a full downstream inbox (credit-based
+  /// backpressure events; always 0 when unbounded). Per-session output
+  /// deferrals are counted per session in SessionStats::output_stalls.
   std::uint64_t suspensions = 0;
   /// Client sessions opened over this network (including the default).
   std::uint64_t sessions = 0;
+  /// Per-session QoS counters (live sessions only).
+  std::vector<SessionStats> session_stats;
 
   std::size_t entity_count() const { return entities.size(); }
   /// Number of entities whose name contains \p needle — used to count
@@ -136,11 +202,12 @@ class Network {
   /// Opens an independent logical client session over the shared
   /// topology. Records injected through the session's InputPort are
   /// stamped on entry and demultiplexed back to the session's OutputPort
-  /// — concurrent clients do not see each other's records. Destroying
-  /// the handle *releases* the session: its input closes, unconsumed
-  /// output is discarded, and the session's state is reclaimed once its
-  /// in-flight records drain.
-  Session open_session();
+  /// — concurrent clients do not see each other's records. \p opts fixes
+  /// the session's DRR weight and output credit. Destroying the handle
+  /// *releases* the session: its input closes, unconsumed output is
+  /// discarded, and the session's state is reclaimed once its in-flight
+  /// records drain.
+  Session open_session(SessionOptions opts = {});
 
   /// Blocks until the whole network has quiesced: every session closed
   /// and no record in flight. Rethrows the first entity error.
@@ -167,18 +234,44 @@ class Network {
   Scheduler& scheduler() { return *sched_; }
   void live_add(SessionState* session, std::int64_t n = 1);
   void live_sub(SessionState* session, std::int64_t n = 1);
-  /// Delivers an output record to its session's port (records of a
-  /// released session are dropped). Returns false when the session
-  /// buffer reached its bound — the caller (output entity) should
-  /// suspend via await_output_credit.
-  bool push_output(Record r);
-  /// Credit registration for a full session output buffer; false when
-  /// credit is already available again. Takes the session *id*, not the
-  /// pointer: a released session may have been reclaimed, and the
-  /// id lookup under out_mu_ resolves that race to "credit available".
-  bool await_output_credit(std::uint32_t session_id, Entity* producer);
+
+  /// Outcome of handing an output record to its session.
+  enum class PushOutcome {
+    kAccepted,  ///< delivered to the session (or dropped: abandoned/errored)
+    kNoCredit,  ///< session account full — defer \p r on the (entity,
+                ///< session) credit key; \p producer was registered and
+                ///< will be poked when the client replenishes credit
+  };
+  /// Delivers an output record to its session, charging its credit
+  /// account. The refusal and the waiter registration are atomic under
+  /// out_mu_, so a deferred record can never miss its wakeup.
+  /// \p from_deferred marks a retry of a previously deferred record (its
+  /// park charge converts into a buffer charge instead of double-billing).
+  PushOutcome push_output(Record& r, Entity* producer, bool from_deferred);
+  /// Accounts a record deferred behind an *already deferred* record of the
+  /// same session (the ordering path: later records may not overtake).
+  void note_deferred_output(SessionState* s);
+
+  /// Per-session interior (det/sync) buffering account: charges one
+  /// record; false when the session is now over Options::det_capacity —
+  /// the caller applies the overflow policy via spill_session /
+  /// fail_session (or undoes the charge with interior_release).
+  bool interior_admit(SessionState* s);
+  /// Releases \p n interior charges; un-throttles the session (and pokes
+  /// the input dispatcher) once it drains below the watermark.
+  void interior_release(SessionState* s, std::int64_t n = 1);
+  OverflowPolicy overflow_policy() const { return opts_.det_overflow; }
+  /// Spill policy: pauses the session's input dispatch until its interior
+  /// account drains below the watermark, and counts the spilled record.
+  void spill_session(SessionState* s);
+  /// FailFast policy: errors exactly this session — its ports rethrow
+  /// \p err, its staged/deferred records are dropped, siblings unaffected.
+  void fail_session(SessionState* s, std::exception_ptr err);
+
   void note_suspension() { suspensions_.fetch_add(1, std::memory_order_relaxed); }
   std::size_t inbox_capacity() const { return opts_.inbox_capacity; }
+  /// DRR grant per weight unit per turn at the input dispatcher.
+  unsigned drr_grant() const { return opts_.quantum; }
   void fail(std::exception_ptr err);
   bool tracing() const { return static_cast<bool>(opts_.trace); }
   void trace_record(const Entity& target, const Record& r);
@@ -187,6 +280,14 @@ class Network {
   Entity* instantiate(const Net& node, Entity* successor, const std::string& prefix);
   /// Registers an entity; returns a stable raw pointer owned by the net.
   Entity* adopt(std::unique_ptr<Entity> entity);
+
+  // ------- input-dispatch interface (used by InputDispatchEntity) ------
+  /// Moves newly listed sessions (pending input) into \p out.
+  void dispatch_take_ready(std::deque<SessionState*>& out);
+  /// Dispatcher-side delist after observing an empty staging queue.
+  /// Returns false when a concurrent inject re-listed the session into the
+  /// caller's hands — the caller keeps it on its active ring.
+  bool dispatch_delist(SessionState* s);
 
   // ------- port-internal interface (used by InputPort/OutputPort) ------
   void port_inject(SessionState& s, Record r);
@@ -201,12 +302,26 @@ class Network {
   void port_release(SessionState& s);
 
  private:
-  SessionState* new_session_state(std::uint32_t id);
+  SessionState* new_session_state(std::uint32_t id, SessionOptions opts);
   /// The lazily created default session (id 0).
   SessionState* default_state();
-  /// Pops the front of \p s's buffer and resumes output-stalled producers
-  /// once the buffer crosses the release watermark. \p lock is released.
+  /// Pops the front of \p s's buffer, releases output credit and pokes
+  /// producers deferred on it once the buffer crosses the release
+  /// watermark. \p lock is released.
   Record pop_output_locked(SessionState& s, std::unique_lock<std::mutex>& lock);
+  /// Lists \p s with the input dispatcher (idempotent) and pokes it when
+  /// the listing is new.
+  void dispatch_list(SessionState* s);
+  /// dispatch_list + an unconditional poke: used by un-throttle and
+  /// release/fail paths, where the session may already be listed (parked
+  /// on the dispatcher's ring) and the dispatcher still needs the nudge.
+  void dispatch_wake(SessionState* s);
+  /// Blocks until \p s's output credit account has room (cooperatively on
+  /// a worker thread). Rethrows on network/session failure.
+  void await_output_account(SessionState& s);
+  /// Pokes every synchrocell so slots stored by dead (errored/released)
+  /// sessions are evicted (see SyncEntity::on_poke).
+  void poke_sync_entities();
 
   Net topology_;
   Options opts_;
@@ -214,9 +329,15 @@ class Network {
 
   mutable std::mutex reg_mu_;
   std::vector<std::unique_ptr<Entity>> entities_;
+  /// Synchrocell instances (guarded by reg_mu_): fail_session and
+  /// port_release poke them so slots stored by a dead session are
+  /// evicted instead of holding its liveness forever.
+  std::vector<Entity*> sync_entities_;
 
   std::unique_ptr<Scheduler> sched_;
   Entity* entry_ = nullptr;
+  Entity* out_entity_ = nullptr;
+  Entity* dispatch_ = nullptr;
 
   std::atomic<std::int64_t> live_{0};
   std::atomic<std::int64_t> peak_live_{0};
@@ -237,10 +358,22 @@ class Network {
   std::atomic<std::uint32_t> next_session_id_{1};
   std::atomic<std::int64_t> open_sessions_{0};
 
-  /// Input-credit handshake for blocking inject on a bounded entry inbox.
+  /// Input-credit handshake for blocking inject on a full staging queue.
   std::mutex in_mu_;
   std::condition_variable in_cv_;
   std::uint64_t in_credit_epoch_ = 0;  // guarded by in_mu_
+
+  /// Sessions newly listed for input dispatch (handed to the DRR
+  /// dispatcher by dispatch_take_ready). Ordered before out_mu_ when both
+  /// are needed.
+  std::mutex dispatch_mu_;
+  std::vector<SessionState*> dispatch_ready_;
+  /// Sessions currently listed (staged backlog anywhere). While zero,
+  /// injects may bypass the staging queue and deliver straight to the
+  /// entry — the DRR detour costs nothing until there is actual
+  /// contention to arbitrate. A benignly stale zero lets at most one
+  /// record slip ahead of a freshly staged backlog.
+  std::atomic<std::int64_t> listed_count_{0};
 
   mutable std::mutex out_mu_;
   std::condition_variable out_cv_;

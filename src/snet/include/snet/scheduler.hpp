@@ -42,7 +42,13 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Marks an entity runnable. Thread-safe; called from Entity::deliver.
-  void enqueue(Entity* entity);
+  /// \p urgent puts the entity at the *front* of the ready list — used by
+  /// credit releases (Entity::resume_from_stall): a resumed entity has a
+  /// consumer actively waiting on its output, so it must not queue behind
+  /// a hot session's backlog of ordinary quanta. Ordinary enqueues stay
+  /// FIFO, which keeps the dispatch fair between entities; per-session
+  /// fairness is enforced upstream by the input dispatcher's DRR.
+  void enqueue(Entity* entity, bool urgent = false);
 
   /// Rejects further dispatch, discards the ready list and waits for every
   /// in-flight quantum of this network to finish. Cooperative: called from

@@ -15,23 +15,37 @@
 /// instantiating a network per request.
 ///
 /// Ports are where the end-to-end resource bound surfaces (the
-/// extra-functional stream semantics of S+Net): with
-/// `Options::inbox_capacity` set, `InputPort::inject` blocks when the
-/// entry inbox is full (cooperatively — a worker thread helps execute
-/// tasks instead of blocking its pool slot), `try_inject` reports "full"
-/// without blocking, and a full session `OutputPort` buffer
-/// (`Options::output_capacity`) suspends the producing entity so pressure
-/// propagates upstream, output port to input port.
+/// extra-functional stream semantics of S+Net), and since the per-session
+/// QoS rework the bounds are *per tenant*:
+///
+///  * every session owns an **output credit account** of
+///    `output_capacity` records (`SessionOptions::output_capacity`
+///    overrides the network default): `InputPort::inject` waits for
+///    session credit when the session's un-consumed output (client buffer
+///    plus records deferred at the output entity) reaches the bound, and
+///    the client's `OutputPort::next` pops replenish it. A slow reader
+///    therefore throttles only *itself* — the shared output entity never
+///    head-of-line blocks other sessions on its behalf;
+///  * every session owns a bounded **input staging queue**
+///    (`Options::inbox_capacity` records): a hot tenant blocks on its own
+///    queue while the network's input dispatcher forwards staged records
+///    into the shared entry by weighted deficit-round-robin
+///    (`SessionOptions::weight`), so injection rate cannot monopolise the
+///    pipeline;
+///  * `try_inject` reports "full" without blocking when either the staging
+///    queue or the output credit account is exhausted.
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <iterator>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "runtime/mpsc_queue.hpp"
 #include "snet/record.hpp"
 
 namespace snet {
@@ -40,6 +54,22 @@ class Entity;
 class Network;
 class SessionState;
 
+namespace detail {
+class InputDispatchEntity;
+class OutputEntity;
+}  // namespace detail
+
+/// Per-session knobs, fixed at `Network::open_session` time.
+struct SessionOptions {
+  /// Deficit-round-robin weight of this session at the input dispatcher:
+  /// under contention a session with weight w receives w shares of entry
+  /// bandwidth per round. 0 is promoted to 1.
+  unsigned weight = 1;
+  /// Overrides `Options::output_capacity` for this session's output
+  /// credit account (records). 0 = inherit the network default.
+  std::size_t output_capacity = 0;
+};
+
 /// Bounded input side of a session. Thread-safe: multiple producer
 /// threads may inject into the same port concurrently.
 class InputPort {
@@ -47,18 +77,19 @@ class InputPort {
   InputPort(const InputPort&) = delete;
   InputPort& operator=(const InputPort&) = delete;
 
-  /// Feeds a record into the session. With a bounded entry inbox this
-  /// blocks until credit is available; on an executor worker (a box
-  /// injecting into a nested network) it helps execute tasks instead of
-  /// blocking the pool slot. Throws std::logic_error after close(), and
-  /// rethrows the network's first entity error if the network fails
-  /// while the inject is blocked (a dead pipeline never releases
-  /// credit).
+  /// Feeds a record into the session. Blocks while the session's staging
+  /// queue is full or its output credit account is exhausted; on an
+  /// executor worker (a box injecting into a nested network) it helps
+  /// execute tasks instead of blocking the pool slot. Throws
+  /// std::logic_error after close(); rethrows the network's first entity
+  /// error if the network fails while the inject is blocked, and the
+  /// session's own error if the session was failed fast (det/sync cap).
   void inject(Record r);
 
   /// Non-blocking inject: returns false — leaving \p r intact — when the
-  /// entry inbox is at capacity, so the client can apply its own policy
-  /// (drop, retry, shed load) instead of stalling.
+  /// session's staging queue is at capacity or its output credit account
+  /// is exhausted, so the client can apply its own policy (drop, retry,
+  /// shed load) instead of stalling.
   bool try_inject(Record& r);
 
   /// Batched inject: feeds every record, blocking as needed. The batch
@@ -88,7 +119,9 @@ class OutputPort {
   OutputPort& operator=(const OutputPort&) = delete;
 
   /// Blocks for the session's next output record; std::nullopt once the
-  /// session is closed and drained. Rethrows the first entity error.
+  /// session is closed and drained. Each pop releases output credit back
+  /// to the session's account. Rethrows the first entity error (or this
+  /// session's own fail-fast error).
   std::optional<Record> next();
 
   /// Closes the session's input (if still open) and drains every
@@ -99,8 +132,8 @@ class OutputPort {
   /// session *from a worker thread* (must be thread-compatible with the
   /// client's world; calls are serialised and in session order). Records
   /// already buffered are flushed to the callback first; afterwards the
-  /// port never buffers, so output backpressure is disabled for this
-  /// session — the callback itself is the consumer. Install-once: a
+  /// port never buffers, so the output credit account is disabled for
+  /// this session — the callback itself is the consumer. Install-once: a
   /// second call throws std::logic_error.
   void on_output(std::function<void(Record)> callback);
 
@@ -149,37 +182,81 @@ class OutputPort {
 /// Clients only ever see the facade ports and the Session handle.
 class SessionState {
  public:
-  SessionState(Network& net, std::uint32_t id)
-      : id_(id), in_(net, *this), out_(net, *this) {}
+  SessionState(Network& net, std::uint32_t id, SessionOptions opts);
 
   SessionState(const SessionState&) = delete;
   SessionState& operator=(const SessionState&) = delete;
 
   std::uint32_t id() const { return id_; }
+  unsigned weight() const { return weight_; }
   InputPort& input() { return in_; }
   OutputPort& output() { return out_; }
+
+  /// Failed fast (det/sync cap FailFast policy): the session's ports
+  /// rethrow its error; in-flight records are drained and dropped.
+  bool errored() const { return errored_.load(std::memory_order_acquire); }
+  /// Handle released while records were in flight: outputs are dropped.
+  bool abandoned() const { return abandoned_.load(std::memory_order_acquire); }
+  /// Interior (det/sync) buffering over the per-session cap under the
+  /// Spill policy: the input dispatcher pauses this session until the
+  /// region drains below the watermark.
+  bool throttled() const { return throttled_.load(std::memory_order_acquire); }
 
  private:
   friend class Network;
   friend class InputPort;
   friend class OutputPort;
+  friend class detail::InputDispatchEntity;
 
   const std::uint32_t id_;
+  const unsigned weight_;
+  /// Effective output credit account bound (records the client has not
+  /// consumed yet: OutputPort buffer + records deferred at the output
+  /// entity). 0 = unbounded.
+  const std::size_t out_cap_;
 
-  /// Records of this session currently inside the network (quiescence is
-  /// per session: closed + live == 0 completes the OutputPort).
+  /// Records of this session currently inside the network, staging queue
+  /// and output-entity deferral included (quiescence is per session:
+  /// closed + live == 0 completes the OutputPort).
   std::atomic<std::int64_t> live_{0};
   std::atomic<bool> closed_{false};
+  std::atomic<bool> abandoned_{false};
+  std::atomic<bool> errored_{false};
+  std::atomic<bool> throttled_{false};
+
+  // --- input side -------------------------------------------------------
+  /// Per-session staging queue (bounded to Options::inbox_capacity): the
+  /// only queue this session's inject can block on, so a full one throttles
+  /// exactly this tenant. Drained by the input dispatcher under DRR.
+  snetsac::runtime::MpscQueue<Record> staging_;
+  bool listed_ = false;       ///< on the dispatcher's radar (Network::dispatch_mu_)
+  std::int64_t deficit_ = 0;  ///< DRR deficit; input-dispatcher worker only
+
+  /// Records buffered inside det collectors / synchrocells on behalf of
+  /// this session (the per-session interior account, Options::det_capacity).
+  std::atomic<std::int64_t> interior_{0};
+
+  // --- output credit account -------------------------------------------
+  /// buffer_.size() + parked_: the un-consumed output charged against
+  /// out_cap_. Mutated under Network::out_mu_; atomic so try_inject can
+  /// peek without the lock.
+  std::atomic<std::int64_t> out_account_{0};
+  /// Records deferred at the output entity because the account was full.
+  std::atomic<std::int64_t> parked_{0};
+
+  // --- per-session QoS counters (relaxed; surfaced via NetworkStats) ----
+  std::atomic<std::uint64_t> credit_waits_{0};  ///< injects that blocked on output credit
+  std::atomic<std::uint64_t> output_parks_{0};  ///< records deferred at the output entity
+  std::atomic<std::uint64_t> forwarded_{0};     ///< records the DRR dispatcher forwarded
+  std::atomic<std::uint64_t> drr_turns_{0};     ///< DRR turns this session received
+  std::atomic<std::uint64_t> spilled_{0};       ///< det/sync records spilled over the cap
 
   // --- guarded by Network::out_mu_ ------------------------------------
   std::deque<Record> buffer_;          ///< demuxed outputs awaiting the client
   std::uint64_t produced_ = 0;
   std::function<void(Record)> sink_;   ///< on_output callback, if any
-  std::vector<Entity*> out_waiters_;   ///< producers stalled on a full buffer
-  /// Handle released while records were still in flight: further outputs
-  /// are dropped (nobody can consume them), so an abandoned session can
-  /// never congest the shared output entity.
-  bool abandoned_ = false;
+  std::vector<Entity*> out_waiters_;   ///< entities awaiting this session's credit
+  std::exception_ptr error_;           ///< fail-fast error, if any
 
   InputPort in_;
   OutputPort out_;
@@ -189,7 +266,7 @@ class SessionState {
 /// shared Network. Move-only; destroying the handle *releases* the
 /// session — input closed, unconsumed output discarded, state reclaimed
 /// once in-flight records drain — so a forgotten session can neither
-/// wedge network quiescence nor congest the shared output entity.
+/// wedge network quiescence nor hold output credit hostage.
 /// Port references obtained from the handle die with it; the handle must
 /// not outlive the Network.
 class Session {
@@ -212,6 +289,7 @@ class Session {
   /// accessor below on such an empty handle is undefined — check first.
   explicit operator bool() const { return state_ != nullptr; }
   std::uint32_t id() const { return state_->id(); }
+  unsigned weight() const { return state_->weight(); }
 
   InputPort& input() { return state_->input(); }
   OutputPort& output() { return state_->output(); }

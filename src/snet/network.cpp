@@ -37,8 +37,9 @@ Network::Network(Net topology, Options opts)
   // opts_.workers survives as this network's concurrency cap.
   sched_ = std::make_unique<Scheduler>(snetsac::runtime::Executor::global(),
                                        opts_.workers, opts_.quantum);
-  Entity* out = adopt(std::make_unique<detail::OutputEntity>(*this));
-  entry_ = instantiate(topology_, out, "net");
+  out_entity_ = adopt(std::make_unique<detail::OutputEntity>(*this));
+  entry_ = instantiate(topology_, out_entity_, "net");
+  dispatch_ = adopt(std::make_unique<detail::InputDispatchEntity>(*this, entry_));
 }
 
 Network::~Network() {
@@ -46,8 +47,11 @@ Network::~Network() {
   sched_->stop();
 }
 
-SessionState* Network::new_session_state(std::uint32_t id) {
-  auto state = std::make_unique<SessionState>(*this, id);
+SessionState* Network::new_session_state(std::uint32_t id, SessionOptions opts) {
+  if (opts.output_capacity == 0) {
+    opts.output_capacity = opts_.output_capacity;  // 0 = inherit the default
+  }
+  auto state = std::make_unique<SessionState>(*this, id, opts);
   SessionState* raw = state.get();
   {
     const std::lock_guard lock(out_mu_);
@@ -66,7 +70,9 @@ SessionState* Network::default_state() {
   if (s != nullptr) {
     return s;
   }
-  auto state = std::make_unique<SessionState>(*this, 0);
+  SessionOptions so;
+  so.output_capacity = opts_.output_capacity;
+  auto state = std::make_unique<SessionState>(*this, 0, so);
   {
     const std::lock_guard lock(out_mu_);
     s = default_session_.load(std::memory_order_relaxed);
@@ -86,76 +92,236 @@ InputPort& Network::input() { return default_state()->input(); }
 
 OutputPort& Network::output() { return default_state()->output(); }
 
-Session Network::open_session() {
-  return Session(
-      *this,
-      *new_session_state(next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+Session Network::open_session(SessionOptions opts) {
+  return Session(*this,
+                 *new_session_state(
+                     next_session_id_.fetch_add(1, std::memory_order_relaxed),
+                     opts));
+}
+
+// ------------------------------------------------- input dispatch listing
+
+void Network::dispatch_list(SessionState* s) {
+  bool fresh = false;
+  {
+    const std::lock_guard lock(dispatch_mu_);
+    if (!s->listed_) {
+      s->listed_ = true;
+      listed_count_.fetch_add(1, std::memory_order_acq_rel);
+      dispatch_ready_.push_back(s);
+      fresh = true;
+    }
+  }
+  if (fresh) {
+    dispatch_->poke();
+  }
+}
+
+void Network::dispatch_wake(SessionState* s) {
+  {
+    const std::lock_guard lock(dispatch_mu_);
+    if (!s->listed_) {
+      s->listed_ = true;
+      listed_count_.fetch_add(1, std::memory_order_acq_rel);
+      dispatch_ready_.push_back(s);
+    }
+  }
+  dispatch_->poke();
+}
+
+void Network::dispatch_take_ready(std::deque<SessionState*>& out) {
+  const std::lock_guard lock(dispatch_mu_);
+  out.insert(out.end(), dispatch_ready_.begin(), dispatch_ready_.end());
+  dispatch_ready_.clear();
+}
+
+bool Network::dispatch_delist(SessionState* s) {
+  // One critical section: the emptiness check and the listed_ flip must
+  // not be separated — (a) a producer's staging push is totally ordered
+  // against our empty() by the queue's own mutex, so either we see its
+  // record (stay listed) or it sees listed_ == false afterwards and
+  // re-lists with a poke: no staged record can strand; and (b) every
+  // dispatcher touch of *s happens while s is listed (ring membership ⟺
+  // listed_), which is what lets port_release reclaim an unlisted,
+  // drained session without racing a use after free.
+  const std::lock_guard lock(dispatch_mu_);
+  if (!s->staging_.empty()) {
+    return false;  // the caller keeps the session on its active ring
+  }
+  s->listed_ = false;
+  listed_count_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+// ------------------------------------------------------ inject (per-port)
+
+void Network::await_output_account(SessionState& s) {
+  if (s.out_cap_ == 0) {
+    return;
+  }
+  // All predicate state is either atomic or guarded by out_mu_ (sink_),
+  // and both wait paths evaluate it under the lock.
+  const auto pred = [&] {
+    return failed_.load(std::memory_order_acquire) || s.errored() ||
+           s.abandoned() || static_cast<bool>(s.sink_) ||
+           s.out_account_.load(std::memory_order_relaxed) <
+               static_cast<std::int64_t>(s.out_cap_);
+  };
+  auto& exec = snetsac::runtime::Executor::global();
+  {
+    std::unique_lock lock(out_mu_);
+    if (!pred()) {
+      // The session's un-consumed output is at its credit bound: the
+      // inject waits for the client to pop. This is the per-session
+      // analogue of write(2) against a full pipe — and the whole point:
+      // only *this* tenant waits, nobody else's stream is touched.
+      s.credit_waits_.fetch_add(1, std::memory_order_relaxed);
+      if (!exec.on_worker_thread()) {
+        out_cv_.wait(lock, pred);
+      } else {
+        lock.unlock();
+        exec.help_until(out_mu_, out_cv_, pred);
+      }
+    }
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
+    {
+      const std::lock_guard lock(out_mu_);
+      err = error_;
+    }
+    std::rethrow_exception(err);
+  }
+  if (s.errored()) {
+    std::exception_ptr err;
+    {
+      const std::lock_guard lock(out_mu_);
+      err = s.error_;
+    }
+    std::rethrow_exception(err);
+  }
 }
 
 void Network::port_inject(SessionState& s, Record r) {
   if (s.closed_.load(std::memory_order_acquire)) {
     throw std::logic_error("inject after close_input");
   }
+  if (s.errored()) {
+    const std::lock_guard lock(out_mu_);
+    std::rethrow_exception(s.error_);
+  }
+  // Per-session output credit gate: a slow reader blocks its own producer
+  // here instead of wedging the shared output entity downstream.
+  await_output_account(s);
   r.set_session(&s);
   injected_.fetch_add(1, std::memory_order_relaxed);
   // The live increment precedes visibility downstream — a blocked inject
   // holds its record "live", so the network cannot quiesce under it.
   live_add(&s, 1);
-  Message m = Message::record(std::move(r));
-  if (entry_->try_deliver(m)) {
-    return;
-  }
-  // Bounded entry inbox is full: wait for credit. On an executor worker
-  // (a box injecting into a nested network) help_until executes queued
-  // tasks instead of blocking the pool slot. A network failure wakes the
-  // wait too (fail() bumps the epoch): a dead pipeline may never release
-  // entry credit, so a blocked inject must rethrow rather than hang.
-  auto& exec = snetsac::runtime::Executor::global();
-  for (;;) {
-    if (failed_.load(std::memory_order_acquire)) {
-      live_sub(&s, 1);  // the record never became visible downstream
-      std::exception_ptr err;
-      {
-        const std::lock_guard lock(out_mu_);
-        err = error_;
-      }
-      std::rethrow_exception(err);
-    }
-    std::uint64_t epoch;
-    {
-      const std::lock_guard lock(in_mu_);
-      epoch = in_credit_epoch_;
-    }
-    const bool registered = entry_->await_inbox_credit_cb([this] {
-      {
-        const std::lock_guard lock(in_mu_);
-        ++in_credit_epoch_;
-      }
-      in_cv_.notify_all();
-    });
-    if (registered) {
-      exec.help_until(in_mu_, in_cv_, [&] { return in_credit_epoch_ != epoch; });
-    }
+  // Fast path: while no session anywhere has staged backlog (and this one
+  // is not throttled), there is no admission order to arbitrate — deliver
+  // straight to the entry and skip the staging/DRR detour entirely. The
+  // entry refusing (bounded inbox full) falls through to staging, which
+  // lists the session and turns the DRR on for everyone.
+  if (listed_count_.load(std::memory_order_acquire) == 0 && !s.throttled() &&
+      s.staging_.empty()) {
+    Message m = Message::record(std::move(r));
     if (entry_->try_deliver(m)) {
       return;
     }
+    r = std::move(m.rec);
   }
+  if (!s.staging_.try_push(r)) {
+    // This session's staging queue is full: wait for staging credit (the
+    // dispatcher forwarding our backlog). On an executor worker (a box
+    // injecting into a nested network) help_until executes queued tasks
+    // instead of blocking the pool slot. A network failure — or this
+    // session failing fast — wakes the wait too (both bump the epoch):
+    // a dead pipeline may never release credit, so a blocked inject must
+    // rethrow rather than hang.
+    auto& exec = snetsac::runtime::Executor::global();
+    for (;;) {
+      if (failed_.load(std::memory_order_acquire)) {
+        live_sub(&s, 1);  // the record never became visible downstream
+        std::exception_ptr err;
+        {
+          const std::lock_guard lock(out_mu_);
+          err = error_;
+        }
+        std::rethrow_exception(err);
+      }
+      if (s.errored()) {
+        live_sub(&s, 1);
+        std::exception_ptr err;
+        {
+          const std::lock_guard lock(out_mu_);
+          err = s.error_;
+        }
+        std::rethrow_exception(err);
+      }
+      std::uint64_t epoch;
+      {
+        const std::lock_guard lock(in_mu_);
+        epoch = in_credit_epoch_;
+      }
+      const bool registered = s.staging_.wait_for_credit([this] {
+        {
+          const std::lock_guard lock(in_mu_);
+          ++in_credit_epoch_;
+        }
+        in_cv_.notify_all();
+      });
+      if (registered) {
+        exec.help_until(in_mu_, in_cv_,
+                        [&] { return in_credit_epoch_ != epoch; });
+      }
+      if (s.staging_.try_push(r)) {
+        break;
+      }
+    }
+  }
+  dispatch_list(&s);
 }
 
 bool Network::port_try_inject(SessionState& s, Record& r) {
   if (s.closed_.load(std::memory_order_acquire)) {
     throw std::logic_error("inject after close_input");
   }
+  if (s.errored()) {
+    const std::lock_guard lock(out_mu_);
+    std::rethrow_exception(s.error_);
+  }
+  if (s.out_cap_ != 0 &&
+      s.out_account_.load(std::memory_order_acquire) >=
+          static_cast<std::int64_t>(s.out_cap_)) {
+    // Output credit exhausted — "full" for a non-blocking caller, unless
+    // a sink consumes directly (checked under the lock to be exact).
+    const std::lock_guard lock(out_mu_);
+    if (!s.sink_ && !s.abandoned() &&
+        s.out_account_.load(std::memory_order_relaxed) >=
+            static_cast<std::int64_t>(s.out_cap_)) {
+      return false;
+    }
+  }
   r.set_session(&s);
   live_add(&s, 1);
-  Message m = Message::record(std::move(r));
-  if (entry_->try_deliver(m)) {
-    injected_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+  if (listed_count_.load(std::memory_order_acquire) == 0 && !s.throttled() &&
+      s.staging_.empty()) {
+    Message m = Message::record(std::move(r));
+    if (entry_->try_deliver(m)) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    r = std::move(m.rec);
   }
-  live_sub(&s, 1);
-  r = std::move(m.rec);  // hand the record back untouched
-  return false;
+  if (!s.staging_.try_push(r)) {
+    live_sub(&s, 1);
+    r.set_session(nullptr);  // hand the record back untouched
+    return false;
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  dispatch_list(&s);
+  return true;
 }
 
 void Network::port_close(SessionState& s) {
@@ -170,19 +336,32 @@ void Network::port_close(SessionState& s) {
   out_cv_.notify_all();
 }
 
+// ---------------------------------------------------------- output (demux)
+
 Record Network::pop_output_locked(SessionState& s,
                                   std::unique_lock<std::mutex>& lock) {
   Record r = std::move(s.buffer_.front());
   s.buffer_.pop_front();
+  const std::int64_t before = s.out_account_.fetch_sub(1, std::memory_order_relaxed);
   std::vector<Entity*> resumed;
   if (!s.out_waiters_.empty() &&
-      (opts_.output_capacity == 0 ||
-       s.buffer_.size() <= opts_.output_capacity / 2)) {
+      (s.out_cap_ == 0 || s.buffer_.size() <= s.out_cap_ / 2)) {
     resumed.swap(s.out_waiters_);
   }
   lock.unlock();
+  // Wake the session's gated injects only when this pop actually crossed
+  // the credit bound (account cap → cap-1); pops above or below the
+  // boundary cannot change the gate predicate, and an unconditional
+  // notify here would wake every blocked inject, next() and wait()
+  // caller per consumed record.
+  if (s.out_cap_ != 0 && before == static_cast<std::int64_t>(s.out_cap_)) {
+    out_cv_.notify_all();
+  }
   for (Entity* e : resumed) {
-    e->resume_from_stall();
+    // The waiter deferred records on the (entity, session) credit key; a
+    // poke makes its next quantum retry them. It is not a wholesale
+    // stall, so this is a nudge, not a resume.
+    e->poke();
   }
   return r;
 }
@@ -194,7 +373,7 @@ std::optional<Record> Network::port_next(SessionState& s) {
            s.live_.load(std::memory_order_acquire) == 0;
   };
   const auto ready = [&] {
-    return error_ || !s.buffer_.empty() || session_done();
+    return error_ || s.error_ || !s.buffer_.empty() || session_done();
   };
   if (!exec.on_worker_thread()) {
     // Client thread: classic single-lock wait-and-pop.
@@ -202,6 +381,9 @@ std::optional<Record> Network::port_next(SessionState& s) {
     out_cv_.wait(lock, ready);
     if (error_) {
       std::rethrow_exception(error_);
+    }
+    if (s.error_) {
+      std::rethrow_exception(s.error_);
     }
     if (!s.buffer_.empty()) {
       return pop_output_locked(s, lock);
@@ -218,6 +400,9 @@ std::optional<Record> Network::port_next(SessionState& s) {
     std::unique_lock lock(out_mu_);
     if (error_) {
       std::rethrow_exception(error_);
+    }
+    if (s.error_) {
+      std::rethrow_exception(s.error_);
     }
     if (!s.buffer_.empty()) {
       return pop_output_locked(s, lock);
@@ -250,13 +435,22 @@ void Network::port_on_output(SessionState& s, std::function<void(Record)> callba
         break;
       }
       pending.swap(s.buffer_);
+      s.out_account_.fetch_sub(static_cast<std::int64_t>(pending.size()),
+                               std::memory_order_relaxed);
     }
     for (auto& r : pending) {
       callback(std::move(r));
     }
   }
+  // A sink disables the credit account for this session: wake injects
+  // gated on it, and have the output entity replay any deferred records
+  // into the sink (push mode accepts unconditionally).
+  out_cv_.notify_all();
   for (Entity* e : resumed) {
-    e->resume_from_stall();
+    e->poke();
+  }
+  if (s.parked_.load(std::memory_order_acquire) > 0) {
+    out_entity_->poke();
   }
 }
 
@@ -305,7 +499,25 @@ NetworkStats Network::stats() const {
     const std::lock_guard lock(out_mu_);
     s.produced = produced_;
     s.sessions = sessions_opened_;  // cumulative, survives reclamation
+    s.session_stats.reserve(sessions_.size());
+    for (const auto& [id, state] : sessions_) {
+      SessionStats row;
+      row.id = id;
+      row.weight = state->weight();
+      row.errored = state->errored();
+      row.live = state->live_.load(std::memory_order_relaxed);
+      row.output_account = state->out_account_.load(std::memory_order_relaxed);
+      row.produced = state->produced_;
+      row.forwarded = state->forwarded_.load(std::memory_order_relaxed);
+      row.dispatch_turns = state->drr_turns_.load(std::memory_order_relaxed);
+      row.credit_waits = state->credit_waits_.load(std::memory_order_relaxed);
+      row.output_stalls = state->output_parks_.load(std::memory_order_relaxed);
+      row.spilled = state->spilled_.load(std::memory_order_relaxed);
+      s.session_stats.push_back(row);
+    }
   }
+  std::sort(s.session_stats.begin(), s.session_stats.end(),
+            [](const SessionStats& a, const SessionStats& b) { return a.id < b.id; });
   s.peak_live = peak_live_.load();
   s.quanta = sched_->quanta_executed();
   s.steals = sched_->steals();
@@ -345,27 +557,61 @@ void Network::live_sub(SessionState* session, std::int64_t n) {
   }
 }
 
-bool Network::push_output(Record r) {
-  SessionState* s = r.session_state();
+Network::PushOutcome Network::push_output(Record& r, Entity* producer,
+                                          bool from_deferred) {
+  SessionState* const stamped = r.session_state();
+  SessionState* s = stamped;
   if (s == nullptr) {
     s = default_state();  // records that never crossed a port
   }
   bool has_sink = false;
-  bool congested = false;
   {
     const std::lock_guard lock(out_mu_);
-    if (s->abandoned_) {
-      // Released mid-flight: nobody can ever consume this session's
-      // output, so drop it rather than congest the shared output entity.
-      return true;
+    const auto retire_deferred = [&] {
+      if (from_deferred) {
+        s->parked_.fetch_sub(1, std::memory_order_relaxed);
+        s->out_account_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    };
+    if (s->abandoned() || s->errored()) {
+      // Released or failed fast mid-flight: nobody can ever consume this
+      // session's output, so drop it rather than hold its credit.
+      retire_deferred();
+      return PushOutcome::kAccepted;
     }
-    ++produced_;
-    ++s->produced_;
     has_sink = static_cast<bool>(s->sink_);
     if (!has_sink) {
+      if (stamped != nullptr && s->out_cap_ != 0 &&
+          s->buffer_.size() >= s->out_cap_) {
+        // Account exhausted. Refusal and waiter registration are one
+        // critical section: the client cannot pop-and-release between
+        // them, so the producer's poke can never be lost. Unstamped
+        // records (never crossed a port — no injector to gate) are
+        // exempt and buffer unconditionally.
+        if (!from_deferred) {
+          s->parked_.fetch_add(1, std::memory_order_relaxed);
+          s->out_account_.fetch_add(1, std::memory_order_relaxed);
+          s->output_parks_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (std::find(s->out_waiters_.begin(), s->out_waiters_.end(), producer) ==
+            s->out_waiters_.end()) {
+          s->out_waiters_.push_back(producer);
+        }
+        return PushOutcome::kNoCredit;
+      }
+      ++produced_;
+      ++s->produced_;
       s->buffer_.push_back(std::move(r));
-      congested = opts_.output_capacity != 0 &&
-                  s->buffer_.size() >= opts_.output_capacity;
+      if (from_deferred) {
+        s->parked_.fetch_sub(1, std::memory_order_relaxed);
+        // account unchanged: the park charge becomes the buffer charge
+      } else {
+        s->out_account_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      ++produced_;
+      ++s->produced_;
+      retire_deferred();
     }
   }
   if (has_sink) {
@@ -379,48 +625,156 @@ bool Network::push_output(Record r) {
   } else {
     out_cv_.notify_all();
   }
-  return !congested;
+  return PushOutcome::kAccepted;
 }
 
-bool Network::await_output_credit(std::uint32_t session_id, Entity* producer) {
+void Network::note_deferred_output(SessionState* s) {
   const std::lock_guard lock(out_mu_);
-  const auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) {
-    return false;  // session reclaimed since the push: credit forever
+  s->parked_.fetch_add(1, std::memory_order_relaxed);
+  s->out_account_.fetch_add(1, std::memory_order_relaxed);
+  s->output_parks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------- interior (det/sync) account
+
+bool Network::interior_admit(SessionState* s) {
+  if (s == nullptr || opts_.det_capacity == 0) {
+    return true;
   }
-  SessionState& s = *it->second;
-  if (opts_.output_capacity == 0 || s.abandoned_ || s.sink_ ||
-      s.buffer_.size() < opts_.output_capacity) {
-    return false;
+  const std::int64_t now = s->interior_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return now <= static_cast<std::int64_t>(opts_.det_capacity);
+}
+
+void Network::interior_release(SessionState* s, std::int64_t n) {
+  if (s == nullptr || opts_.det_capacity == 0) {
+    return;
   }
-  s.out_waiters_.push_back(producer);
-  return true;
+  const std::int64_t now = s->interior_.fetch_sub(n, std::memory_order_acq_rel) - n;
+  if (now <= static_cast<std::int64_t>(opts_.det_capacity / 2) &&
+      s->throttled_.exchange(false, std::memory_order_acq_rel)) {
+    dispatch_wake(s);  // resume the session's input dispatch
+  }
+}
+
+void Network::spill_session(SessionState* s) {
+  if (s == nullptr) {
+    return;
+  }
+  s->spilled_.fetch_add(1, std::memory_order_relaxed);
+  s->throttled_.store(true, std::memory_order_release);
+  // Throttle/drain race: if the interior already drained past the
+  // watermark between our overflow observation and the store above, undo —
+  // a throttled session with an empty interior would never be re-listed.
+  if (s->interior_.load(std::memory_order_acquire) <=
+          static_cast<std::int64_t>(opts_.det_capacity / 2) &&
+      s->throttled_.exchange(false, std::memory_order_acq_rel)) {
+    dispatch_wake(s);
+  }
+}
+
+void Network::fail_session(SessionState* s, std::exception_ptr err) {
+  if (s == nullptr) {
+    fail(err);  // unstamped records have no session to isolate
+    return;
+  }
+  std::vector<Entity*> resumed;
+  bool flush_deferred = false;
+  {
+    const std::lock_guard lock(out_mu_);
+    if (!s->error_) {
+      s->error_ = err;
+    }
+    s->errored_.store(true, std::memory_order_release);
+    s->out_account_.fetch_sub(static_cast<std::int64_t>(s->buffer_.size()),
+                              std::memory_order_relaxed);
+    s->buffer_.clear();
+    resumed.swap(s->out_waiters_);
+    flush_deferred = s->parked_.load(std::memory_order_relaxed) > 0;
+  }
+  out_cv_.notify_all();
+  // Wake injects blocked on staging credit; they observe errored() and
+  // rethrow instead of hanging on a session that will never drain.
+  {
+    const std::lock_guard lock(in_mu_);
+    ++in_credit_epoch_;
+  }
+  in_cv_.notify_all();
+  for (Entity* e : resumed) {
+    e->poke();
+  }
+  if (flush_deferred) {
+    out_entity_->poke();  // deferred records drain into the drop path
+  }
+  dispatch_wake(s);  // the dispatcher drops the session's staged records
+  poke_sync_entities();  // evict any slots the dead session left behind
+}
+
+void Network::poke_sync_entities() {
+  std::vector<Entity*> cells;
+  {
+    const std::lock_guard lock(reg_mu_);
+    cells = sync_entities_;
+  }
+  for (Entity* e : cells) {
+    e->poke();
+  }
 }
 
 void Network::port_release(SessionState& s) {
   port_close(s);  // idempotent; decrements open_sessions_ once
   const std::uint32_t id = s.id();
+  s.abandoned_.store(true, std::memory_order_release);
+  // Lock order: dispatch_mu_ before out_mu_. A session still on the
+  // dispatcher's radar must not be reclaimed under it; listed_ implies
+  // staged records in every steady state (and a transiently listed empty
+  // session merely defers reclamation to network teardown).
+  bool listed;
+  {
+    const std::lock_guard lock(dispatch_mu_);
+    listed = s.listed_;
+  }
   std::vector<Entity*> resumed;
+  bool reclaimed = false;
+  bool flush_deferred = false;
   {
     const std::lock_guard lock(out_mu_);
-    s.abandoned_ = true;
+    s.out_account_.fetch_sub(static_cast<std::int64_t>(s.buffer_.size()),
+                             std::memory_order_relaxed);
     s.buffer_.clear();  // unconsumed output is discarded
     resumed.swap(s.out_waiters_);
-    if (s.live_.load(std::memory_order_acquire) == 0) {
+    flush_deferred = s.parked_.load(std::memory_order_relaxed) > 0;
+    // Eager reclamation is only safe while the interior-cap machinery is
+    // off: un-throttle and fail-fast wakes (dispatch_wake from
+    // interior_release / spill_session / fail_session) cache the raw
+    // session pointer beyond the record lifetime that normally guards
+    // it, so with det_capacity > 0 a released state persists until
+    // network teardown instead (small, drained, harmless).
+    if (opts_.det_capacity == 0 && !listed &&
+        s.live_.load(std::memory_order_acquire) == 0) {
       // Fully drained: reclaim. live == 0 guarantees no record carries
       // the pointer and no consumer will touch the state again (see
-      // live_sub); stall gates re-resolve by id under this same lock.
+      // live_sub); nothing is staged (staged records are live) and the
+      // dispatcher has let go.
       sessions_.erase(id);  // frees s — do not touch it below
+      reclaimed = true;
       if (default_session_.load(std::memory_order_relaxed) == &s) {
         default_session_.store(nullptr, std::memory_order_release);
       }
     }
     // Else: records still in flight keep the state alive; they drain
-    // into the abandoned-drop path above and the small state persists
-    // until network teardown.
+    // into the abandoned-drop path and the small state persists until
+    // network teardown.
   }
+  out_cv_.notify_all();
   for (Entity* e : resumed) {
-    e->resume_from_stall();
+    e->poke();
+  }
+  if (!reclaimed) {
+    if (flush_deferred) {
+      out_entity_->poke();  // deferred records drain into the drop path
+    }
+    dispatch_wake(&s);  // the dispatcher drops any staged records
+    poke_sync_entities();  // evict any slots the released session holds
   }
 }
 
@@ -433,7 +787,7 @@ void Network::fail(std::exception_ptr err) {
   }
   failed_.store(true, std::memory_order_release);
   out_cv_.notify_all();
-  // Wake producers blocked on entry credit (see port_inject): a failed
+  // Wake producers blocked on staging credit (see port_inject): a failed
   // pipeline may never drain, and they must observe the error.
   {
     const std::lock_guard lock(in_mu_);
@@ -541,9 +895,15 @@ Entity* Network::instantiate(const Net& node, Entity* successor,
       }
       return dispatcher;
     }
-    case NetNode::Kind::Sync:
-      return adopt(
+    case NetNode::Kind::Sync: {
+      Entity* cell = adopt(
           std::make_unique<SyncEntity>(*this, prefix + "/sync", node, successor));
+      {
+        const std::lock_guard lock(reg_mu_);
+        sync_entities_.push_back(cell);
+      }
+      return cell;
+    }
   }
   throw std::logic_error("corrupt topology node");
 }

@@ -35,14 +35,18 @@ void Scheduler::submit_batch(const std::vector<Entity*>& batch) {
   }
 }
 
-void Scheduler::enqueue(Entity* entity) {
+void Scheduler::enqueue(Entity* entity, bool urgent) {
   std::vector<Entity*> batch;
   {
     const std::lock_guard lock(mu_);
     if (stopping_) {
       return;  // teardown: pending entities are dropped, as before
     }
-    ready_.push_back(entity);
+    if (urgent) {
+      ready_.push_front(entity);
+    } else {
+      ready_.push_back(entity);
+    }
     fill_locked(batch);
   }
   submit_batch(batch);

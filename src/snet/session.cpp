@@ -8,6 +8,17 @@ namespace snet {
 // port_* methods, one translation unit away from the entity runtime that
 // shares the same mutexes.
 
+SessionState::SessionState(Network& net, std::uint32_t id, SessionOptions opts)
+    : id_(id),
+      weight_(opts.weight == 0 ? 1U : opts.weight),
+      out_cap_(opts.output_capacity),
+      in_(net, *this),
+      out_(net, *this) {
+  // The staging queue shares the interior inbox bound: a session can stage
+  // at most one inbox worth of records before its own inject blocks.
+  staging_.set_capacity(net.inbox_capacity());
+}
+
 void InputPort::inject(Record r) { net_->port_inject(*state_, std::move(r)); }
 
 bool InputPort::try_inject(Record& r) { return net_->port_try_inject(*state_, r); }

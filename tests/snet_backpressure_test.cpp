@@ -29,9 +29,9 @@ Record int_rec(int v) {
 Net slow_box(const std::string& name, int spin_iters) {
   return box(name, "(x) -> (x)",
              [spin_iters](const BoxInput& in, BoxOutput& out) {
-               volatile int sink = 0;
+               volatile unsigned sink = 0;  // unsigned: the sum may wrap
                for (int i = 0; i < spin_iters; ++i) {
-                 sink = sink + i;
+                 sink = sink + static_cast<unsigned>(i);
                }
                out.out(1, in.field("x"));
              });
@@ -190,8 +190,8 @@ TEST(Backpressure, BlockedInjectRethrowsWhenNetworkFails) {
                     if (x == 5) {
                       throw std::runtime_error("injected fault");
                     }
-                    volatile int sink = 0;
-                    for (int i = 0; i < 20000; ++i) {
+                    volatile unsigned sink = 0;
+                    for (unsigned i = 0; i < 20000; ++i) {
                       sink = sink + i;
                     }
                     out.out(1, in.field("x"));

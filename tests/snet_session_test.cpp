@@ -3,9 +3,14 @@
 /// demultiplexed back to the owning session's OutputPort — two interleaved
 /// clients must each receive exactly their own outputs, including through
 /// deterministic regions, synchrocells, and dynamically unfolding stars.
+/// Per-session QoS: a slow reader must only throttle itself (output
+/// credit), a hot injector must not monopolise admission (weighted DRR),
+/// and a det-heavy tenant must hit its interior cap policy (Spill keeps
+/// ordering, FailFast errors only the offender).
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
@@ -38,6 +43,19 @@ Net adder(const std::string& name, int delta) {
              });
 }
 
+/// `(x) -> (x)` box burning ~\p spin_iters of CPU per record: makes one
+/// parallel branch (or a pipeline stage) measurably slow.
+Net slow_box(const std::string& name, int spin_iters) {
+  return box(name, "(x) -> (x)",
+             [spin_iters](const BoxInput& in, BoxOutput& out) {
+               volatile unsigned sink = 0;  // unsigned: the sum may wrap
+               for (int i = 0; i < spin_iters; ++i) {
+                 sink = sink + static_cast<unsigned>(i);
+               }
+               out.out(1, in.field("x"));
+             });
+}
+
 std::multiset<int> xs_of(const std::vector<Record>& recs) {
   std::multiset<int> out;
   for (const auto& r : recs) {
@@ -50,6 +68,28 @@ Options workers(unsigned w) {
   Options o;
   o.workers = w;
   return o;
+}
+
+/// The stats row of session \p id (empty row if reclaimed).
+SessionStats stats_of(const Network& net, std::uint32_t id) {
+  for (const auto& row : net.stats().session_stats) {
+    if (row.id == id) {
+      return row;
+    }
+  }
+  return {};
+}
+
+/// Polls (bounded) until \p pred on the session's stats row holds.
+bool poll_session(const Network& net, std::uint32_t id,
+                  const std::function<bool(const SessionStats&)>& pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred(stats_of(net, id))) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
 }
 
 }  // namespace
@@ -189,18 +229,27 @@ TEST(Session, DroppedHandleReleasesTheSessionAndNetworkStillQuiesces) {
 
 TEST(Session, AbandonedSessionDoesNotWedgeOtherSessions) {
   // A dropped handle with a *bounded*, never-consumed output buffer must
-  // not leave the shared output entity stalled: released sessions drop
-  // their outputs, so other clients' streams keep flowing.
+  // not hold the shared output path: released sessions drop their outputs
+  // and their credit, so other clients' streams keep flowing. The gate
+  // itself must be visible first: once the ghost's results occupy its
+  // whole credit account, try_inject reports "full" instead of blocking.
   Options o;
   o.workers = 2;
   o.output_capacity = 2;
   Network net(adder("inc", 1), std::move(o));
   {
     Session ghost = net.open_session();
-    for (int i = 0; i < 50; ++i) {
+    for (int i = 0; i < 2; ++i) {
       ghost.input().inject(int_rec(i));
     }
-    // Dropped with (up to) 50 results nobody will ever read.
+    ASSERT_TRUE(poll_session(
+        net, ghost.id(),
+        [](const SessionStats& s) { return s.output_account >= 2; }))
+        << "ghost's results never charged its credit account";
+    Record extra = int_rec(99);
+    EXPECT_FALSE(ghost.input().try_inject(extra))
+        << "exhausted output credit must refuse non-blocking injects";
+    // Dropped with 2 buffered results nobody will ever read.
   }
   Session alive = net.open_session();
   std::jthread feeder([&] {
@@ -293,4 +342,218 @@ TEST(Session, SessionsUnderBoundedStreams) {
   for (const auto& r : got_b) {
     EXPECT_GE(value_as<int>(r.field("x")), 100000);
   }
+}
+
+TEST(Session, SlowReaderDoesNotHeadOfLineBlockOtherSessions) {
+  // Regression for the PR-3 known limitation: a slow-but-live session
+  // whose bounded output buffer filled used to stall the *shared* output
+  // entity, head-of-line blocking every other session's results until the
+  // slow client consumed. With per-session output credit the slow
+  // reader's surplus records defer on its own (entity, session) credit
+  // key and its injects block on its own account — nobody else notices.
+  Options o;
+  o.workers = 2;
+  o.inbox_capacity = 8;
+  o.output_capacity = 4;
+  // Every record fans out to 8: a single slow-session inject overwhelms
+  // its own credit account (cap 4), so surplus records *must* defer at
+  // the shared output entity — the deterministic head-of-line setup the
+  // old design answered by stalling that entity for everyone.
+  auto fan = box("fan", "(x) -> (x)", [](const BoxInput& in, BoxOutput& out) {
+    for (int k = 0; k < 8; ++k) {
+      out.out(1, in.field("x"));
+    }
+  });
+  Network net(fan, std::move(o));
+  Session slow = net.open_session();
+  Session fast = net.open_session();
+  // The slow session's feeder outruns a client that reads nothing: its
+  // account fills mid-fan-out and the feeder blocks on the credit gate.
+  std::jthread slow_feeder([&] {
+    for (int i = 0; i < 40; ++i) {
+      slow.input().inject(int_rec(i));
+    }
+    slow.close();
+  });
+  ASSERT_TRUE(poll_session(net, slow.id(), [](const SessionStats& s) {
+    return s.output_stalls > 0;
+  })) << "slow session's surplus records never deferred at the output entity";
+  // The fast session must stream through, full rate, while slow is wedged.
+  std::jthread fast_feeder([&] {
+    for (int i = 0; i < 50; ++i) {
+      fast.input().inject(int_rec(1000 + i));
+    }
+    fast.close();
+  });
+  std::size_t got_fast = 0;
+  while (fast.output().next().has_value()) {
+    ++got_fast;
+  }
+  EXPECT_EQ(got_fast, 400U);  // old design: wedged right here
+  // Now the slow client finally reads: every record arrives, in
+  // per-session order, through the deferred-flush path.
+  std::vector<int> got_slow;
+  while (auto r = slow.output().next()) {
+    got_slow.push_back(value_as<int>(r->field("x")));
+  }
+  slow_feeder.join();
+  ASSERT_EQ(got_slow.size(), 320U);
+  for (std::size_t i = 0; i < got_slow.size(); ++i) {
+    EXPECT_EQ(got_slow[i], static_cast<int>(i / 8))
+        << "deferral reordered the slow session's stream";
+  }
+  const SessionStats slow_row = stats_of(net, slow.id());
+  EXPECT_GT(slow_row.output_stalls, 0U);
+  net.wait();
+}
+
+TEST(Session, WeightedDispatchKeepsMeekSessionProgressingUnderFlood) {
+  // A hot tenant floods the shared entry while a (heavier-weighted) meek
+  // tenant submits a finite batch: deficit-round-robin at the input
+  // dispatcher must keep admitting the meek session's records, so it
+  // completes while the flood is still running.
+  Options o;
+  o.workers = 2;
+  o.inbox_capacity = 8;  // small staging queues: the DRR engages
+  Network net(slow_box("grind", 300), std::move(o));
+  Session hot = net.open_session();  // weight 1
+  SessionOptions heavy;
+  heavy.weight = 4;
+  Session meek = net.open_session(heavy);
+  EXPECT_EQ(meek.weight(), 4U);
+  std::atomic<bool> stop{false};
+  std::jthread hot_drain([&] {
+    while (hot.output().next().has_value()) {
+    }
+  });
+  std::jthread flood([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Record r = int_rec(i++);
+      if (!hot.input().try_inject(r)) {
+        std::this_thread::yield();  // staging full: the DRR is arbitrating
+      }
+    }
+    hot.close();
+  });
+  for (int i = 0; i < 200; ++i) {
+    meek.input().inject(int_rec(100000 + i));
+  }
+  meek.close();
+  const auto out = meek.output().collect();  // must not starve
+  EXPECT_EQ(out.size(), 200U);
+  const SessionStats meek_row = stats_of(net, meek.id());
+  EXPECT_EQ(meek_row.weight, 4U) << "per-session stats lost the DRR weight";
+  stop.store(true, std::memory_order_release);
+  flood.join();
+  hot_drain.join();
+  net.wait();
+}
+
+TEST(Session, DetSpillKeepsOrderingOverTheCap) {
+  // A deterministic parallel region with one slow branch: later (fast
+  // branch) groups pile up in the collector while the head group grinds,
+  // blowing through Options::det_capacity. Under Spill the overflow goes
+  // to the secondary list and the session's admission is throttled — but
+  // release order must stay exactly the injection order.
+  Options o;
+  o.workers = 4;
+  o.det_capacity = 8;
+  o.det_overflow = OverflowPolicy::Spill;
+  Network net(parallel_det(slow_box("L", 3000), ident("R")), std::move(o));
+  Session s = net.open_session();
+  constexpr int kRecords = 200;
+  for (int i = 0; i < kRecords; ++i) {
+    s.input().inject(int_rec(i));
+  }
+  s.close();
+  const auto out = s.output().collect();
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kRecords));
+  for (int i = 0; i < kRecords; ++i) {
+    EXPECT_EQ(value_as<int>(out[static_cast<std::size_t>(i)].field("x")), i)
+        << "spill reordered the deterministic stream";
+  }
+  const SessionStats row = stats_of(net, s.id());
+  EXPECT_GT(row.spilled, 0U) << "the det cap never engaged — test is vacuous";
+}
+
+TEST(Session, DetFailFastErrorsOnlyTheOffendingSession) {
+  // FailFast: the tenant whose det buffering exceeds the cap gets a
+  // SessionOverflowError on its ports; an innocent concurrent session
+  // completes untouched (the cap is per session, not per network).
+  Options o;
+  o.workers = 4;
+  o.det_capacity = 8;
+  o.det_overflow = OverflowPolicy::FailFast;
+  Network net(parallel_det(slow_box("L", 3000), ident("R")), std::move(o));
+  Session victim = net.open_session();
+  Session hog = net.open_session();
+  // The fail-fast can land while the hog is still injecting, in which
+  // case inject itself rethrows the session error — equally correct.
+  try {
+    for (int i = 0; i < 300; ++i) {
+      hog.input().inject(int_rec(i));
+    }
+  } catch (const SessionOverflowError&) {
+  }
+  hog.close();
+  EXPECT_THROW(hog.output().collect(), SessionOverflowError);
+  // The victim's handful of records stays far under the per-session cap.
+  for (int i = 0; i < 5; ++i) {
+    victim.input().inject(int_rec(1000 + i));
+  }
+  victim.close();
+  const auto out = victim.output().collect();
+  ASSERT_EQ(out.size(), 5U);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(value_as<int>(out[static_cast<std::size_t>(i)].field("x")),
+              1000 + i);
+  }
+  const SessionStats hog_row = stats_of(net, hog.id());
+  EXPECT_TRUE(hog_row.errored);
+  const SessionStats victim_row = stats_of(net, victim.id());
+  EXPECT_FALSE(victim_row.errored);
+  net.wait();
+}
+
+TEST(Session, SyncStorageChargesTheInteriorAccount) {
+  // Synchrocell slot storage is charged against the same per-session
+  // interior account as det buffering: with a FailFast cap of one record,
+  // the second *stored* (not merged, not passed-through) record errors
+  // the session.
+  Options o;
+  o.workers = 2;
+  o.det_capacity = 1;
+  o.det_overflow = OverflowPolicy::FailFast;
+  Network net(sync({"{a}", "{b}", "{c}"}), std::move(o));
+  Session s = net.open_session();
+  // {a} stores (charge 1, at the cap); {b} stores (charge 2 -- overflow).
+  Record ra;
+  ra.set_field(field_label("a"), make_value(1));
+  s.input().inject(std::move(ra));
+  Record rb;
+  rb.set_field(field_label("b"), make_value(2));
+  s.input().inject(std::move(rb));
+  s.close();
+  EXPECT_THROW(s.output().collect(), SessionOverflowError);
+  // The {a} record stored in the shared cell is evicted when its session
+  // fails fast (its accounting unwound), so the network still quiesces.
+  net.wait();
+}
+
+TEST(Session, ReleasedSessionsSyncSlotIsEvictedAndNetworkQuiesces) {
+  // A record stored in a synchrocell keeps its session live by design
+  // (the cell may fire later) — but when the handle is *released*, the
+  // dead tenant's contribution is evicted from the shared cell, so a
+  // forgotten session cannot wedge network quiescence through a cell
+  // that never fires.
+  Network net(sync({"{a}", "{b}"}), workers(2));
+  {
+    Session s = net.open_session();
+    Record ra;
+    ra.set_field(field_label("a"), make_value(1));
+    s.input().inject(std::move(ra));
+    // Dropped with {a} (possibly already) stored in the shared cell.
+  }
+  net.wait();
 }

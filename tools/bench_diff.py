@@ -34,6 +34,9 @@ import sys
 RATIO_METRICS = {
     "speedup_vs_legacy",
     "throughput_bounded_vs_unbounded",
+    # bench_fairness: fast sessions' aggregate throughput with one stalled
+    # slow peer vs. without it (per-session output credit isolation).
+    "fairness_fast_vs_solo",
 }
 # Metrics enforced only with --absolute: machine-dependent throughput.
 ABSOLUTE_METRICS = {"records_per_sec"}
