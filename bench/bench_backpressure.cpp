@@ -58,8 +58,14 @@ RunResult run_once(std::size_t bound, int records) {
   // consumer part of the flow-control loop.
   std::uint64_t consumed = 0;
   std::thread consumer([&net, &consumed] {
-    while (net.output().next().has_value()) {
-      ++consumed;
+    // Span-wise drain: the consumer is part of the flow-control loop, so
+    // its per-record cost is on the measured path — pop whole buffered
+    // spans (one lock + one credit release each) like a real streaming
+    // client would.
+    std::vector<Record> span;
+    while (std::size_t n = net.output().next_span(span)) {
+      consumed += n;
+      span.clear();
     }
   });
   for (int i = 0; i < records; ++i) {
@@ -85,15 +91,10 @@ RunResult run_once(std::size_t bound, int records) {
   return res;
 }
 
-RunResult best_of(int reps, std::size_t bound, int records) {
-  RunResult best = run_once(bound, records);
-  for (int i = 1; i < reps; ++i) {
-    const RunResult again = run_once(bound, records);
-    if (again.records_per_sec > best.records_per_sec) {
-      best = again;
-    }
+void keep_best(RunResult& best, const RunResult& again) {
+  if (again.records_per_sec > best.records_per_sec) {
+    best = again;
   }
-  return best;
 }
 
 }  // namespace
@@ -108,8 +109,16 @@ int main() {
   constexpr std::size_t kBound = 64;
   run_once(0, kRecords / 10);  // warmup
 
-  const RunResult unbounded = best_of(3, 0, kRecords);
-  const RunResult bounded = best_of(3, kBound, kRecords);
+  // Interleave the repetitions of the two legs: host noise drifts on the
+  // scale of whole runs, so back-to-back best-of blocks can hand one leg
+  // a quiet window the other never sees — alternating gives both legs the
+  // same weather and the ratio compares like with like.
+  RunResult unbounded = run_once(0, kRecords);
+  RunResult bounded = run_once(kBound, kRecords);
+  for (int i = 1; i < 5; ++i) {
+    keep_best(unbounded, run_once(0, kRecords));
+    keep_best(bounded, run_once(kBound, kRecords));
+  }
 
   const double peak_ratio =
       static_cast<double>(unbounded.peak_live) /

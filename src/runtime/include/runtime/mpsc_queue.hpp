@@ -17,13 +17,15 @@
 /// bounded by the emissions of one record per producer, never unbounded.
 ///
 /// The consumer side is only ever touched by the scheduler worker that is
-/// currently running the owning entity, so a mutex-protected deque is both
-/// simple and adequate (Core Guidelines CP.1/CP.2: correctness first; the
-/// queue is the *only* shared state, and the lock is held for O(1) work).
+/// currently running the owning entity, so a mutex-protected contiguous
+/// ring (vector + head index) is both simple and adequate (Core Guidelines
+/// CP.1/CP.2: correctness first; the queue is the *only* shared state, and
+/// the lock is held for O(1) amortised work). The vector storage exists for
+/// the batched paths: a full `drain_into` is an O(1) buffer swap, and
+/// `push_all` is a contiguous move — no per-element deque block churn.
 
 #include <algorithm>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -65,9 +67,44 @@ class MpscQueue {
   PushResult push(T value) {
     const std::lock_guard lock(mu_);
     PushResult res;
-    res.was_empty = items_.empty();
+    res.was_empty = len() == 0;
     items_.push_back(std::move(value));
-    res.congested = capacity_ != 0 && items_.size() >= capacity_;
+    res.congested = capacity_ != 0 && len() >= capacity_;
+    return res;
+  }
+
+  /// Batched push, the producer-side sibling of `drain_into`: moves every
+  /// element of \p values into the queue under one lock acquisition and
+  /// clears \p values. Like `push` the bound is soft — the batch always
+  /// lands in full (a producer flushing its emission buffer must not have
+  /// to unpick a half-accepted quantum) — and the result reports
+  /// emptiness before the batch and congestion after it, so the caller
+  /// wakes the consumer once and backs off once per batch instead of per
+  /// record.
+  PushResult push_all(std::vector<T>& values) {
+    PushResult res;
+    if (values.empty()) {
+      const std::lock_guard lock(mu_);
+      res.was_empty = len() == 0;
+      res.congested = capacity_ != 0 && len() >= capacity_;
+      return res;
+    }
+    {
+      const std::lock_guard lock(mu_);
+      res.was_empty = len() == 0;
+      if (res.was_empty && items_.capacity() < values.capacity()) {
+        // Empty queue: adopt the batch buffer outright — the producer's
+        // emission buffer and the inbox trade places instead of copying.
+        items_.clear();
+        head_ = 0;
+        items_.swap(values);
+      } else {
+        items_.insert(items_.end(), std::make_move_iterator(values.begin()),
+                      std::make_move_iterator(values.end()));
+      }
+      res.congested = capacity_ != 0 && len() >= capacity_;
+    }
+    values.clear();
     return res;
   }
 
@@ -76,7 +113,7 @@ class MpscQueue {
   /// injection (`InputPort::try_inject`) rather than by in-flight records.
   bool try_push(T& value) {
     const std::lock_guard lock(mu_);
-    if (capacity_ != 0 && items_.size() >= capacity_) {
+    if (capacity_ != 0 && len() >= capacity_) {
       return false;
     }
     items_.push_back(std::move(value));
@@ -91,22 +128,29 @@ class MpscQueue {
   /// waiters the drain made runnable.
   std::size_t drain_into(std::vector<T>& out, std::size_t max_n) {
     const std::lock_guard lock(mu_);
-    const std::size_t n = std::min(max_n, items_.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      out.push_back(std::move(items_.front()));
-      items_.pop_front();
+    const std::size_t n = std::min(max_n, len());
+    if (n == 0) {
+      return 0;
     }
+    if (out.empty() && head_ == 0 && n == items_.size()) {
+      // Full drain into an empty batch buffer: swap, O(1).
+      out.swap(items_);
+      return n;
+    }
+    out.insert(out.end(), std::make_move_iterator(items_.begin() + head_),
+               std::make_move_iterator(items_.begin() + head_ + n));
+    advance(n);
     return n;
   }
 
   /// Pops the oldest element if present.
   std::optional<T> try_pop() {
     const std::lock_guard lock(mu_);
-    if (items_.empty()) {
+    if (len() == 0) {
       return std::nullopt;
     }
-    std::optional<T> out(std::move(items_.front()));
-    items_.pop_front();
+    std::optional<T> out(std::move(items_[head_]));
+    advance(1);
     return out;
   }
 
@@ -119,13 +163,12 @@ class MpscQueue {
   /// outside the lock.
   std::optional<T> try_pop_collect(std::vector<std::function<void()>>& released) {
     const std::lock_guard lock(mu_);
-    if (items_.empty()) {
+    if (len() == 0) {
       return std::nullopt;
     }
-    std::optional<T> out(std::move(items_.front()));
-    items_.pop_front();
-    if (!waiters_.empty() &&
-        (capacity_ == 0 || items_.size() <= capacity_ / 2)) {
+    std::optional<T> out(std::move(items_[head_]));
+    advance(1);
+    if (!waiters_.empty() && (capacity_ == 0 || len() <= capacity_ / 2)) {
       released.insert(released.end(), std::make_move_iterator(waiters_.begin()),
                       std::make_move_iterator(waiters_.end()));
       waiters_.clear();
@@ -135,18 +178,18 @@ class MpscQueue {
 
   bool empty() const {
     const std::lock_guard lock(mu_);
-    return items_.empty();
+    return len() == 0;
   }
 
   std::size_t size() const {
     const std::lock_guard lock(mu_);
-    return items_.size();
+    return len();
   }
 
   /// True when bounded and currently at/over capacity.
   bool congested() const {
     const std::lock_guard lock(mu_);
-    return capacity_ != 0 && items_.size() >= capacity_;
+    return capacity_ != 0 && len() >= capacity_;
   }
 
   /// Credit protocol, producer side: registers \p cb to be fired once the
@@ -156,7 +199,7 @@ class MpscQueue {
   /// waiting. At most one firing per registration.
   bool wait_for_credit(std::function<void()> cb) {
     const std::lock_guard lock(mu_);
-    if (capacity_ == 0 || items_.size() < capacity_) {
+    if (capacity_ == 0 || len() < capacity_) {
       return false;
     }
     waiters_.push_back(std::move(cb));
@@ -169,7 +212,7 @@ class MpscQueue {
   /// re-enqueues a suspended entity into the scheduler.
   void take_released(std::vector<std::function<void()>>& out) {
     const std::lock_guard lock(mu_);
-    if (waiters_.empty() || (capacity_ != 0 && items_.size() > capacity_ / 2)) {
+    if (waiters_.empty() || (capacity_ != 0 && len() > capacity_ / 2)) {
       return;
     }
     out.insert(out.end(), std::make_move_iterator(waiters_.begin()),
@@ -178,8 +221,22 @@ class MpscQueue {
   }
 
  private:
+  std::size_t len() const { return items_.size() - head_; }
+
+  /// Consumes \p n elements from the front; resets the buffer once fully
+  /// drained so the dead prefix of moved-from slots never grows past one
+  /// producer burst.
+  void advance(std::size_t n) {
+    head_ += n;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+  }
+
   mutable std::mutex mu_;
-  std::deque<T> items_;
+  std::vector<T> items_;   // live elements are items_[head_..)
+  std::size_t head_ = 0;   // consumed prefix (moved-from slots)
   std::size_t capacity_ = 0;  // 0 = unbounded
   std::vector<std::function<void()>> waiters_;
 };

@@ -1,0 +1,102 @@
+#include "snet/copyplan.hpp"
+
+#include <algorithm>
+
+namespace snet::detail {
+
+namespace {
+
+CopyPlan::Op* find_op(std::vector<CopyPlan::Op>& ops, Label dest) {
+  // Output specs are a handful of labels; linear search beats a map here
+  // and keeps insertion order (declarations before inherits) trivial.
+  for (CopyPlan::Op& op : ops) {
+    if (op.dest == dest) {
+      return &op;
+    }
+  }
+  return nullptr;
+}
+
+void sort_ops(std::vector<CopyPlan::Op>& ops) {
+  std::sort(ops.begin(), ops.end(),
+            [](const CopyPlan::Op& a, const CopyPlan::Op& b) { return a.dest < b.dest; });
+}
+
+}  // namespace
+
+void CopyPlanBuilder::declare_field(Label dest, CopyPlan::Src src,
+                                    std::uint32_t idx) {
+  if (CopyPlan::Op* existing = find_op(fields_, dest)) {
+    existing->src = src;  // last writer wins, like a repeated set_field
+    existing->idx = idx;
+    return;
+  }
+  fields_.push_back(CopyPlan::Op{dest, src, idx, 0});
+}
+
+void CopyPlanBuilder::declare_tag(Label dest, CopyPlan::Src src,
+                                  std::uint32_t idx, std::int64_t cval) {
+  if (CopyPlan::Op* existing = find_op(tags_, dest)) {
+    existing->src = src;
+    existing->idx = idx;
+    existing->cval = cval;
+    return;
+  }
+  tags_.push_back(CopyPlan::Op{dest, src, idx, cval});
+}
+
+void CopyPlanBuilder::inherit_field(Label dest, std::uint32_t slot) {
+  if (find_op(fields_, dest) != nullptr) {
+    return;  // the specifier already produced this label
+  }
+  fields_.push_back(CopyPlan::Op{dest, CopyPlan::Src::kInField, slot, 0});
+}
+
+void CopyPlanBuilder::inherit_tag(Label dest, std::uint32_t slot) {
+  if (find_op(tags_, dest) != nullptr) {
+    return;
+  }
+  tags_.push_back(CopyPlan::Op{dest, CopyPlan::Src::kInTag, slot, 0});
+}
+
+CopyPlan CopyPlanBuilder::finish() {
+  CopyPlan plan;
+  plan.fields = std::move(fields_);
+  plan.tags = std::move(tags_);
+  sort_ops(plan.fields);
+  sort_ops(plan.tags);
+  std::vector<Label> labels;
+  labels.reserve(plan.fields.size() + plan.tags.size());
+  for (const CopyPlan::Op& op : plan.fields) {
+    labels.push_back(op.dest);
+  }
+  for (const CopyPlan::Op& op : plan.tags) {
+    labels.push_back(op.dest);
+  }
+  plan.shape = ShapeRegistry::instance().intern(std::move(labels));
+  return plan;
+}
+
+bool plan_is_identity(const CopyPlan& plan, const Record& in) {
+  if (plan.shape.id != in.shape() || plan.fields.size() != in.fields().size() ||
+      plan.tags.size() != in.tags().size()) {
+    return false;
+  }
+  // Equal shapes mean equal sorted label layouts, so op i writes slot i;
+  // identity additionally requires each slot to read from its own index.
+  for (std::size_t i = 0; i < plan.fields.size(); ++i) {
+    const CopyPlan::Op& op = plan.fields[i];
+    if (op.src != CopyPlan::Src::kInField || op.idx != i) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < plan.tags.size(); ++i) {
+    const CopyPlan::Op& op = plan.tags[i];
+    if (op.src != CopyPlan::Src::kInTag || op.idx != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace snet::detail

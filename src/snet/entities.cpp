@@ -25,6 +25,14 @@ void OutputEntity::on_record(Record r) {
     defer_record(s, std::move(r));
     return;
   }
+  if (batching()) {
+    // Stage for the quantum-end batch push: one buffer-lock acquisition
+    // and one client wakeup for the whole quantum. The staged record
+    // stays live until run_quantum's flush (after on_quantum_end), and
+    // push_output_batch keeps per-session FIFO for refusals.
+    staged_.push_back(std::move(r));
+    return;
+  }
   if (!try_push(r, /*from_deferred=*/false)) {
     // The session's output credit account is exhausted. Do NOT stall this
     // shared entity (that was the cross-session head-of-line block):
@@ -32,6 +40,23 @@ void OutputEntity::on_record(Record r) {
     // poke when the client replenishes the account.
     defer_record(s, std::move(r));
   }
+}
+
+void OutputEntity::on_quantum_end() {
+  if (staged_.empty()) {
+    return;
+  }
+  // One lock for the whole quantum's output. Refused records come back in
+  // arrival order with the refusal accounting (credit park, waiter
+  // registration) already done; they defer on the (entity, session) key
+  // exactly as a scalar refusal would.
+  refused_.clear();
+  net_.push_output_batch(staged_, this, refused_);
+  staged_.clear();
+  for (Record& r : refused_) {
+    defer_record(r.session_state(), std::move(r));
+  }
+  refused_.clear();
 }
 
 void OutputEntity::on_poke() {
@@ -179,37 +204,62 @@ void BoxEntity::emit(int variant, std::vector<BoxArg> args) {
                    " expects " + std::to_string(out_sig.labels.size()) +
                    " arguments, got " + std::to_string(args.size()));
   }
-  Record out;
+  // Argument validation stays per emission (the plan only knows layout);
+  // every position is checked, as the unplanned loop did, even ones a
+  // duplicate label later overwrites.
   for (std::size_t i = 0; i < args.size(); ++i) {
-    const Label l = out_sig.labels[i];
-    BoxArg& a = args[i];
-    if (l.kind == LabelKind::Tag) {
-      if (!a.is_integer) {
-        throw BoxError("box " + node_->name + " bound a payload to tag " +
-                       label_display(l));
-      }
-      out.set_tag(l, a.integer);
-    } else {
-      out.set_field(l, a.is_integer ? make_value(a.integer) : std::move(a.value));
+    if (out_sig.labels[i].kind == LabelKind::Tag && !args[i].is_integer) {
+      throw BoxError("box " + node_->name + " bound a payload to tag " +
+                     label_display(out_sig.labels[i]));
     }
   }
-  // Flow inheritance: "we retrieve excess fields and tags from incoming
+  // Flow inheritance ("we retrieve excess fields and tags from incoming
   // records and extend any output record produced in response to this very
   // input record by these fields and tags, unless some label is already
-  // present in the output record".
-  const RecordType& consumed = input_type_;
-  for (const auto& [label, value] : current_->fields()) {
-    if (!consumed.contains(label) && !out.has_field(label)) {
-      out.set_field(label, value);
-    }
-  }
-  for (const auto& [label, value] : current_->tags()) {
-    if (!consumed.contains(label) && !out.has_tag(label)) {
-      out.set_tag(label, value);
-    }
-  }
-  out.inherit_meta(*current_);
+  // present in the output record") is compiled per input shape: the
+  // contains probes and sorted inserts ran once, in compile_emit_plans.
+  const auto plans =
+      emit_plans_.get_or(current_->shape(), [&] { return compile_emit_plans(); });
+  const CopyPlan& plan = (*plans)[static_cast<std::size_t>(variant - 1)];
+  Record out = apply_copy_plan(
+      plan, *current_,
+      [&](std::uint32_t idx) {
+        BoxArg& a = args[idx];
+        return a.is_integer ? make_value(a.integer) : std::move(a.value);
+      },
+      [&](std::uint32_t idx) { return args[idx].integer; });
   send(succ_, std::move(out));
+}
+
+std::shared_ptr<const std::vector<CopyPlan>> BoxEntity::compile_emit_plans() const {
+  auto plans = std::make_shared<std::vector<CopyPlan>>();
+  plans->reserve(node_->sig.outputs.size());
+  for (const SigVariant& out_sig : node_->sig.outputs) {
+    CopyPlanBuilder b;
+    for (std::size_t i = 0; i < out_sig.labels.size(); ++i) {
+      const Label l = out_sig.labels[i];
+      if (l.kind == LabelKind::Tag) {
+        b.declare_tag(l, CopyPlan::Src::kExt, static_cast<std::uint32_t>(i));
+      } else {
+        b.declare_field(l, CopyPlan::Src::kExt, static_cast<std::uint32_t>(i));
+      }
+    }
+    const RecordType& consumed = input_type_;
+    for (std::size_t i = 0; i < current_->fields().size(); ++i) {
+      const Label l = current_->fields()[i].first;
+      if (!consumed.contains(l)) {
+        b.inherit_field(l, static_cast<std::uint32_t>(i));
+      }
+    }
+    for (std::size_t i = 0; i < current_->tags().size(); ++i) {
+      const Label l = current_->tags()[i].first;
+      if (!consumed.contains(l)) {
+        b.inherit_tag(l, static_cast<std::uint32_t>(i));
+      }
+    }
+    plans->push_back(b.finish());
+  }
+  return plans;
 }
 
 // ---------------------------------------------------------------- Filter
@@ -219,16 +269,43 @@ FilterEntity::FilterEntity(Network& net, std::string name, Net node,
     : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor) {}
 
 void FilterEntity::on_record(Record r) {
-  // Memoize the pattern's type match per shape; the guard (tag values)
-  // cannot be memoized and is evaluated per record. The non-matching path
-  // goes through apply() so the error is identical to the unmemoized one.
+  // One memo lookup settles both the pattern's type match and the
+  // compiled plans for this shape (null = type mismatch). The guard (tag
+  // values) cannot be memoized and is evaluated per record; both the
+  // mismatch and the guard-failure path go through apply() so the error
+  // is identical to the unmemoized one.
+  // Scalar ablation mode: the pre-PR per-record path — type match plus
+  // per-label output construction on every record, no compiled plans.
+  if (!batching()) {
+    std::vector<Record> produced = node_->filter->apply(r);
+    for (auto& out : produced) {
+      send(succ_, std::move(out));
+    }
+    return;
+  }
   const Pattern& pat = node_->filter->pattern();
-  const bool type_ok =
-      type_match_.get_or(r.shape(), [&] { return pat.type.matches(r); });
-  std::vector<Record> produced =
-      type_ok && (!pat.guard || pat.guard->eval_bool(r))
-          ? node_->filter->apply_matched(r)
-          : node_->filter->apply(r);
+  const auto plans = plans_.get_or(
+      r.shape(), [&]() -> std::shared_ptr<const FilterSpec::Compiled> {
+        if (!pat.type.matches(r)) {
+          return nullptr;
+        }
+        return std::make_shared<const FilterSpec::Compiled>(
+            node_->filter->compile(r));
+      });
+  if (plans != nullptr && (!pat.guard || pat.guard->eval_bool(r))) {
+    if (plans->outputs.size() == 1 && plans->outputs[0].identity) {
+      // Identity plan: the output record *is* the input record — forward
+      // it by move, no assembly at all.
+      send(succ_, std::move(r));
+      return;
+    }
+    std::vector<Record> produced = node_->filter->apply_planned(r, *plans);
+    for (auto& out : produced) {
+      send(succ_, std::move(out));
+    }
+    return;
+  }
+  std::vector<Record> produced = node_->filter->apply(r);
   for (auto& out : produced) {
     send(succ_, std::move(out));
   }

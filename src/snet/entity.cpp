@@ -1,5 +1,7 @@
 #include "snet/entity.hpp"
 
+#include <algorithm>
+
 #include "snet/detscope.hpp"
 #include "snet/network.hpp"
 
@@ -7,6 +9,17 @@ namespace snet {
 
 Entity::Entity(Network& net, std::string name) : net_(net), name_(std::move(name)) {
   inbox_.set_capacity(net_.inbox_capacity());
+  batching_ = net_.batching();
+  // Bounded inboxes keep batches small so the occupancy ceiling the stall
+  // protocol guarantees (inbox bound + one quantum of overshoot) still
+  // holds with emissions and consume decrements deferred to the flush:
+  // buffered emissions + consumed-but-unsubbed records stay within one
+  // quantum. Unbounded inboxes amortise harder.
+  const std::size_t cap = net_.inbox_capacity();
+  const unsigned quantum = net_.drr_grant();
+  flush_threshold_ =
+      cap == 0 ? std::max<std::size_t>(256, quantum)
+               : std::max<std::size_t>(1, std::min<std::size_t>(cap / 2, quantum));
 }
 
 void Entity::schedule_after_push() {
@@ -64,6 +77,19 @@ bool Entity::try_deliver(Message& m) {
   }
   schedule_after_push();
   return true;
+}
+
+bool Entity::deliver_all(std::vector<Message>& msgs) {
+  if (net_.tracing()) {
+    for (const Message& m : msgs) {
+      if (m.kind == Message::Kind::Rec) {
+        net_.trace_record(*this, m.rec);
+      }
+    }
+  }
+  const auto res = inbox_.push_all(msgs);
+  schedule_after_push();
+  return res.congested;
 }
 
 bool Entity::await_inbox_credit(Entity* producer) {
@@ -151,6 +177,7 @@ void Entity::run_quantum(unsigned max_messages) {
   // Process the batch up to the quantum end or a stall request — a stall
   // leaves the remainder in batch_ (resume point batch_pos_), so nothing
   // is re-ordered or lost across a suspension.
+  std::uint64_t quantum_in = 0;
   while (batch_pos_ < batch_.size() && !stall_gate_) {
     Message& msg = batch_[batch_pos_++];
     if (msg.kind == Message::Kind::Poke) {
@@ -161,35 +188,71 @@ void Entity::run_quantum(unsigned max_messages) {
       }
       continue;
     }
-    in_count_.fetch_add(1, std::memory_order_relaxed);
+    ++quantum_in;
     Record r = std::move(msg.rec);
     // The stamp stack and session as the record arrived: the consume
     // decrements below must target exactly these even if on_record
-    // rewrites the record's metadata.
-    const std::vector<DetStamp> stamps = r.det_stack();
+    // rewrites the record's metadata. stamp_scratch_ is a reused member —
+    // no per-record heap copy, and nothing at all for unstamped records.
+    stamp_scratch_.clear();
+    if (!r.det_stack().empty()) {
+      stamp_scratch_.assign(r.det_stack().begin(), r.det_stack().end());
+    }
     SessionState* const session = r.session_state();
     try {
       on_record(std::move(r));
     } catch (...) {
       net_.fail(std::current_exception());
     }
-    // Consume decrement: emissions were counted eagerly in send(), so the
-    // group count can never transiently drop to zero while descendants of
-    // this record are still in flight. Guarded: a det-scope invariant
-    // violation must fail the network, not escape into the worker thread.
-    try {
-      for (const auto& s : stamps) {
-        s.scope->adjust(s.seq, -1);
+    if (batching_) {
+      // Consume decrements coalesce into the flush accumulators; they are
+      // applied in flush_all() *after* this batch's emissions are pushed,
+      // preserving the never-transiently-zero group invariant.
+      for (const auto& s : stamp_scratch_) {
+        det_delta_sub(s.scope, s.seq);
       }
-    } catch (...) {
-      net_.fail(std::current_exception());
+      live_delta_sub(session);
+    } else {
+      // Scalar consume decrement: emissions were counted eagerly in
+      // send(), so the group count can never transiently drop to zero
+      // while descendants of this record are still in flight. Guarded: a
+      // det-scope invariant violation must fail the network, not escape
+      // into the worker thread.
+      try {
+        for (const auto& s : stamp_scratch_) {
+          s.scope->adjust(s.seq, -1);
+        }
+      } catch (...) {
+        net_.fail(std::current_exception());
+      }
+      net_.live_sub(session, 1);
     }
-    net_.live_sub(session, 1);
   }
   if (batch_pos_ >= batch_.size()) {
     batch_.clear();  // drop payloads before parking, not at the next quantum
     batch_pos_ = 0;
   }
+  // Quantum end: let staging entities complete their batches, then flush
+  // buffered emissions and coalesced accounting — unconditionally, and in
+  // particular *before* a stall parks the entity, so a parked entity owns
+  // no buffered records and no unapplied decrements.
+  try {
+    on_quantum_end();
+  } catch (...) {
+    net_.fail(std::current_exception());
+  }
+  // Publish the quantum's counter deltas in two relaxed RMWs instead of
+  // one per record — *before* flush_all: the flush applies the live-count
+  // decrements that let a quiescence-gated stats reader proceed, so the
+  // counters must already be visible by then.
+  if (quantum_in != 0) {
+    in_count_.fetch_add(quantum_in, std::memory_order_relaxed);
+  }
+  if (quantum_out_ != 0) {
+    out_count_.fetch_add(quantum_out_, std::memory_order_relaxed);
+    quantum_out_ = 0;
+  }
+  flush_all();
   if (stall_gate_) {
     // Suspension: park as stalled *before* registering with the credit
     // source, so a release racing the registration finds the state it
@@ -223,7 +286,16 @@ void Entity::run_quantum(unsigned max_messages) {
 
 void Entity::send(Entity* target, Record r) {
   ++emitted_in_step_;
-  out_count_.fetch_add(1, std::memory_order_relaxed);
+  ++quantum_out_;
+  if (batching_) {
+    // Group/live increments accumulate with the staged message; flush_all
+    // applies them immediately before the record becomes visible
+    // downstream — eager relative to visibility, exactly like the scalar
+    // path, just batched.
+    note_emit_accounting(r);
+    buffer_message(target, Message::record(std::move(r)));
+    return;
+  }
   // Eager group increments (see run_quantum) before the record becomes
   // visible downstream.
   for (const auto& s : r.det_stack()) {
@@ -239,13 +311,149 @@ void Entity::send(Entity* target, Record r) {
 }
 
 void Entity::transfer(Entity* target, Record r) {
-  out_count_.fetch_add(1, std::memory_order_relaxed);
+  ++quantum_out_;
+  if (batching_) {
+    buffer_message(target, Message::record(std::move(r)));
+    return;
+  }
   const bool congested = target->deliver(Message::record(std::move(r)));
   if (congested && target != this) {
     request_stall([target](Entity* producer) {
       return target->await_inbox_credit(producer);
     });
   }
+}
+
+void Entity::buffer_message(Entity* target, Message m) {
+  // Emissions run in target bursts (a quantum's records mostly route the
+  // same way), so try the previous buffer before scanning.
+  EmitBuffer* buf = nullptr;
+  if (last_buf_ < emit_bufs_.size() && emit_bufs_[last_buf_].target == target) {
+    buf = &emit_bufs_[last_buf_];
+  } else {
+    for (std::size_t i = 0; i < emit_bufs_.size(); ++i) {
+      if (emit_bufs_[i].target == target) {
+        buf = &emit_bufs_[i];
+        last_buf_ = i;
+        break;
+      }
+    }
+    if (buf == nullptr) {
+      emit_bufs_.push_back(EmitBuffer{target, {}});
+      last_buf_ = emit_bufs_.size() - 1;
+      buf = &emit_bufs_.back();
+    }
+  }
+  buf->msgs.push_back(std::move(m));
+  if (++emit_pending_ >= flush_threshold_) {
+    flush_all();
+  }
+}
+
+void Entity::note_emit_accounting(const Record& r) {
+  for (const auto& s : r.det_stack()) {
+    det_delta_add(s.scope, s.seq);
+  }
+  live_delta_add(r.session_state());
+}
+
+void Entity::det_delta_add(DetScope* scope, std::uint64_t seq) {
+  for (DetDelta& d : det_deltas_) {
+    if (d.scope == scope && d.seq == seq) {
+      ++d.add;
+      return;
+    }
+  }
+  det_deltas_.push_back(DetDelta{scope, seq, 1, 0});
+}
+
+void Entity::det_delta_sub(DetScope* scope, std::uint64_t seq) {
+  for (DetDelta& d : det_deltas_) {
+    if (d.scope == scope && d.seq == seq) {
+      ++d.sub;
+      return;
+    }
+  }
+  det_deltas_.push_back(DetDelta{scope, seq, 0, 1});
+}
+
+void Entity::live_delta_add(SessionState* session) {
+  for (LiveDelta& l : live_deltas_) {
+    if (l.session == session) {
+      ++l.add;
+      return;
+    }
+  }
+  live_deltas_.push_back(LiveDelta{session, 1, 0});
+}
+
+void Entity::live_delta_sub(SessionState* session) {
+  for (LiveDelta& l : live_deltas_) {
+    if (l.session == session) {
+      ++l.sub;
+      return;
+    }
+  }
+  live_deltas_.push_back(LiveDelta{session, 0, 1});
+}
+
+void Entity::flush_all() {
+  if (emit_pending_ == 0 && det_deltas_.empty() && live_deltas_.empty()) {
+    return;
+  }
+  // 1. Emission-side increments, before any staged record becomes visible
+  //    (a consumer finishing the record before our accounting lands would
+  //    otherwise drain a group or the live count to zero transiently).
+  try {
+    for (DetDelta& d : det_deltas_) {
+      if (d.add != 0) {
+        d.scope->adjust(d.seq, d.add);
+        d.add = 0;
+      }
+    }
+  } catch (...) {
+    net_.fail(std::current_exception());
+  }
+  for (LiveDelta& l : live_deltas_) {
+    if (l.add != 0) {
+      net_.live_add(l.session, l.add);
+      l.add = 0;
+    }
+  }
+  // 2. One bounded push per (target, flush); the buffers preserve emission
+  //    order per target. A congested bounded target requests a stall, as
+  //    the per-record deliver did.
+  for (EmitBuffer& buf : emit_bufs_) {
+    if (buf.msgs.empty()) {
+      continue;
+    }
+    Entity* const target = buf.target;
+    const bool congested = target->deliver_all(buf.msgs);
+    if (congested && target != this) {
+      request_stall([target](Entity* producer) {
+        return target->await_inbox_credit(producer);
+      });
+    }
+  }
+  emit_pending_ = 0;
+  // 3. Consume-side decrements, now that every descendant emitted by this
+  //    batch is visible and counted.
+  try {
+    for (DetDelta& d : det_deltas_) {
+      if (d.sub != 0) {
+        d.scope->adjust(d.seq, -d.sub);
+      }
+    }
+  } catch (...) {
+    net_.fail(std::current_exception());
+  }
+  det_deltas_.clear();
+  for (LiveDelta& l : live_deltas_) {
+    if (l.sub != 0) {
+      net_.live_sub(l.session, l.sub);
+    }
+  }
+  live_deltas_.clear();
 }
 
 }  // namespace snet

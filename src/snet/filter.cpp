@@ -109,6 +109,100 @@ std::vector<Record> FilterSpec::apply_matched(const Record& in) const {
   return produced;
 }
 
+FilterSpec::Compiled FilterSpec::compile(const Record& in) const {
+  // Slot positions are a property of the input *shape*: records with the
+  // same ShapeId keep fields_/tags_ sorted identically, so indices found
+  // against this representative record hold for every record of the shape.
+  const auto field_slot = [&](Label l) {
+    for (std::size_t i = 0; i < in.fields().size(); ++i) {
+      if (in.fields()[i].first == l) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    throw FilterError("filter compile: record " + in.to_string() +
+                      " lacks pattern field " + label_display(l));
+  };
+  const auto tag_slot = [&](Label l) {
+    for (std::size_t i = 0; i < in.tags().size(); ++i) {
+      if (in.tags()[i].first == l) {
+        return static_cast<std::uint32_t>(i);
+      }
+    }
+    throw FilterError("filter compile: record " + in.to_string() +
+                      " lacks pattern tag " + label_display(l));
+  };
+  Compiled compiled;
+  compiled.outputs.reserve(outputs_.size());
+  for (const auto& out_spec : outputs_) {
+    detail::CopyPlanBuilder b;
+    for (std::size_t i = 0; i < out_spec.items.size(); ++i) {
+      const Item& item = out_spec.items[i];
+      switch (item.kind) {
+        case Item::Kind::CopyField:
+          b.declare_field(item.target, detail::CopyPlan::Src::kInField,
+                          field_slot(item.target));
+          break;
+        case Item::Kind::BindField:
+          b.declare_field(item.target, detail::CopyPlan::Src::kInField,
+                          field_slot(item.source));
+          break;
+        case Item::Kind::CopyTag:
+          // Present in this shape: a slot copy. Absent: the zero default
+          // ("tag values are set to zero by default"), compiled to a
+          // constant for the shape.
+          if (in.has_tag(item.target)) {
+            b.declare_tag(item.target, detail::CopyPlan::Src::kInTag,
+                          tag_slot(item.target));
+          } else {
+            b.declare_tag(item.target, detail::CopyPlan::Src::kConst, 0, 0);
+          }
+          break;
+        case Item::Kind::SetTag:
+          // The expression reads live tag values; only its landing slot is
+          // compiled. idx points back into this output's item list.
+          b.declare_tag(item.target, detail::CopyPlan::Src::kExt,
+                        static_cast<std::uint32_t>(i));
+          break;
+      }
+    }
+    // Flow inheritance, resolved per shape instead of per record.
+    for (std::size_t i = 0; i < in.fields().size(); ++i) {
+      const Label l = in.fields()[i].first;
+      if (!pattern_.type.contains(l)) {
+        b.inherit_field(l, static_cast<std::uint32_t>(i));
+      }
+    }
+    for (std::size_t i = 0; i < in.tags().size(); ++i) {
+      const Label l = in.tags()[i].first;
+      if (!pattern_.type.contains(l)) {
+        b.inherit_tag(l, static_cast<std::uint32_t>(i));
+      }
+    }
+    detail::CopyPlan plan = b.finish();
+    plan.identity = detail::plan_is_identity(plan, in);
+    compiled.outputs.push_back(std::move(plan));
+  }
+  return compiled;
+}
+
+std::vector<Record> FilterSpec::apply_planned(const Record& in,
+                                              const Compiled& plans) const {
+  std::vector<Record> produced;
+  produced.reserve(plans.outputs.size());
+  for (std::size_t i = 0; i < plans.outputs.size(); ++i) {
+    const auto& items = outputs_[i].items;
+    produced.push_back(detail::apply_copy_plan(
+        plans.outputs[i], in,
+        [&](std::uint32_t) -> Value {
+          // Filters have no external field sources; a plan op claiming one
+          // is a compile bug.
+          throw FilterError("filter plan: unexpected external field source");
+        },
+        [&](std::uint32_t idx) { return items[idx].expr.eval(in); }));
+  }
+  return produced;
+}
+
 MultiType FilterSpec::output_type() const {
   std::vector<RecordType> variants;
   variants.reserve(outputs_.size());

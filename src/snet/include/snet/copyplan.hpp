@@ -1,0 +1,118 @@
+#ifndef SNETSAC_SNET_COPYPLAN_HPP
+#define SNETSAC_SNET_COPYPLAN_HPP
+
+/// \file copyplan.hpp (internal)
+/// Shape-compiled copy plans for record emission. Box flow inheritance and
+/// filter specifiers both build their output records with per-label
+/// `contains` probes and sorted-insert `set_field`/`set_tag` calls — per
+/// record, even though the *layout* of the result depends only on the
+/// input record's ShapeId. A CopyPlan compiles that layout once per
+/// (input shape, output spec): a flat list of (source → destination slot)
+/// moves plus the pre-interned ShapeRef of the produced label set, so
+/// steady-state emission is a straight-line copy into
+/// `Record::assemble` with no set probes and no shape transitions.
+///
+/// `kExt` sources are resolved by the caller per record — a filter's tag
+/// expression still evaluates against live tag values, a box emission
+/// still takes its arguments from the box function — the plan only fixes
+/// *which output slot* they land in.
+///
+/// Plans are immutable once built; the per-entity caches that hold them
+/// (a ShapeMemo keyed by input shape) are single-worker by the entity
+/// execution model, like every other route table.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "snet/labels.hpp"
+#include "snet/record.hpp"
+#include "snet/shapes.hpp"
+#include "snet/value.hpp"
+
+namespace snet::detail {
+
+struct CopyPlan {
+  enum class Src : std::uint8_t {
+    kInField,  ///< copy the input record's field slot `idx`
+    kInTag,    ///< copy the input record's tag slot `idx`
+    kConst,    ///< the constant `cval` (a filter's bare new tag: zero)
+    kExt,      ///< caller-resolved source `idx` (tag expression, box arg)
+  };
+  struct Op {
+    Label dest;
+    Src src = Src::kConst;
+    std::uint32_t idx = 0;
+    std::int64_t cval = 0;
+  };
+  std::vector<Op> fields;  ///< sorted by dest label, unique
+  std::vector<Op> tags;    ///< sorted by dest label, unique
+  ShapeRef shape;          ///< interned shape of the produced label set
+  /// True when replaying this plan reproduces the input record verbatim
+  /// (same shape, every op a same-slot kIn move) — the caller may forward
+  /// the input by move instead of assembling a copy. Identity filters and
+  /// pass-through flow inheritance hit this constantly.
+  bool identity = false;
+};
+
+/// Computes CopyPlan::identity for a plan compiled against \p in's shape.
+bool plan_is_identity(const CopyPlan& plan, const Record& in);
+
+/// Builds one CopyPlan. Declared ops go first (`declare_*`; a later
+/// declaration of the same label overwrites — matching the
+/// set_field/set_tag last-writer-wins semantics of the uncompiled loops);
+/// flow-inherited input slots follow (`inherit_*`, skipped when the label
+/// was already declared — the paper's "unless some label is already
+/// present in the output record" rule). `finish()` sorts both lists by
+/// destination label and interns the produced shape.
+class CopyPlanBuilder {
+ public:
+  void declare_field(Label dest, CopyPlan::Src src, std::uint32_t idx);
+  void declare_tag(Label dest, CopyPlan::Src src, std::uint32_t idx,
+                   std::int64_t cval = 0);
+  void inherit_field(Label dest, std::uint32_t slot);
+  void inherit_tag(Label dest, std::uint32_t slot);
+  CopyPlan finish();
+
+ private:
+  std::vector<CopyPlan::Op> fields_;
+  std::vector<CopyPlan::Op> tags_;
+};
+
+/// Replays \p plan against \p in: kExt sources resolve through the
+/// callables (`ext_field(idx) -> Value`, `ext_tag(idx) -> int64`), and
+/// the result inherits \p in's runtime metadata (det stamps, session) —
+/// exactly what the uncompiled emission paths did with inherit_meta.
+template <class ExtField, class ExtTag>
+Record apply_copy_plan(const CopyPlan& plan, const Record& in,
+                       ExtField&& ext_field, ExtTag&& ext_tag) {
+  std::vector<std::pair<Label, Value>> fields;
+  fields.reserve(plan.fields.size());
+  for (const CopyPlan::Op& op : plan.fields) {
+    fields.emplace_back(op.dest, op.src == CopyPlan::Src::kInField
+                                     ? in.fields()[op.idx].second
+                                     : ext_field(op.idx));
+  }
+  std::vector<std::pair<Label, std::int64_t>> tags;
+  tags.reserve(plan.tags.size());
+  for (const CopyPlan::Op& op : plan.tags) {
+    switch (op.src) {
+      case CopyPlan::Src::kInTag:
+        tags.emplace_back(op.dest, in.tags()[op.idx].second);
+        break;
+      case CopyPlan::Src::kConst:
+        tags.emplace_back(op.dest, op.cval);
+        break;
+      default:
+        tags.emplace_back(op.dest, ext_tag(op.idx));
+        break;
+    }
+  }
+  Record out = Record::assemble(std::move(fields), std::move(tags), plan.shape);
+  out.inherit_meta(in);
+  return out;
+}
+
+}  // namespace snet::detail
+
+#endif

@@ -37,11 +37,19 @@ class OutputEntity final : public Entity {
  protected:
   void on_record(Record r) override;
   void on_poke() override;
+  void on_quantum_end() override;
 
  private:
   /// push_output retry shared by the direct path and the deferred flush
   /// (the session resolves from the record's stamp).
   bool try_push(Record& r, bool from_deferred);
+
+  /// Batched mode: records staged across the quantum, handed to
+  /// Network::push_output_batch in one buffer-lock acquisition at quantum
+  /// end (on_quantum_end runs before run_quantum's flush retires the
+  /// records' live counts, so staged records are never dead). Worker-only.
+  std::vector<Record> staged_;
+  std::vector<Record> refused_;  // push_output_batch overflow, reused
 };
 
 /// Head of the network: drains the per-session input staging queues into
@@ -82,10 +90,19 @@ class BoxEntity final : public Entity, private BoxOutput {
   void emit(int variant, std::vector<BoxArg> args) override;
 
  private:
+  /// Compiles every output variant's emission layout (declared labels →
+  /// box-arg slots, flow-inherited input slots) against the current input
+  /// record's shape.
+  std::shared_ptr<const std::vector<CopyPlan>> compile_emit_plans() const;
+
   Net node_;
   Entity* succ_;
   RecordType input_type_;  // set view of the declared input (hoisted)
   const Record* current_ = nullptr;  // input being processed (for inheritance)
+  /// Per-input-shape emission plans, one per output variant: the flow
+  /// inheritance loops (per-label contains probes + sorted inserts) run
+  /// once per shape, then every emission is a flat slot copy.
+  ShapeMemo<std::shared_ptr<const std::vector<CopyPlan>>> emit_plans_;
 };
 
 /// A filter instance.
@@ -99,9 +116,12 @@ class FilterEntity final : public Entity {
  private:
   Net node_;
   Entity* succ_;
-  /// Per-shape memo of the pattern's *type* match (guards, which depend on
-  /// tag values rather than the label set, are evaluated per record).
-  ShapeMemo<bool> type_match_;
+  /// Per-shape memo fusing the pattern's *type* match with the compiled
+  /// copy plans: null means the type does not match (the record falls back
+  /// to apply() for the unmemoized error), non-null replays the compiled
+  /// specifier + flow inheritance as flat slot moves. Guards, which depend
+  /// on tag values rather than the label set, are evaluated per record.
+  ShapeMemo<std::shared_ptr<const FilterSpec::Compiled>> plans_;
 };
 
 /// Parallel-composition dispatcher: best-match routing over branch input

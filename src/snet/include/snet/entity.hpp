@@ -20,7 +20,16 @@
 ///    message boundary, parks without occupying a worker, and is
 ///    re-queued into the scheduler when the consumer drains the inbox
 ///    below the release watermark. A pool thread is never blocked; the
-///    suspension is a state transition, not a wait, and
+///    suspension is a state transition, not a wait,
+///  * batched emission: with `Options::batching` on, send()/transfer()
+///    stage messages in per-target buffers and the matching live/det
+///    increments and consume decrements in per-key delta accumulators;
+///    flush_all() applies the increments, pushes each buffer with one
+///    bounded push_all per (target, flush), and applies the decrements —
+///    one inbox lock and one bookkeeping adjustment per batch instead of
+///    one per record. Flushes happen at a bounded threshold and at every
+///    quantum exit, *before* a stall parks the entity, so order and
+///    accounting survive suspensions exactly as in the scalar path, and
 ///  * session-keyed record deferral: an entity serving many client
 ///    sessions (the output demux) can park records on an *(entity,
 ///    session)* credit key instead of stalling wholesale — records of the
@@ -67,6 +76,11 @@ class Entity {
   /// as with deliver().
   bool try_deliver(Message& m);
 
+  /// Batched deliver: traces and enqueues every message under a single
+  /// inbox lock (push_all), then runs the scheduling handshake once.
+  /// \p msgs is left empty. Thread-safe, same contract as deliver().
+  bool deliver_all(std::vector<Message>& msgs);
+
   /// Scheduler side: process up to \p max_messages; must only be invoked
   /// by the scheduler after the entity transitioned to queued state.
   void run_quantum(unsigned max_messages);
@@ -98,6 +112,11 @@ class Entity {
   virtual void on_record(Record r) = 0;
   /// Handles a control poke (det group completion, stall resumption...).
   virtual void on_poke() {}
+  /// Runs at the end of every quantum, before the emission buffers are
+  /// flushed and before a requested stall parks the entity. Entities that
+  /// stage work across the records of a quantum (the output demux's
+  /// session batches) complete it here.
+  virtual void on_quantum_end() {}
 
   /// Emits a derived record downstream: counted as an emission of the
   /// record currently being consumed (det accounting, live accounting).
@@ -121,6 +140,11 @@ class Entity {
   /// True once the current quantum has a pending suspension — long
   /// release loops (det collectors) should yield when they see this.
   bool stall_requested() const { return static_cast<bool>(stall_gate_); }
+
+  /// True when the network runs with batched emission (Options::batching);
+  /// entities that stage per-quantum work (the output demux) key their
+  /// behaviour off this.
+  bool batching() const { return batching_; }
 
   // --- (entity, session) deferral --------------------------------------
   // Per-session parking for entities that must not stall wholesale when a
@@ -153,6 +177,51 @@ class Entity {
   /// Fires credit waiters the last drain made runnable.
   void release_inbox_credit();
 
+  // --- batched emission (see file comment) ------------------------------
+  // All of this is only touched by the single worker currently running
+  // the entity.
+
+  /// Per-target staging buffer; flush order is first-use order, and
+  /// within a target the buffer preserves emission order, so per-session
+  /// FIFO and det order are exactly those of the scalar path.
+  struct EmitBuffer {
+    Entity* target;
+    std::vector<Message> msgs;
+  };
+  /// Coalesced det-group adjustments for one flush: `add` counts
+  /// emissions (applied before the pushes), `sub` counts consumed records
+  /// (applied after), so a group's count never transiently drops to zero
+  /// while descendants are in flight — the same invariant the eager
+  /// scalar ordering (+1 on emit before visibility, -1 after consume)
+  /// guarantees record by record.
+  struct DetDelta {
+    DetScope* scope;
+    std::uint64_t seq;
+    std::int64_t add = 0;
+    std::int64_t sub = 0;
+  };
+  /// Coalesced live-record accounting, same add/sub split per session.
+  struct LiveDelta {
+    SessionState* session;
+    std::int64_t add = 0;
+    std::int64_t sub = 0;
+  };
+
+  /// Stages a message for \p target, flushing when the buffered total
+  /// reaches the threshold.
+  void buffer_message(Entity* target, Message m);
+  /// Accumulates the emission-side accounting of \p r (det +1 per stamp,
+  /// live +1 for its session).
+  void note_emit_accounting(const Record& r);
+  void det_delta_add(DetScope* scope, std::uint64_t seq);
+  void det_delta_sub(DetScope* scope, std::uint64_t seq);
+  void live_delta_add(SessionState* session);
+  void live_delta_sub(SessionState* session);
+  /// Applies pending increments, pushes every buffer (one push_all per
+  /// target; a congested bounded target requests a stall), then applies
+  /// pending decrements and clears the accumulators.
+  void flush_all();
+
   std::string name_;
   snetsac::runtime::MpscQueue<Message> inbox_;
   /// Quantum drain buffer (reused across quanta; only the worker currently
@@ -166,6 +235,22 @@ class Entity {
   /// currently running the entity (like batch_).
   std::unordered_map<SessionState*, std::deque<Record>> deferred_;
   std::size_t deferred_total_ = 0;
+
+  /// Batched-emission state (worker-only, like batch_). The delta vectors
+  /// are linear-scanned: a quantum touches a handful of (scope, seq) and
+  /// session keys, and the vectors are reused so steady state allocates
+  /// nothing.
+  bool batching_ = true;
+  std::size_t flush_threshold_ = 256;
+  std::vector<EmitBuffer> emit_bufs_;
+  std::size_t emit_pending_ = 0;
+  std::size_t last_buf_ = 0;  // index of the most recent emission target
+  std::vector<DetDelta> det_deltas_;
+  std::vector<LiveDelta> live_deltas_;
+  /// Reused stamp snapshot of the record being consumed — replaces the
+  /// per-record heap copy the scalar loop used to make (skipped entirely
+  /// for unstamped records).
+  std::vector<DetStamp> stamp_scratch_;
 
   /// Set while a quantum is processing; honoured at the next message
   /// boundary. Only touched by the worker currently running the entity.
@@ -186,6 +271,11 @@ class Entity {
 
   // Only touched by the single worker currently running the entity.
   std::uint64_t emitted_in_step_ = 0;
+
+  /// Emissions since the last counter publish; send/transfer bump this
+  /// plain counter and run_quantum folds it into out_count_ once per
+  /// quantum — stats stay atomic reads without a per-record RMW.
+  std::uint64_t quantum_out_ = 0;
 
   std::atomic<std::uint64_t> in_count_{0};
   std::atomic<std::uint64_t> out_count_{0};

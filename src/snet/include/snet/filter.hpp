@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "snet/copyplan.hpp"
 #include "snet/pattern.hpp"
 #include "snet/record.hpp"
 #include "snet/tagexpr.hpp"
@@ -57,8 +58,26 @@ class FilterSpec {
 
   /// Applies the filter to a record the caller has already matched against
   /// the pattern (e.g. via a shape-memoized route table). Precondition:
-  /// `pattern().matches(in)`.
+  /// `pattern().matches(in)`. This is the uncompiled per-label reference
+  /// path; the runtime's hot path goes through compile/apply_planned.
   std::vector<Record> apply_matched(const Record& in) const;
+
+  /// One compiled copy plan per output specifier, valid for every record
+  /// whose shape equals the compiling record's shape.
+  struct Compiled {
+    std::vector<detail::CopyPlan> outputs;
+  };
+
+  /// Compiles the specifier-plus-flow-inheritance loops against \p in's
+  /// shape: every produced label resolves to a flat (source slot → dest
+  /// slot) move (tag expressions stay per-record). Precondition: the
+  /// pattern's *type* matches \p in. The result is cached per input
+  /// ShapeId by FilterEntity and replayed via apply_planned.
+  Compiled compile(const Record& in) const;
+
+  /// Replays a compiled plan; produces exactly what apply_matched would
+  /// for any record of the compiling shape.
+  std::vector<Record> apply_planned(const Record& in, const Compiled& plans) const;
 
   /// The guaranteed labels of each produced record (excluding flow
   /// inheritance) — the filter's declared output type.

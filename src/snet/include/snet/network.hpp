@@ -111,6 +111,13 @@ struct Options {
   std::size_t det_capacity = 0;
   /// Policy when a session exceeds det_capacity.
   OverflowPolicy det_overflow = OverflowPolicy::Spill;
+  /// Batched-quantum emission (see entity.hpp): entities stage their
+  /// emissions per target and flush them — one bounded inbox push and one
+  /// coalesced live/det adjustment per (target, quantum) — at a bounded
+  /// threshold and at every quantum exit, including before a stall parks
+  /// the producer. Per-session FIFO and det order are preserved; false
+  /// restores the per-record scalar path (the bench ablation mode).
+  bool batching = true;
   /// Run static signature inference/checking at construction.
   bool type_check = true;
   /// Optional per-stream observer: invoked for every record delivered to
@@ -251,6 +258,15 @@ class Network {
   /// Accounts a record deferred behind an *already deferred* record of the
   /// same session (the ordering path: later records may not overtake).
   void note_deferred_output(SessionState* s);
+  /// Batched push_output: delivers a whole quantum's staged output under
+  /// one buffer-lock acquisition with one client wakeup. Records whose
+  /// session is out of credit come back in \p refused (arrival order, with
+  /// the park accounting and waiter registration already done — the caller
+  /// defers them); once one record of a session refuses, every later
+  /// record of that session in the batch refuses too (per-session FIFO).
+  /// \p records is left empty.
+  void push_output_batch(std::vector<Record>& records, Entity* producer,
+                         std::vector<Record>& refused);
 
   /// Per-session interior (det/sync) buffering account: charges one
   /// record; false when the session is now over Options::det_capacity —
@@ -270,6 +286,7 @@ class Network {
 
   void note_suspension() { suspensions_.fetch_add(1, std::memory_order_relaxed); }
   std::size_t inbox_capacity() const { return opts_.inbox_capacity; }
+  bool batching() const { return opts_.batching; }
   /// DRR grant per weight unit per turn at the input dispatcher.
   unsigned drr_grant() const { return opts_.quantum; }
   void fail(std::exception_ptr err);
@@ -292,8 +309,18 @@ class Network {
   // ------- port-internal interface (used by InputPort/OutputPort) ------
   void port_inject(SessionState& s, Record r);
   bool port_try_inject(SessionState& s, Record& r);
+  /// Batched inject: when nothing needs arbitration (batching on, no
+  /// session listed for DRR, unbounded entry, no output credit gate) the
+  /// whole vector is stamped, counted and delivered to the entry under
+  /// one inbox lock; otherwise falls back to per-record port_inject.
+  void port_inject_all(SessionState& s, std::vector<Record> records);
   void port_close(SessionState& s);
   std::optional<Record> port_next(SessionState& s);
+  /// Moves the session's entire output buffer into \p out under one lock,
+  /// releasing the whole credit span at once (the batch analogue of
+  /// repeated port_next pops on a non-empty buffer). Returns the number
+  /// of records appended; never blocks.
+  std::size_t port_drain(SessionState& s, std::vector<Record>& out);
   void port_on_output(SessionState& s, std::function<void(Record)> callback);
   /// Session-handle destruction: closes the input, discards unconsumed
   /// output, resumes producers stalled on it, and reclaims the state if

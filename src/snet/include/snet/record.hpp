@@ -90,6 +90,19 @@ class Record {
   /// Human-readable form, e.g. `{board, opts, <k>=3}`.
   std::string to_string() const;
 
+  /// Runtime-internal: builds a record directly from pre-sorted,
+  /// duplicate-free label/value vectors and their interned shape, skipping
+  /// the per-label insertion probes and shape transitions of set_field /
+  /// set_tag. This is the output side of a compiled copy plan (see
+  /// copyplan.hpp): the plan resolved the label set and its ShapeRef once
+  /// per input shape, so steady-state emission is a straight move.
+  /// Precondition: \p fields and \p tags are sorted by label, unique, all
+  /// of the right kind, and \p shape is the interned shape of exactly
+  /// their union — violations corrupt shape-based routing.
+  static Record assemble(std::vector<std::pair<Label, Value>> fields,
+                         std::vector<std::pair<Label, std::int64_t>> tags,
+                         ShapeRef shape);
+
   // -- hidden runtime metadata -----------------------------------------
   std::vector<DetStamp>& det_stack() { return det_; }
   const std::vector<DetStamp>& det_stack() const { return det_; }

@@ -24,7 +24,7 @@
 /// microbenchmark measures exactly the production decision path.
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "snet/rtypes.hpp"
@@ -36,6 +36,86 @@ namespace snet::detail {
 struct RouteTableBounds {
   static constexpr std::size_t kDefaultMaxEntries = 1024;
   static constexpr unsigned kMaxResets = 8;
+};
+
+/// Open-addressed ShapeId → Value table behind every route memo. ShapeIds
+/// are small dense integers and route tables sit on the per-record hot
+/// path, so a linear-probe array (Fibonacci-mixed, load ≤ 1/2) replaces
+/// the previous `unordered_map`: a lookup is one multiply plus a couple of
+/// contiguous probes, no allocation. Values are stored in place; pointers
+/// to them stay valid until the next `insert` (which may rehash) or
+/// `clear`, which is exactly the lifetime the run caches above it need.
+template <class Value>
+class FlatShapeTable {
+ public:
+  Value* find(ShapeId shape) {
+    if (count_ == 0) {
+      return nullptr;
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(shape) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == shape + 1) {
+        return &s.value;
+      }
+      if (s.key == 0) {
+        return nullptr;
+      }
+    }
+  }
+
+  /// Inserts \p value under \p shape (precondition: absent). May rehash;
+  /// returns the stored value's address.
+  Value* insert(ShapeId shape, Value value) {
+    if ((count_ + 1) * 2 > slots_.size()) {
+      grow();
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(shape) & mask;
+    while (slots_[i].key != 0) {
+      i = (i + 1) & mask;
+    }
+    slots_[i].key = shape + 1;
+    slots_[i].value = std::move(value);
+    ++count_;
+    return &slots_[i].value;
+  }
+
+  void clear() {
+    slots_.clear();
+    count_ = 0;
+  }
+
+  std::size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    ShapeId key = 0;  // shape + 1; 0 marks an empty slot
+    Value value{};
+  };
+
+  static std::size_t mix(ShapeId shape) {
+    return static_cast<std::size_t>((shape + 1) * 2654435761U);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.key == 0) {
+        continue;
+      }
+      std::size_t i = mix(s.key - 1) & mask;
+      while (slots_[i].key != 0) {
+        i = (i + 1) & mask;
+      }
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
 };
 
 /// Per-shape memo table: one immutable value per record shape, computed
@@ -52,25 +132,40 @@ class ShapeMemo {
   /// The memoized value for \p shape, computing it via \p fill on a miss.
   /// Returns by value: once caching is disabled (sustained shape churn)
   /// there is no stored entry to reference.
+  ///
+  /// Same-shape *runs* — the common case once quanta drain record batches,
+  /// where consecutive records of a batch carry the same ShapeId — hit the
+  /// inline last-decision cache and skip even the hash lookup: the
+  /// decision is taken once per run, not once per record.
   template <class Fill>
   Value get_or(ShapeId shape, Fill&& fill) {
+    if (has_last_ && shape == last_shape_) {
+      return last_value_;
+    }
     if (disabled_) {
       return fill();
     }
-    const auto it = table_.find(shape);
-    if (it != table_.end()) {
-      return it->second;
+    if (const Value* found = table_.find(shape)) {
+      last_shape_ = shape;
+      last_value_ = *found;
+      has_last_ = true;
+      return last_value_;
     }
     Value v = fill();
     if (table_.size() >= max_entries_) {
       if (++resets_ > RouteTableBounds::kMaxResets) {
         disabled_ = true;
         table_.clear();
+        has_last_ = false;
         return v;
       }
       table_.clear();
+      has_last_ = false;
     }
-    table_.emplace(shape, v);
+    table_.insert(shape, v);
+    last_shape_ = shape;
+    last_value_ = v;
+    has_last_ = true;
     return v;
   }
 
@@ -79,10 +174,16 @@ class ShapeMemo {
   bool caching_disabled() const { return disabled_; }
 
  private:
-  std::unordered_map<ShapeId, Value> table_;
+  FlatShapeTable<Value> table_;
   std::size_t max_entries_;
   unsigned resets_ = 0;
   bool disabled_ = false;
+  /// Inline run cache: the last shape seen and its value. Invalidated on
+  /// every table eviction (the value is a copy, but keeping the fast path
+  /// coherent with the table keeps reasoning simple).
+  ShapeId last_shape_ = 0;
+  Value last_value_{};
+  bool has_last_ = false;
 };
 
 class ParallelRouter {
@@ -117,10 +218,17 @@ class ParallelRouter {
   };
 
   const Route& decide(ShapeId shape, const Record& r) {
+    // Same-shape run: replay the previous decision without the hash
+    // lookup (the pointer stays valid until the next table eviction,
+    // which clears it). Tie rotation still happens per record in route().
+    if (last_route_ != nullptr && shape == last_shape_) {
+      return *last_route_;
+    }
     if (!disabled_) {
-      const auto it = table_.find(shape);
-      if (it != table_.end()) {
-        return it->second;
+      if (const Route* found = table_.find(shape)) {
+        last_shape_ = shape;
+        last_route_ = found;
+        return *found;
       }
     }
     // Fresh shape: score every branch once into the scratch vector, then
@@ -149,21 +257,32 @@ class ParallelRouter {
       if (++resets_ > RouteTableBounds::kMaxResets) {
         disabled_ = true;
         table_.clear();
+        last_route_ = nullptr;
         return scratch_;
       }
       table_.clear();
+      last_route_ = nullptr;
     }
-    return table_.emplace(shape, scratch_).first->second;
+    // Stored routes stay put until the next insert (possible rehash) or
+    // eviction, and the run cache is refreshed on both — so the cached
+    // pointer is always into live storage.
+    Route* stored = table_.insert(shape, scratch_);
+    last_shape_ = shape;
+    last_route_ = stored;
+    return *stored;
   }
 
   std::vector<MultiType> inputs_;
-  std::unordered_map<ShapeId, Route> table_;
+  FlatShapeTable<Route> table_;
   std::vector<int> scores_;  // scratch, reused across misses
   Route scratch_;            // decision of record, valid until the next decide
   std::size_t max_entries_;
   unsigned resets_ = 0;
   bool disabled_ = false;
   std::uint64_t tie_break_ = 0;
+  /// Inline run cache (see decide): last shape and its table entry.
+  ShapeId last_shape_ = 0;
+  const Route* last_route_ = nullptr;
 };
 
 }  // namespace snet::detail

@@ -128,6 +128,14 @@ class OutputPort {
   /// remaining output of this session.
   std::vector<Record> collect();
 
+  /// Streaming batch pop: blocks like next() for one record, then appends
+  /// it plus everything else the session's buffer already holds to \p out
+  /// — one lock and one whole-span credit release per call instead of one
+  /// per record. Returns the number appended; 0 once the session is
+  /// closed and drained. The streaming analogue of collect()'s drain loop
+  /// (with batching off the span degrades to a single record).
+  std::size_t next_span(std::vector<Record>& out);
+
   /// Push mode: \p callback is invoked for every output record of this
   /// session *from a worker thread* (must be thread-compatible with the
   /// client's world; calls are serialised and in session order). Records

@@ -283,6 +283,38 @@ void Network::port_inject(SessionState& s, Record r) {
   dispatch_list(&s);
 }
 
+void Network::port_inject_all(SessionState& s, std::vector<Record> records) {
+  if (records.empty()) {
+    return;
+  }
+  // Bulk fast path: when there is nothing to arbitrate or gate — batching
+  // on, no session listed for DRR, this session unthrottled with an empty
+  // staging queue, unbounded entry inbox (nothing to refuse) and no
+  // output credit account (nothing to await per record) — the whole
+  // vector is stamped, counted and delivered under one inbox lock. Any
+  // gate present falls back to the per-record path, which enforces it.
+  if (opts_.batching && opts_.inbox_capacity == 0 && s.out_cap_ == 0 &&
+      !s.closed_.load(std::memory_order_acquire) && !s.errored() &&
+      listed_count_.load(std::memory_order_acquire) == 0 && !s.throttled() &&
+      s.staging_.empty()) {
+    const auto n = static_cast<std::int64_t>(records.size());
+    std::vector<Message> msgs;
+    msgs.reserve(records.size());
+    for (Record& r : records) {
+      r.set_session(&s);
+      msgs.push_back(Message::record(std::move(r)));
+    }
+    injected_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    live_add(&s, n);
+    entry_->deliver_all(msgs);
+    return;
+  }
+  for (Record& r : records) {
+    port_inject(s, std::move(r));
+  }
+}
+
 bool Network::port_try_inject(SessionState& s, Record& r) {
   if (s.closed_.load(std::memory_order_acquire)) {
     throw std::logic_error("inject after close_input");
@@ -364,6 +396,44 @@ Record Network::pop_output_locked(SessionState& s,
     e->poke();
   }
   return r;
+}
+
+std::size_t Network::port_drain(SessionState& s, std::vector<Record>& out) {
+  if (!opts_.batching) {
+    // Scalar ablation mode: collect() degrades to the pre-batch client
+    // path, one port_next (lock + credit release) per record.
+    return 0;
+  }
+  std::vector<Entity*> resumed;
+  std::size_t n = 0;
+  bool gated = false;
+  {
+    const std::lock_guard lock(out_mu_);
+    n = s.buffer_.size();
+    if (n == 0) {
+      return 0;
+    }
+    const std::int64_t before = s.out_account_.fetch_sub(
+        static_cast<std::int64_t>(n), std::memory_order_relaxed);
+    // Whole-span release: wake gated injects whenever the account *was* at
+    // or over the bound (the bulk pop may open the gate; a spurious wake
+    // re-checks the predicate under the lock).
+    gated = s.out_cap_ != 0 && before >= static_cast<std::int64_t>(s.out_cap_);
+    for (Record& r : s.buffer_) {
+      out.push_back(std::move(r));
+    }
+    s.buffer_.clear();
+    if (!s.out_waiters_.empty()) {
+      resumed.swap(s.out_waiters_);  // buffer empty: below any watermark
+    }
+  }
+  if (gated) {
+    out_cv_.notify_all();
+  }
+  for (Entity* e : resumed) {
+    e->poke();
+  }
+  return n;
 }
 
 std::optional<Record> Network::port_next(SessionState& s) {
@@ -628,6 +698,77 @@ Network::PushOutcome Network::push_output(Record& r, Entity* producer,
   return PushOutcome::kAccepted;
 }
 
+void Network::push_output_batch(std::vector<Record>& records, Entity* producer,
+                                std::vector<Record>& refused) {
+  // Unstamped records (never crossed a port) resolve to the default
+  // session *before* the critical section: default_state() takes out_mu_
+  // itself on first use.
+  SessionState* fallback = nullptr;
+  for (const Record& r : records) {
+    if (r.session_state() == nullptr) {
+      fallback = default_state();
+      break;
+    }
+  }
+  // Sink deliveries happen outside the lock (in batch order): the sink is
+  // install-once and only the single worker running the output entity
+  // reaches here, same argument as the scalar path.
+  std::vector<std::pair<SessionState*, Record>> sink_calls;
+  // Sessions refused earlier in this batch: later records of the same
+  // session must refuse too, or they would overtake the deferred ones.
+  std::vector<SessionState*> refused_sessions;
+  bool any_buffered = false;
+  {
+    const std::lock_guard lock(out_mu_);
+    for (Record& r : records) {
+      SessionState* const stamped = r.session_state();
+      SessionState* const s = stamped != nullptr ? stamped : fallback;
+      if (s->abandoned() || s->errored()) {
+        continue;  // dropped: nobody can ever consume this session's output
+      }
+      if (s->sink_) {
+        ++produced_;
+        ++s->produced_;
+        sink_calls.emplace_back(s, std::move(r));
+        continue;
+      }
+      const bool cascade =
+          std::find(refused_sessions.begin(), refused_sessions.end(), s) !=
+          refused_sessions.end();
+      if (cascade || (stamped != nullptr && s->out_cap_ != 0 &&
+                      s->buffer_.size() >= s->out_cap_)) {
+        // Same accounting as the scalar refusal (park charge + waiter
+        // registration, atomic with the refusal under out_mu_); the caller
+        // turns the returned records into (entity, session) deferrals.
+        s->parked_.fetch_add(1, std::memory_order_relaxed);
+        s->out_account_.fetch_add(1, std::memory_order_relaxed);
+        s->output_parks_.fetch_add(1, std::memory_order_relaxed);
+        if (std::find(s->out_waiters_.begin(), s->out_waiters_.end(),
+                      producer) == s->out_waiters_.end()) {
+          s->out_waiters_.push_back(producer);
+        }
+        if (!cascade) {
+          refused_sessions.push_back(s);
+        }
+        refused.push_back(std::move(r));
+        continue;
+      }
+      ++produced_;
+      ++s->produced_;
+      s->buffer_.push_back(std::move(r));
+      s->out_account_.fetch_add(1, std::memory_order_relaxed);
+      any_buffered = true;
+    }
+  }
+  for (auto& [s, rec] : sink_calls) {
+    s->sink_(std::move(rec));
+  }
+  if (any_buffered) {
+    out_cv_.notify_all();
+  }
+  records.clear();
+}
+
 void Network::note_deferred_output(SessionState* s) {
   const std::lock_guard lock(out_mu_);
   s->parked_.fetch_add(1, std::memory_order_relaxed);
@@ -840,13 +981,29 @@ Entity* Network::instantiate(const Net& node, Entity* successor,
             adopt(std::make_unique<DetEntryEntity>(*this, prefix + "/par-entry",
                                                    coll->scope())));
       }
+      // Nested non-deterministic parallels flatten into one N-ary
+      // dispatcher: best-match over the union of branches picks the same
+      // winner as the binary cascade (a combined branch's score is the max
+      // over its variants, and argmax is associative), so `A | B | C`
+      // costs one routing decision and one hop instead of a chain of
+      // binary ones. Det parallels keep their own entry/collector bracket
+      // and are instantiated as opaque branches.
+      // Scalar ablation mode keeps the binary dispatcher cascade the
+      // pre-batch runtime built.
       std::vector<ParallelEntity::Branch> branches;
-      branches.push_back(ParallelEntity::Branch{
-          required_input(node->left),
-          instantiate(node->left, merge_target, prefix + "/parL")});
-      branches.push_back(ParallelEntity::Branch{
-          required_input(node->right),
-          instantiate(node->right, merge_target, prefix + "/parR")});
+      const std::function<void(const Net&, const std::string&)> add_branch =
+          [&](const Net& n, const std::string& pfx) {
+            if (n->kind == NetNode::Kind::Parallel && !n->det &&
+                opts_.batching) {
+              add_branch(n->left, pfx + "/parL");
+              add_branch(n->right, pfx + "/parR");
+              return;
+            }
+            branches.push_back(ParallelEntity::Branch{
+                required_input(n), instantiate(n, merge_target, pfx)});
+          };
+      add_branch(node->left, prefix + "/parL");
+      add_branch(node->right, prefix + "/parR");
       Entity* dispatcher = adopt(std::make_unique<ParallelEntity>(
           *this, prefix + "/par", std::move(branches)));
       if (det_entry != nullptr) {

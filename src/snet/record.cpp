@@ -124,6 +124,17 @@ std::string Record::to_string() const {
   return os.str();
 }
 
+Record Record::assemble(std::vector<std::pair<Label, Value>> fields,
+                        std::vector<std::pair<Label, std::int64_t>> tags,
+                        ShapeRef shape) {
+  Record r;
+  r.fields_ = std::move(fields);
+  r.tags_ = std::move(tags);
+  r.shape_ = shape.id;
+  r.mask_ = shape.mask;
+  return r;
+}
+
 Record record_with(std::initializer_list<std::pair<std::string_view, Value>> fields,
                    std::initializer_list<std::pair<std::string_view, std::int64_t>> tags) {
   Record r;

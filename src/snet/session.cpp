@@ -24,9 +24,7 @@ void InputPort::inject(Record r) { net_->port_inject(*state_, std::move(r)); }
 bool InputPort::try_inject(Record& r) { return net_->port_try_inject(*state_, r); }
 
 void InputPort::inject_all(std::vector<Record> records) {
-  for (auto& r : records) {
-    net_->port_inject(*state_, std::move(r));
-  }
+  net_->port_inject_all(*state_, std::move(records));
 }
 
 void InputPort::close() { net_->port_close(*state_); }
@@ -42,10 +40,23 @@ std::vector<Record> OutputPort::collect() {
     net_->port_close(*state_);
   }
   std::vector<Record> all;
+  // Block for the first record of each span via port_next, then take
+  // whatever else the buffer holds in one drain — one lock per produced
+  // batch instead of one per record.
   while (auto r = net_->port_next(*state_)) {
     all.push_back(std::move(*r));
+    net_->port_drain(*state_, all);
   }
   return all;
+}
+
+std::size_t OutputPort::next_span(std::vector<Record>& out) {
+  auto r = net_->port_next(*state_);
+  if (!r) {
+    return 0;
+  }
+  out.push_back(std::move(*r));
+  return 1 + net_->port_drain(*state_, out);
 }
 
 void OutputPort::on_output(std::function<void(Record)> callback) {

@@ -76,9 +76,12 @@ TEST(Backpressure, PeakLiveStaysWithinConfiguredBound) {
 
 TEST(Backpressure, UnboundedRunReportsFullBacklogForComparison) {
   // The legacy behaviour the bound replaces: everything injected sits in
-  // the first inbox, so peak_live tracks the injected count.
+  // the first inbox, so peak_live tracks the injected count. The box must
+  // be slow enough that injection outruns it under every build flavour —
+  // sanitizer instrumentation slows the inject path more than the spin
+  // loop, and the batched runtime consumes faster than the scalar one did.
   constexpr int kRecords = 2000;
-  Network net(slow_box("slow", 2000), bounded(0, 0));
+  Network net(slow_box("slow", 20000), bounded(0, 0));
   for (int i = 0; i < kRecords; ++i) {
     net.input().inject(int_rec(i));
   }

@@ -149,6 +149,79 @@ TEST(Filter, RoundTripToString) {
   EXPECT_EQ(again.to_string(), f.to_string());
 }
 
+// ---- compiled copy plans --------------------------------------------------
+
+TEST(Filter, RandomizedPlannedMatchesReferenceAcrossShapes) {
+  // The runtime replays one compiled plan per input ShapeId; the plan must
+  // reproduce the per-label reference path bit for bit over *every* record
+  // of that shape — including flow-inherited labels the specifier never
+  // names. Deterministic LCG so failures replay.
+  const std::vector<FilterSpec> specs = {
+      FilterSpec::parse("{a} -> {a}"),
+      FilterSpec::parse("{a, b} -> {z=a, b, <t>}"),
+      FilterSpec::parse("[{a, <c>} -> {a, <c>=<c>+1}; {w=a, <c>}]"),
+      FilterSpec::parse("{<c>} -> {<c>=<c>*2, <u>=0}"),
+  };
+  const std::vector<std::string> extra_fields = {"p", "q", "r"};
+  const std::vector<std::string> extra_tags = {"s", "u2"};
+  std::uint64_t rng = 0x2545F4914F6CDD1DULL;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    const FilterSpec& f = specs[next() % specs.size()];
+    // Base labels the pattern needs, plus a random inherited subset.
+    Record r = rec({{"a", static_cast<int>(next() % 100)},
+                    {"b", static_cast<int>(next() % 100)}},
+                   {{"c", static_cast<std::int64_t>(next() % 50)}});
+    for (const auto& name : extra_fields) {
+      if (next() % 2 == 0) {
+        r.set_field(field_label(name), make_value(static_cast<int>(next() % 10)));
+      }
+    }
+    for (const auto& name : extra_tags) {
+      if (next() % 2 == 0) {
+        r.set_tag(tag_label(name), static_cast<std::int64_t>(next() % 10));
+      }
+    }
+    if (!f.pattern().matches(r)) {
+      continue;
+    }
+    const auto reference = f.apply_matched(r);
+    const auto planned = f.apply_planned(r, f.compile(r));
+    ASSERT_EQ(planned.size(), reference.size()) << f.to_string();
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      EXPECT_EQ(planned[i].to_string(), reference[i].to_string())
+          << f.to_string() << " on " << r.to_string();
+      EXPECT_EQ(planned[i].shape(), reference[i].shape())
+          << "assembled shape diverges from incrementally built shape";
+    }
+  }
+}
+
+TEST(Filter, IdentityPlanDetectedOnlyForPureForwarding) {
+  // A single-output plan that moves every input slot to the same rank is
+  // flagged identity — FilterEntity then forwards the record without
+  // assembling a copy. Anything that renames, drops or adds must not be.
+  const auto ident = FilterSpec::parse("{a, b, <c>} -> {a, b, <c>}");
+  const Record r = rec({{"a", 1}, {"b", 2}}, {{"c", 3}});
+  const auto ident_plans = ident.compile(r);
+  ASSERT_EQ(ident_plans.outputs.size(), 1U);
+  EXPECT_TRUE(ident_plans.outputs[0].identity);
+  // Identity holds through flow inheritance: pattern {} forwards any shape.
+  const auto fwd = FilterSpec::parse("{} -> {}");
+  EXPECT_TRUE(fwd.compile(r).outputs[0].identity);
+
+  const auto rename = FilterSpec::parse("{a} -> {z=a}");
+  const Record ra = rec({{"a", 1}});
+  EXPECT_FALSE(rename.compile(ra).outputs[0].identity);
+  const auto drop = FilterSpec::parse("{a, b} -> {a}");
+  EXPECT_FALSE(drop.compile(r).outputs[0].identity);
+  const auto add = FilterSpec::parse("{a} -> {a, <t>}");
+  EXPECT_FALSE(add.compile(ra).outputs[0].identity);
+}
+
 // ---- patterns & signatures ------------------------------------------------
 
 TEST(Pattern, ParseAndMatch) {

@@ -37,6 +37,9 @@ RATIO_METRICS = {
     # bench_fairness: fast sessions' aggregate throughput with one stalled
     # slow peer vs. without it (per-session output credit isolation).
     "fairness_fast_vs_solo",
+    # bench_routing: end-to-end records/sec with the batched-quantum
+    # pipeline on vs. the scalar ablation, same binary and topology.
+    "e2e_batch_speedup",
 }
 # Metrics enforced only with --absolute: machine-dependent throughput.
 ABSOLUTE_METRICS = {"records_per_sec"}
