@@ -5,7 +5,8 @@
 namespace sac {
 
 Context& default_context() {
-  static Context ctx{snetsac::runtime::default_sac_threads(), 1024};
+  static Context ctx{snetsac::runtime::default_sac_threads(), 1024,
+                     snetsac::runtime::env_int("SAC_COMPILED", 1) != 0};
   return ctx;
 }
 

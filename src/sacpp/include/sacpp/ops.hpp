@@ -17,33 +17,19 @@
 
 namespace sac {
 
-/// Element-wise map: result[iv] = f(a[iv]).
+/// Element-wise map: result[iv] = f(a[iv]). A one-stage fused chain: one
+/// segment pass over a's storage, template-inlined body, no per-element
+/// set_linear/COW checks.
 template <class T, class F>
 auto map(const Array<T>& a, F f) -> Array<std::invoke_result_t<F, T>> {
-  using R = std::invoke_result_t<F, T>;
-  Array<R> out(a.shape(), R{});
-  const std::int64_t n = a.element_count();
-  for (std::int64_t i = 0; i < n; ++i) {
-    out.set_linear(i, f(a.linear(i)));
-  }
-  return out;
+  return lazy(a).map(std::move(f)).to_array();
 }
 
 /// Element-wise zip: result[iv] = f(a[iv], b[iv]); shapes must coincide.
 template <class T, class U, class F>
 auto zip_with(const Array<T>& a, const Array<U>& b, F f)
     -> Array<std::invoke_result_t<F, T, U>> {
-  if (a.shape() != b.shape()) {
-    throw ShapeError("zip_with on shapes " + a.shape().to_string() + " and " +
-                     b.shape().to_string());
-  }
-  using R = std::invoke_result_t<F, T, U>;
-  Array<R> out(a.shape(), R{});
-  const std::int64_t n = a.element_count();
-  for (std::int64_t i = 0; i < n; ++i) {
-    out.set_linear(i, f(a.linear(i), b.linear(i)));
-  }
-  return out;
+  return lazy(a).zip_with(b, std::move(f)).to_array();
 }
 
 /// Whole-array reduction in row-major order.

@@ -1,0 +1,166 @@
+#ifndef SNETSAC_SACPP_SEGMENT_PLAN_HPP
+#define SNETSAC_SACPP_SEGMENT_PLAN_HPP
+
+/// \file segment_plan.hpp
+/// Dense row-segment decomposition of with-loop generators.
+///
+/// The compiled with-loop engine makes the contiguous row segment — not the
+/// element — the unit of execution. At genarray/modarray/fold entry, every
+/// generator `lb <= iv < ub` (with optional SaC step/width striding) is
+/// decomposed against the result shape into a flat plan of segments
+/// `[linear_base, linear_base + count)`: maximal runs along the last axis
+/// that share one row prefix. Inner loops over a segment are plain countable
+/// loops over raw storage (auto-vectorisable, `std::fill`-able); executor
+/// chunking distributes *segment ranges*, which fixes parallel grain for
+/// ragged and strided generators that an axis-0 row split handles badly.
+///
+/// Generator overlap ("a later generator overwrites an earlier one") is
+/// resolved here, at setup: a segment of generator g is trimmed by the
+/// linear coverage of all generators after g, so no cell is written twice
+/// and segments can execute in any order — the property that licenses
+/// data-parallel execution without per-cell ordering.
+///
+/// The plan can additionally carry the *complement*: segments covering the
+/// cells no generator touches (tagged `kComplement`). Fused with-loop chains
+/// use these to apply a post-transform to default/source cells in the same
+/// single pass.
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "sacpp/shape.hpp"
+
+namespace sac {
+
+/// Small-buffer index vector for generator bounds. With-loop specs are
+/// built afresh at every call site — sudoku's addNumber constructs four
+/// generators per invocation — and heap-allocating a std::vector per bound
+/// made spec construction cost more than executing the loop. Bounds of rank
+/// <= kInline (every array in the paper) live inline; larger ranks spill.
+class SpecIndex {
+ public:
+  static constexpr std::size_t kInline = 4;
+
+  SpecIndex() = default;
+  SpecIndex(std::initializer_list<std::int64_t> vals) {
+    assign(vals.begin(), vals.end());
+  }
+  // Implicit on purpose: Index-typed call sites keep working unchanged.
+  SpecIndex(const Index& vals) { assign(vals.begin(), vals.end()); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::int64_t* data() { return size_ <= kInline ? inline_ : spill_.data(); }
+  const std::int64_t* data() const {
+    return size_ <= kInline ? inline_ : spill_.data();
+  }
+  std::int64_t& operator[](std::size_t i) { return data()[i]; }
+  std::int64_t operator[](std::size_t i) const { return data()[i]; }
+  std::int64_t* begin() { return data(); }
+  std::int64_t* end() { return data() + size_; }
+  const std::int64_t* begin() const { return data(); }
+  const std::int64_t* end() const { return data() + size_; }
+
+ private:
+  template <class It>
+  void assign(It first, It last) {
+    size_ = static_cast<std::size_t>(std::distance(first, last));
+    if (size_ <= kInline) {
+      std::copy(first, last, inline_);
+    } else {
+      spill_.assign(first, last);
+    }
+  }
+
+  std::int64_t inline_[kInline] = {};
+  std::vector<std::int64_t> spill_;
+  std::size_t size_ = 0;
+};
+
+inline std::string index_to_string(const SpecIndex& iv) {
+  return index_to_string(Index(iv.begin(), iv.end()));
+}
+
+/// Body-less view of one with-loop generator (bounds + striding only); the
+/// typed layer keeps bodies/kernels parallel to this by ordinal.
+struct GeneratorSpec {
+  SpecIndex lb;
+  SpecIndex ub;  // exclusive
+  SpecIndex step;   // empty = dense
+  SpecIndex width;  // empty = 1
+};
+
+/// One contiguous run of result cells, all sharing a row prefix.
+struct Segment {
+  /// Ordinal of the producing generator, or kComplement for cells covered
+  /// by no generator (genarray default / modarray source).
+  std::int32_t gen = 0;
+  /// Linear offset of the first cell in the row-major result buffer.
+  std::int64_t base = 0;
+  /// Last-axis index range [col_lo, col_hi) of the run. For complement
+  /// segments (which may span rows and never need index vectors) this is
+  /// simply [0, count).
+  std::int64_t col_lo = 0;
+  std::int64_t col_hi = 0;
+  /// Offset of this segment's rank-1 row prefix in the plan's prefix pool,
+  /// or -1 for complement segments.
+  std::int64_t prefix = -1;
+
+  std::int64_t count() const { return col_hi - col_lo; }
+};
+
+class SegmentPlan {
+ public:
+  static constexpr std::int32_t kComplement = -1;
+
+  /// Upper bound on segment length: longer runs are split so the executor
+  /// can distribute them (one 1M-cell rank-1 generator must not serialise).
+  static constexpr std::int64_t kMaxSegmentLen = 1 << 14;
+
+  /// Decomposes \p gens against \p shape.
+  ///  * resolve_overlap: trim earlier generators by later coverage
+  ///    (genarray/modarray). Off for fold, where every generator element
+  ///    contributes even when generators overlap.
+  ///  * with_complement: append kComplement segments covering the cells no
+  ///    generator touches.
+  /// Generators are assumed already validated against \p shape; empty
+  /// generators contribute nothing (and their bounds are never linearised).
+  SegmentPlan(const std::vector<GeneratorSpec>& gens, const Shape& shape,
+              bool resolve_overlap, bool with_complement);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Rank-1 row-prefix components of a generator segment (outer-axis index
+  /// values; the last axis varies over [col_lo, col_hi)).
+  const std::int64_t* prefix_at(std::int64_t offset) const {
+    return prefix_pool_.data() + offset;
+  }
+  int prefix_rank() const { return prefix_rank_; }
+
+  /// Exact member-cell count of generator \p g (pre-trim), computed once at
+  /// decomposition — replaces the repeated element_estimate() calls of the
+  /// interpreted path.
+  std::int64_t generator_elements(std::size_t g) const { return gen_elements_[g]; }
+
+  /// Total cells the plan writes (post-trim, including complement if built).
+  std::int64_t total_elements() const { return total_elements_; }
+
+ private:
+  void decompose_generator(std::int32_t ordinal, const GeneratorSpec& g,
+                           const Shape& shape,
+                           std::vector<Segment>& out);
+
+  std::vector<Segment> segments_;
+  std::vector<std::int64_t> prefix_pool_;
+  std::vector<std::int64_t> gen_elements_;
+  std::int64_t total_elements_ = 0;
+  int prefix_rank_ = 0;
+};
+
+}  // namespace sac
+
+#endif

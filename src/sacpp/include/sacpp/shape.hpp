@@ -46,8 +46,11 @@ class Shape {
   std::vector<std::int64_t> strides() const;
 
   /// Row-major linearisation of a full index vector. Throws ShapeError on
-  /// rank mismatch or out-of-bounds component.
+  /// rank mismatch or out-of-bounds component. The pointer form lets hot
+  /// call sites (single-cell set/get in inner loops) pass a braced index
+  /// without materialising a heap-allocated Index.
   std::int64_t linearize(const Index& iv) const;
+  std::int64_t linearize(const std::int64_t* iv, std::size_t n) const;
 
   /// True when \p iv has matching rank and every component is in bounds.
   bool contains(const Index& iv) const;

@@ -20,38 +20,142 @@
 /// evaluation order is unspecified, which is what licenses data-parallel
 /// execution. When generators overlap, *generator* order does matter: a
 /// later generator overwrites an earlier one ("the array's value at index
-/// location [3] ... is set to 2 rather than to 1"). We therefore run
-/// generators one after another, each internally data-parallel.
+/// location [3] ... is set to 2 rather than to 1").
+///
+/// Two execution engines share these semantics (`Context::compiled`
+/// selects; default on — the flag mirrors `Options::batching` on the S-Net
+/// side as the ablation switch):
+///
+///  * **Compiled** — the unit of execution is the contiguous row segment.
+///    Generators are decomposed at entry into a SegmentPlan (overlap
+///    resolved at setup, so no cell is written twice); each segment runs as
+///    a plain countable loop over raw storage — `std::fill` for constant
+///    bodies, the typed kernel for `gen_kernel` generators, a tight
+///    index-reusing loop for `std::function` bodies. Executor chunking
+///    distributes segment ranges.
+///  * **Interpreted (reference)** — the original per-element engine:
+///    recursive per-axis iteration calling `Body` through `std::function`
+///    with full index-vector linearisation per cell. Kept as the ablation
+///    baseline and semantic reference.
+///
+/// `Fused` (below) extends the compiled engine across *chains* of
+/// with-loops: elementwise consumers (map / zip_with / fold) run inside the
+/// producer's segment pass with zero intermediate arrays.
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "runtime/parallel_for.hpp"
 #include "sacpp/array.hpp"
 #include "sacpp/context.hpp"
+#include "sacpp/segment_plan.hpp"
 
 namespace sac {
+
+namespace detail {
+
+/// Post-transform stages for fused with-loop chains. Each stage maps
+/// `(value, linear_offset) -> value'`; composition nests statically so the
+/// whole chain inlines into the producer's segment loop.
+struct IdentityStage {
+  template <class V>
+  V operator()(V v, std::int64_t) const {
+    return v;
+  }
+};
+
+template <class F>
+struct MapStage {
+  F f;
+  template <class V>
+  auto operator()(V v, std::int64_t) const {
+    return f(v);
+  }
+};
+
+/// Zips the chain value with a second array's cell at the same linear
+/// offset. Holds the array by value (keeps the COW buffer alive; the cached
+/// raw pointer stays valid because our copy is never mutated).
+template <class U, class F>
+struct ZipStage {
+  Array<U> other;
+  const storage_t<U>* p;
+  F f;
+  template <class V>
+  auto operator()(V v, std::int64_t i) const {
+    return f(v, static_cast<U>(p[i]));
+  }
+};
+
+template <class P1, class P2>
+struct ComposedStage {
+  P1 inner;
+  P2 outer;
+  template <class V>
+  auto operator()(V v, std::int64_t i) const {
+    return outer(inner(v, i), i);
+  }
+};
+
+/// Runs `fn(seg_lo, seg_hi)` over the plan's segment list, sequentially or
+/// chunked over the executor. Segment-range chunking (not axis-0 rows) is
+/// what gives ragged/strided generators an even parallel grain.
+template <class Fn>
+void run_over_segments(const SegmentPlan& plan, const Context& ctx, const Fn& fn) {
+  const auto n = static_cast<std::int64_t>(plan.segments().size());
+  if (n == 0) {
+    return;
+  }
+  if (ctx.threads <= 1 || n <= 1 || plan.total_elements() < ctx.grain) {
+    fn(0, n);
+    return;
+  }
+  const std::int64_t avg = std::max<std::int64_t>(1, plan.total_elements() / n);
+  const std::int64_t seg_grain = std::max<std::int64_t>(1, ctx.grain / avg);
+  snetsac::runtime::parallel_for_chunks(sac_pool(), 0, n, seg_grain, fn,
+                                        ctx.threads);
+}
+
+}  // namespace detail
+
+template <class T, class Post = detail::IdentityStage>
+class Fused;
 
 template <class T>
 class With {
  public:
   using Body = std::function<T(const Index&)>;
+  using storage = detail::storage_t<T>;
+  /// Typed segment kernel: writes `out[base + (j - col_lo)]` for every j in
+  /// `[col_lo, col_hi)`, where the cell's index vector is `row_prefix` (the
+  /// rank-1 outer components) extended with j. `out` points at the result's
+  /// raw row-major storage; the inner loop is a plain countable loop the
+  /// compiler can auto-vectorise. One indirect call per *segment*, not per
+  /// element.
+  using Kernel = std::function<void(storage* out, std::int64_t base,
+                                    const Index& row_prefix, std::int64_t col_lo,
+                                    std::int64_t col_hi)>;
 
   /// Generator `lb <= iv < ub` with body expression \p body.
-  With& gen(Index lb, Index ub, Body body) {
-    if (lb.size() != ub.size()) {
-      throw ShapeError("generator bounds " + index_to_string(lb) + " and " +
-                       index_to_string(ub) + " differ in rank");
+  With& gen(SpecIndex lb, SpecIndex ub, Body body) {
+    check_bounds_rank(lb, ub);
+    if (gens_.capacity() == 0) {
+      gens_.reserve(4);  // the common case (cf. addNumber) in one allocation
     }
-    gens_.push_back(Generator{std::move(lb), std::move(ub), {}, {}, std::move(body)});
+    Generator& g = gens_.emplace_back();
+    g.spec.lb = std::move(lb);
+    g.spec.ub = std::move(ub);
+    g.body = std::move(body);
     return *this;
   }
 
   /// Generator `lb <= iv <= ub` (the inclusive form used by the paper's
   /// `addNumber`); normalised to an exclusive upper bound.
-  With& gen_incl(Index lb, Index ub, Body body) {
+  With& gen_incl(SpecIndex lb, SpecIndex ub, Body body) {
     for (auto& c : ub) {
       c += 1;
     }
@@ -59,22 +163,110 @@ class With {
   }
 
   /// Constant-body generators, e.g. `([i,j,0] <= iv <= [i,j,8]) : false`.
-  With& gen_val(Index lb, Index ub, T value) {
-    return gen(std::move(lb), std::move(ub), [value](const Index&) { return value; });
+  /// The compiled engine turns their segments into `std::fill`/memset; no
+  /// Body is materialised at all (both engines branch on is_const), so
+  /// building one costs two Index moves and nothing else.
+  With& gen_val(SpecIndex lb, SpecIndex ub, T value) {
+    check_bounds_rank(lb, ub);
+    if (gens_.capacity() == 0) {
+      gens_.reserve(4);
+    }
+    Generator& g = gens_.emplace_back();
+    g.spec.lb = std::move(lb);
+    g.spec.ub = std::move(ub);
+    g.is_const = true;
+    g.const_val = std::move(value);
+    return *this;
   }
-  With& gen_incl_val(Index lb, Index ub, T value) {
-    return gen_incl(std::move(lb), std::move(ub),
-                    [value](const Index&) { return value; });
+  With& gen_incl_val(SpecIndex lb, SpecIndex ub, T value) {
+    for (auto& c : ub) {
+      c += 1;
+    }
+    return gen_val(std::move(lb), std::move(ub), std::move(value));
+  }
+
+  /// Typed-kernel generator. \p f is either
+  ///  * a raw segment kernel `(storage* out, int64 base, const Index&
+  ///    row_prefix, int64 col_lo, int64 col_hi)`, or
+  ///  * a coordinate body `T f(i)`, `T f(i, j)` or `T f(i, j, k)` whose
+  ///    arity must equal the result rank — wrapped into a segment kernel
+  ///    whose inner loop inlines \p f (no per-element indirect call, no
+  ///    index vectors).
+  /// A reference `Body` is synthesised alongside so `Context::compiled =
+  /// false` still evaluates the same generator per element.
+  template <class F>
+  With& gen_kernel(SpecIndex lb, SpecIndex ub, F f) {
+    check_bounds_rank(lb, ub);
+    Generator& g = gens_.emplace_back();
+    g.spec.lb = std::move(lb);
+    g.spec.ub = std::move(ub);
+    if constexpr (std::is_invocable_v<F, storage*, std::int64_t, const Index&,
+                                      std::int64_t, std::int64_t>) {
+      g.kernel = Kernel(f);
+      g.coord_arity = kRawKernel;
+      g.body = [f](const Index& iv) -> T {
+        storage tmp{};
+        if (iv.empty()) {
+          const Index pre;
+          f(&tmp, 0, pre, 0, 1);
+        } else {
+          const Index pre(iv.begin(), iv.end() - 1);
+          f(&tmp, 0, pre, iv.back(), iv.back() + 1);
+        }
+        return static_cast<T>(tmp);
+      };
+    } else if constexpr (std::is_invocable_v<F, std::int64_t>) {
+      g.coord_arity = 1;
+      g.kernel = [f](storage* out, std::int64_t base, const Index&,
+                     std::int64_t lo, std::int64_t hi) {
+        storage* p = out + base;
+        for (std::int64_t j = lo; j < hi; ++j) {
+          p[j - lo] = static_cast<storage>(f(j));
+        }
+      };
+      g.body = [f](const Index& iv) { return static_cast<T>(f(iv[0])); };
+    } else if constexpr (std::is_invocable_v<F, std::int64_t, std::int64_t>) {
+      g.coord_arity = 2;
+      g.kernel = [f](storage* out, std::int64_t base, const Index& pre,
+                     std::int64_t lo, std::int64_t hi) {
+        const std::int64_t i = pre[0];
+        storage* p = out + base;
+        for (std::int64_t j = lo; j < hi; ++j) {
+          p[j - lo] = static_cast<storage>(f(i, j));
+        }
+      };
+      g.body = [f](const Index& iv) { return static_cast<T>(f(iv[0], iv[1])); };
+    } else if constexpr (std::is_invocable_v<F, std::int64_t, std::int64_t,
+                                             std::int64_t>) {
+      g.coord_arity = 3;
+      g.kernel = [f](storage* out, std::int64_t base, const Index& pre,
+                     std::int64_t lo, std::int64_t hi) {
+        const std::int64_t i = pre[0];
+        const std::int64_t jj = pre[1];
+        storage* p = out + base;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          p[k - lo] = static_cast<storage>(f(i, jj, k));
+        }
+      };
+      g.body = [f](const Index& iv) {
+        return static_cast<T>(f(iv[0], iv[1], iv[2]));
+      };
+    } else {
+      static_assert(std::is_invocable_v<F, std::int64_t>,
+                    "gen_kernel: expected a segment kernel or a coordinate "
+                    "body of arity 1..3");
+    }
+    return *this;
   }
 
   /// SaC striding on the most recently added generator: of every `step`
   /// consecutive indices per axis, the first `width` are members.
-  With& step(Index s) {
-    last().step = std::move(s);
+  With& step(SpecIndex s) {
+    last().spec.step = std::move(s);
     return *this;
   }
-  With& width(Index w) {
-    last().width = std::move(w);
+  With& width(SpecIndex w) {
+    last().spec.width = std::move(w);
     return *this;
   }
 
@@ -94,27 +286,62 @@ class With {
     return src;
   }
 
+  /// Lazy genarray: the with-loop as a fusable expression. Elementwise
+  /// consumers chained onto it (map / zip_with / fold) execute inside this
+  /// with-loop's segment pass — `genarray→map→fold` is one pass with zero
+  /// intermediate arrays.
+  Fused<T> lazy_genarray(Shape result_shape, T default_value) const;
+
+  /// Lazy modarray: like lazy_genarray, with uncovered cells drawn from
+  /// \p src (captured by value; COW keeps the source snapshot intact even
+  /// if the chain's result is later assigned over the same handle).
+  Fused<T> lazy_modarray(Array<T> src) const;
+
   /// fold-with-loop: reduces body values over every generator element.
   /// \p combine must be associative; evaluation order is unspecified
   /// except that per-chunk partial results are combined in index order.
+  /// Overlapping generators each contribute all their elements (no overlap
+  /// resolution — fold is a multiset reduction, not an array build).
   T fold(const std::function<T(T, T)>& combine, T neutral,
          const Context& ctx = default_context()) const {
     T acc = neutral;
     for (const auto& g : gens_) {
-      validate_rank_only(g);
-      acc = fold_generator(g, combine, std::move(acc), neutral, ctx);
+      validate_striding(g.spec);  // before any member-count division by step
+      const std::int64_t est = element_estimate(g.spec);
+      validate_rank_only(g, est);
+      if (est == 0) {
+        continue;
+      }
+      if (ctx.compiled) {
+        acc = fold_generator_compiled(g, combine, std::move(acc), neutral, ctx, est);
+      } else {
+        acc = fold_generator_reference(g, combine, std::move(acc), neutral, ctx, est);
+      }
     }
     return acc;
   }
 
  private:
+  template <class, class>
+  friend class Fused;
+
+  static constexpr int kRawKernel = -2;
+
   struct Generator {
-    Index lb;
-    Index ub;  // exclusive
-    Index step;
-    Index width;
-    Body body;
+    GeneratorSpec spec;
+    Body body;        // always present: the interpreted/reference evaluator
+    Kernel kernel;    // optional typed segment kernel (compiled engine)
+    bool is_const = false;
+    T const_val{};
+    int coord_arity = -1;  // 1..3 for coordinate kernels, kRawKernel, or -1
   };
+
+  static void check_bounds_rank(const SpecIndex& lb, const SpecIndex& ub) {
+    if (lb.size() != ub.size()) {
+      throw ShapeError("generator bounds " + index_to_string(lb) + " and " +
+                       index_to_string(ub) + " differ in rank");
+    }
+  }
 
   Generator& last() {
     if (gens_.empty()) {
@@ -123,7 +350,7 @@ class With {
     return gens_.back();
   }
 
-  static std::int64_t axis_count(const Generator& g, std::size_t axis) {
+  static std::int64_t axis_count(const GeneratorSpec& g, std::size_t axis) {
     const std::int64_t extent = g.ub[axis] - g.lb[axis];
     if (extent <= 0) {
       return 0;
@@ -138,7 +365,7 @@ class With {
     return full * wd + std::min(rem, wd);
   }
 
-  static std::int64_t element_estimate(const Generator& g) {
+  static std::int64_t element_estimate(const GeneratorSpec& g) {
     std::int64_t n = 1;
     for (std::size_t a = 0; a < g.lb.size(); ++a) {
       n *= axis_count(g, a);
@@ -146,7 +373,7 @@ class With {
     return n;
   }
 
-  static bool axis_member(const Generator& g, std::size_t axis, std::int64_t pos) {
+  static bool axis_member(const GeneratorSpec& g, std::size_t axis, std::int64_t pos) {
     if (g.step.empty()) {
       return true;
     }
@@ -156,10 +383,10 @@ class With {
   }
 
   /// Visits every generator index whose axis-0 component lies in
-  /// [row_lo, row_hi), in row-major order.
+  /// [row_lo, row_hi), in row-major order (reference engine).
   template <class F>
-  static void iterate_rows(const Generator& g, std::int64_t row_lo, std::int64_t row_hi,
-                           const F& visit) {
+  static void iterate_rows(const GeneratorSpec& g, std::int64_t row_lo,
+                           std::int64_t row_hi, const F& visit) {
     const std::size_t rank = g.lb.size();
     if (rank == 0) {
       // A rank-0 generator denotes the single empty index vector.
@@ -179,7 +406,7 @@ class With {
   }
 
   template <class F>
-  static void iterate_axis(const Generator& g, Index& iv, std::size_t axis,
+  static void iterate_axis(const GeneratorSpec& g, Index& iv, std::size_t axis,
                            const F& visit) {
     if (axis == g.lb.size()) {
       visit(const_cast<const Index&>(iv));
@@ -194,35 +421,47 @@ class With {
     }
   }
 
-  void validate_against(const Generator& g, const Shape& target) const {
-    if (static_cast<int>(g.lb.size()) != target.rank()) {
-      throw ShapeError("generator of rank " + std::to_string(g.lb.size()) +
+  /// \p est is the generator's member count, computed once by the caller
+  /// (or taken from the plan) — bounds of empty generators are irrelevant.
+  void validate_against(const Generator& g, const Shape& target,
+                        std::int64_t est) const {
+    if (static_cast<int>(g.spec.lb.size()) != target.rank()) {
+      throw ShapeError("generator of rank " + std::to_string(g.spec.lb.size()) +
                        " does not match result shape " + target.to_string());
     }
-    validate_striding(g);
-    if (element_estimate(g) == 0) {
+    if (g.coord_arity > 0 && g.coord_arity != target.rank()) {
+      throw ShapeError("coordinate kernel of arity " +
+                       std::to_string(g.coord_arity) +
+                       " does not match result rank " +
+                       std::to_string(target.rank()));
+    }
+    validate_striding(g.spec);
+    if (est == 0) {
       return;  // empty generators never touch memory, bounds irrelevant
     }
-    for (std::size_t a = 0; a < g.lb.size(); ++a) {
-      if (g.lb[a] < 0 || g.ub[a] > target.extent(static_cast<int>(a))) {
-        throw ShapeError("generator range " + index_to_string(g.lb) + " .. " +
-                         index_to_string(g.ub) + " exceeds result shape " +
+    for (std::size_t a = 0; a < g.spec.lb.size(); ++a) {
+      if (g.spec.lb[a] < 0 || g.spec.ub[a] > target.extent(static_cast<int>(a))) {
+        throw ShapeError("generator range " + index_to_string(g.spec.lb) + " .. " +
+                         index_to_string(g.spec.ub) + " exceeds result shape " +
                          target.to_string());
       }
     }
   }
 
-  void validate_rank_only(const Generator& g) const {
-    validate_striding(g);
-    for (std::size_t a = 0; a < g.lb.size(); ++a) {
-      if (element_estimate(g) > 0 && g.lb[a] < 0) {
-        throw ShapeError("fold generator lower bound " + index_to_string(g.lb) +
-                         " is negative");
+  void validate_rank_only(const Generator& g, std::int64_t est) const {
+    validate_striding(g.spec);
+    if (est == 0) {
+      return;
+    }
+    for (std::size_t a = 0; a < g.spec.lb.size(); ++a) {
+      if (g.spec.lb[a] < 0) {
+        throw ShapeError("fold generator lower bound " +
+                         index_to_string(g.spec.lb) + " is negative");
       }
     }
   }
 
-  void validate_striding(const Generator& g) const {
+  void validate_striding(const GeneratorSpec& g) const {
     if (!g.step.empty() && g.step.size() != g.lb.size()) {
       throw ShapeError("step vector rank mismatch in generator");
     }
@@ -241,71 +480,576 @@ class With {
     }
   }
 
+  std::vector<GeneratorSpec> specs() const {
+    std::vector<GeneratorSpec> out;
+    out.reserve(gens_.size());
+    for (const auto& g : gens_) {
+      out.push_back(g.spec);
+    }
+    return out;
+  }
+
+  SegmentPlan build_plan(const Shape& shape, bool resolve_overlap,
+                         bool with_complement) const {
+    return SegmentPlan(specs(), shape, resolve_overlap, with_complement);
+  }
+
+  /// Rank and striding checks that must pass before a plan can even be
+  /// built (decomposition divides by step and indexes by rank).
+  void prevalidate(const Shape& shape) const {
+    for (const auto& g : gens_) {
+      if (static_cast<int>(g.spec.lb.size()) != shape.rank()) {
+        throw ShapeError("generator of rank " + std::to_string(g.spec.lb.size()) +
+                         " does not match result shape " + shape.to_string());
+      }
+      validate_striding(g.spec);
+    }
+  }
+
+  void validate_all(const Shape& shape, const SegmentPlan& plan) const {
+    for (std::size_t gi = 0; gi < gens_.size(); ++gi) {
+      validate_against(gens_[gi], shape, plan.generator_elements(gi));
+    }
+  }
+
   void apply_generators(Array<T>& result, const Context& ctx) const {
-    using storage = typename Array<T>::storage_type;
+    if (ctx.compiled) {
+      apply_compiled(result, ctx);
+    } else {
+      apply_reference(result, ctx);
+    }
+  }
+
+  // ---- compiled engine ---------------------------------------------------
+
+  /// Calls run(pre, col_lo, col_hi) for every contiguous last-axis run of
+  /// generator \p g, in row-major order; \p pre (caller-provided rank-1
+  /// scratch, raw so small loops stay allocation-free) holds the outer-axis
+  /// components during each call. This is the small-loop twin of
+  /// SegmentPlan::decompose_generator: same runs, no stored plan.
+  template <class RunFn>
+  static void walk_runs(const GeneratorSpec& g, std::int64_t* pre,
+                        const RunFn& run) {
+    const std::size_t rank = g.lb.size();
+    if (rank == 0) {
+      run(pre, 0, 1);
+      return;
+    }
+    const std::size_t last = rank - 1;
+    const std::int64_t lb_l = g.lb[last];
+    const std::int64_t ub_l = g.ub[last];
+    const std::int64_t st_l = g.step.empty() ? 0 : g.step[last];
+    const std::int64_t wd_l = g.width.empty() ? 1 : (st_l ? g.width[last] : 1);
+    for (std::size_t a = 0; a < last; ++a) {
+      pre[a] = g.lb[a];
+    }
+    while (true) {
+      if (st_l == 0) {
+        run(pre, lb_l, ub_l);
+      } else {
+        for (std::int64_t s = lb_l; s < ub_l; s += st_l) {
+          run(pre, s, std::min(s + wd_l, ub_l));
+        }
+      }
+      // Advance the outer-axis odometer (axis last-1 fastest), honouring
+      // striding by jumping past non-member positions.
+      if (last == 0) {
+        return;  // rank 1: a single outer combination
+      }
+      std::size_t a = last;
+      while (true) {
+        --a;
+        std::int64_t& p = pre[a];
+        ++p;
+        if (!g.step.empty()) {
+          const std::int64_t st = g.step[a];
+          const std::int64_t wd = g.width.empty() ? 1 : g.width[a];
+          if ((p - g.lb[a]) % st >= wd) {
+            p = g.lb[a] + ((p - g.lb[a]) / st + 1) * st;
+          }
+        }
+        if (p < g.ub[a]) {
+          break;
+        }
+        p = g.lb[a];
+        if (a == 0) {
+          return;
+        }
+      }
+    }
+  }
+
+  /// Sequential segment execution without a SegmentPlan: generators run in
+  /// order (later overwrites earlier — the overlap rule needs no setup-time
+  /// resolution when execution is ordered), each as fills/kernels/tight
+  /// body loops over its runs. This keeps tiny with-loops — sudoku's
+  /// addNumber touches ~3N cells per call — free of plan-building cost.
+  static constexpr int kMaxStackRank = 8;
+
+  /// Dense (unstrided) constant generator, written as nested strided
+  /// stores over a *compacted* axis list: extent-1 axes are dropped (they
+  /// only shift the base — addNumber's row/column/box generators each pin
+  /// two of three axes) and adjacent axes that are contiguous in memory are
+  /// merged into one longer run. Without this the generic run walk pays a
+  /// memset call (or odometer dispatch) per single-cell row, which costs
+  /// more than the whole generator's worth of stores.
+  static void fill_dense(const GeneratorSpec& g, storage* out,
+                         const std::int64_t* strides, storage v) {
+    const std::size_t rank = g.lb.size();
+    std::int64_t base = 0;
+    for (std::size_t a = 0; a < rank; ++a) {
+      base += g.lb[a] * strides[a];
+    }
+    std::int64_t ext_buf[kMaxStackRank];
+    std::int64_t str_buf[kMaxStackRank];
+    std::vector<std::int64_t> deep;
+    std::int64_t* ext = ext_buf;
+    std::int64_t* str = str_buf;
+    if (rank > kMaxStackRank) {
+      deep.resize(2 * rank);
+      ext = deep.data();
+      str = deep.data() + rank;
+    }
+    std::size_t m = 0;
+    for (std::size_t a = 0; a < rank; ++a) {
+      const std::int64_t e = g.ub[a] - g.lb[a];
+      if (e > 1) {
+        ext[m] = e;
+        str[m] = strides[a];
+        ++m;
+      }
+    }
+    // Merge inward-contiguous neighbours: axis i spans exactly ext[i]
+    // repetitions of the [i+1..] block when str[i] == ext[i+1]*str[i+1].
+    std::size_t w = m;
+    while (w >= 2 && str[w - 2] == ext[w - 1] * str[w - 1]) {
+      ext[w - 2] *= ext[w - 1];
+      str[w - 2] = str[w - 1];
+      --w;
+    }
+    m = w;
+    if (m == 0) {
+      out[base] = v;
+      return;
+    }
+    const std::int64_t len = ext[m - 1];
+    const std::int64_t lstr = str[m - 1];
+    const auto run = [&](std::int64_t b) {
+      if (lstr == 1 && len >= 16) {
+        std::fill(out + b, out + b + len, v);
+      } else {
+        storage* p = out + b;
+        for (std::int64_t t = 0; t < len; ++t, p += lstr) {
+          *p = v;
+        }
+      }
+    };
+    if (m == 1) {
+      run(base);
+      return;
+    }
+    if (m == 2) {
+      for (std::int64_t r = 0; r < ext[0]; ++r, base += str[0]) {
+        run(base);
+      }
+      return;
+    }
+    // m >= 3: odometer over the axes outside the innermost run.
+    const std::size_t outer = m - 1;
+    std::int64_t idx[kMaxStackRank] = {};
+    std::vector<std::int64_t> idx_deep;
+    std::int64_t* ip = idx;
+    if (outer > kMaxStackRank) {
+      idx_deep.assign(outer, 0);
+      ip = idx_deep.data();
+    }
+    while (true) {
+      run(base);
+      std::size_t a = outer;
+      while (true) {
+        if (a == 0) {
+          return;
+        }
+        --a;
+        ++ip[a];
+        base += str[a];
+        if (ip[a] < ext[a]) {
+          break;
+        }
+        base -= ip[a] * str[a];
+        ip[a] = 0;
+      }
+    }
+  }
+
+  void apply_compiled_seq(Array<T>& result, const Shape& shp,
+                          const std::int64_t* ests) const {
+    const int rank = shp.rank();
+    storage* out = nullptr;  // detach lazily: empty loops must not COW
+    std::int64_t strides_buf[kMaxStackRank];
+    std::int64_t pre_buf[kMaxStackRank];
+    std::vector<std::int64_t> deep;  // spill only for rank > kMaxStackRank
+    std::int64_t* strides = strides_buf;
+    std::int64_t* pre = pre_buf;
+    if (rank > kMaxStackRank) {
+      deep.resize(2 * static_cast<std::size_t>(rank));
+      strides = deep.data();
+      pre = deep.data() + rank;
+    }
+    if (rank > 0) {
+      strides[rank - 1] = 1;
+      for (int a = rank - 2; a >= 0; --a) {
+        strides[a] = strides[a + 1] * shp.extent(a + 1);
+      }
+    }
+    // Index-vector scratch, needed (and allocated) only when some generator
+    // evaluates through a kernel or a Body; pure gen_val loops — sudoku's
+    // addNumber — run with zero allocations.
+    Index pre_ix;
+    Index iv;
+    const std::size_t last = rank > 0 ? static_cast<std::size_t>(rank - 1) : 0;
+    for (std::size_t gi = 0; gi < gens_.size(); ++gi) {
+      if (ests[gi] == 0) {
+        continue;
+      }
+      const Generator& g = gens_[gi];
+      if (out == nullptr) {
+        out = result.mutable_data().data();
+      }
+      if (rank == 0) {
+        const Index empty;
+        if (g.is_const) {
+          out[0] = static_cast<storage>(g.const_val);
+        } else if (g.kernel) {
+          g.kernel(out, 0, empty, 0, 1);
+        } else {
+          out[0] = static_cast<storage>(g.body(empty));
+        }
+        continue;
+      }
+      if (g.is_const && g.spec.step.empty()) {
+        fill_dense(g.spec, out, strides, static_cast<storage>(g.const_val));
+        continue;
+      }
+      if (!g.is_const) {
+        if (g.kernel && pre_ix.size() != last) {
+          pre_ix.assign(last, 0);
+        } else if (!g.kernel && iv.size() != static_cast<std::size_t>(rank)) {
+          iv.assign(static_cast<std::size_t>(rank), 0);
+        }
+      }
+      walk_runs(g.spec, pre,
+                [&](const std::int64_t* p, std::int64_t lo, std::int64_t hi) {
+                  std::int64_t base = lo;
+                  for (std::size_t a = 0; a < last; ++a) {
+                    base += p[a] * strides[a];
+                  }
+                  if (g.is_const) {
+                    std::fill(out + base, out + base + (hi - lo),
+                              static_cast<storage>(g.const_val));
+                  } else if (g.kernel) {
+                    std::copy(p, p + last, pre_ix.begin());
+                    g.kernel(out, base, pre_ix, lo, hi);
+                  } else {
+                    std::copy(p, p + last, iv.begin());
+                    std::int64_t at = base;
+                    for (std::int64_t j = lo; j < hi; ++j, ++at) {
+                      iv[last] = j;
+                      out[at] = static_cast<storage>(g.body(iv));
+                    }
+                  }
+                });
+    }
+  }
+
+  void apply_compiled(Array<T>& result, const Context& ctx) const {
+    const Shape& shp = result.shape();
+    prevalidate(shp);
+    // One element_estimate per generator per apply (the interpreted path
+    // used to recompute it up to 3x); doubles as the size trigger for the
+    // plan-free sequential path. Stack storage for the usual few-generator
+    // case — this runs on every with-loop call.
+    std::int64_t ests_buf[16];
+    std::vector<std::int64_t> ests_spill;
+    std::int64_t* ests = ests_buf;
+    if (gens_.size() > 16) {
+      ests_spill.resize(gens_.size());
+      ests = ests_spill.data();
+    }
+    std::int64_t total = 0;
+    for (std::size_t gi = 0; gi < gens_.size(); ++gi) {
+      ests[gi] = element_estimate(gens_[gi].spec);
+      validate_against(gens_[gi], shp, ests[gi]);
+      total += ests[gi];
+    }
+    if (total == 0) {
+      return;
+    }
+    if (ctx.threads <= 1 || total < ctx.grain) {
+      apply_compiled_seq(result, shp, ests);
+      return;
+    }
+    const SegmentPlan plan = build_plan(shp, /*resolve_overlap=*/true,
+                                        /*with_complement=*/false);
+    if (plan.segments().empty()) {
+      return;
+    }
+    // Detach once, before chunking; every chunk writes disjoint cells.
+    storage* out = result.mutable_data().data();
+    const int rank = shp.rank();
+    const auto run = [&](std::int64_t lo, std::int64_t hi) {
+      Index iv(static_cast<std::size_t>(rank), 0);
+      Index pre(rank > 0 ? static_cast<std::size_t>(rank - 1) : 0, 0);
+      for (std::int64_t si = lo; si < hi; ++si) {
+        const Segment& s = plan.segments()[static_cast<std::size_t>(si)];
+        const auto& g = gens_[static_cast<std::size_t>(s.gen)];
+        const std::int64_t len = s.count();
+        if (g.is_const) {
+          std::fill(out + s.base, out + s.base + len,
+                    static_cast<storage>(g.const_val));
+        } else if (g.kernel) {
+          load_prefix(plan, s, pre);
+          g.kernel(out, s.base, pre, s.col_lo, s.col_hi);
+        } else if (rank == 0) {
+          const Index empty;
+          out[s.base] = static_cast<storage>(g.body(empty));
+        } else {
+          load_prefix(plan, s, iv);
+          std::int64_t at = s.base;
+          for (std::int64_t j = s.col_lo; j < s.col_hi; ++j, ++at) {
+            iv[static_cast<std::size_t>(rank - 1)] = j;
+            out[at] = static_cast<storage>(g.body(iv));
+          }
+        }
+      }
+    };
+    detail::run_over_segments(plan, ctx, run);
+  }
+
+  /// Copies a segment's row prefix into the leading components of \p iv
+  /// (which may be the rank-1 prefix vector itself or a full-rank scratch
+  /// index whose last component the caller varies).
+  static void load_prefix(const SegmentPlan& plan, const Segment& s, Index& iv) {
+    const int pr = plan.prefix_rank();
+    if (pr == 0 || s.prefix < 0) {
+      return;
+    }
+    const std::int64_t* pp = plan.prefix_at(s.prefix);
+    for (int a = 0; a < pr; ++a) {
+      iv[static_cast<std::size_t>(a)] = pp[a];
+    }
+  }
+
+  template <class C>
+  T fold_generator_compiled(const Generator& g, const C& combine, T acc,
+                            const T& neutral, const Context& ctx,
+                            std::int64_t est) const {
+    const int rank0 = static_cast<int>(g.spec.lb.size());
+    if (ctx.threads <= 1 || est < ctx.grain) {
+      // Plan-free sequential fold over the generator's runs; scratch
+      // Index/vector state is allocated only for kernel/body generators.
+      std::int64_t pre_buf[kMaxStackRank];
+      std::vector<std::int64_t> deep;
+      std::int64_t* pre = pre_buf;
+      if (rank0 > kMaxStackRank) {
+        deep.resize(static_cast<std::size_t>(rank0));
+        pre = deep.data();
+      }
+      const std::size_t last =
+          rank0 > 0 ? static_cast<std::size_t>(rank0 - 1) : 0;
+      Index pre_ix;
+      Index iv;
+      std::vector<storage> scratch;
+      if (!g.is_const) {
+        if (g.kernel) {
+          pre_ix.assign(last, 0);
+        } else {
+          iv.assign(static_cast<std::size_t>(rank0), 0);
+        }
+      }
+      walk_runs(g.spec, pre,
+                [&](const std::int64_t* p, std::int64_t lo, std::int64_t hi) {
+                  if (g.is_const) {
+                    for (std::int64_t t = lo; t < hi; ++t) {
+                      acc = combine(acc, g.const_val);
+                    }
+                  } else if (g.kernel) {
+                    scratch.resize(static_cast<std::size_t>(hi - lo));
+                    std::copy(p, p + last, pre_ix.begin());
+                    g.kernel(scratch.data(), 0, pre_ix, lo, hi);
+                    for (const storage& v : scratch) {
+                      acc = combine(acc, static_cast<T>(v));
+                    }
+                  } else if (rank0 == 0) {
+                    const Index empty;
+                    acc = combine(acc, g.body(empty));
+                  } else {
+                    std::copy(p, p + last, iv.begin());
+                    for (std::int64_t j = lo; j < hi; ++j) {
+                      iv[last] = j;
+                      acc = combine(acc, g.body(iv));
+                    }
+                  }
+                });
+      return acc;
+    }
+    // Fold has no result array: decompose against the generator's own
+    // bounding shape (lb >= 0 was validated; linear bases are unused).
+    const Shape bounding{std::vector<std::int64_t>(g.spec.ub.begin(),
+                                                   g.spec.ub.end())};
+    const SegmentPlan plan({g.spec}, bounding, /*resolve_overlap=*/false,
+                           /*with_complement=*/false);
+    const auto& segs = plan.segments();
+    const int rank = static_cast<int>(g.spec.lb.size());
+
+    const auto eval_segment = [&](const Segment& s, T part,
+                                  std::vector<storage>& scratch, Index& iv,
+                                  Index& pre) -> T {
+      const std::int64_t len = s.count();
+      if (g.is_const) {
+        for (std::int64_t t = 0; t < len; ++t) {
+          part = combine(part, g.const_val);
+        }
+      } else if (g.kernel) {
+        scratch.resize(static_cast<std::size_t>(len));
+        load_prefix(plan, s, pre);
+        g.kernel(scratch.data(), 0, pre, s.col_lo, s.col_hi);
+        for (std::int64_t t = 0; t < len; ++t) {
+          part = combine(part, static_cast<T>(scratch[static_cast<std::size_t>(t)]));
+        }
+      } else if (rank == 0) {
+        const Index empty;
+        part = combine(part, g.body(empty));
+      } else {
+        load_prefix(plan, s, iv);
+        for (std::int64_t j = s.col_lo; j < s.col_hi; ++j) {
+          iv[static_cast<std::size_t>(rank - 1)] = j;
+          part = combine(part, g.body(iv));
+        }
+      }
+      return part;
+    };
+
+    if (ctx.threads <= 1 || est < ctx.grain || segs.size() <= 1) {
+      std::vector<storage> scratch;
+      Index iv(static_cast<std::size_t>(rank), 0);
+      Index pre(rank > 0 ? static_cast<std::size_t>(rank - 1) : 0, 0);
+      for (const Segment& s : segs) {
+        acc = eval_segment(s, std::move(acc), scratch, iv, pre);
+      }
+      return acc;
+    }
+    // Parallel fold: segment ranges of >= grain cells, one partial per
+    // range, partials combined in segment (= index) order.
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+    std::int64_t start = 0;
+    std::int64_t cells = 0;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      cells += segs[i].count();
+      if (cells >= ctx.grain) {
+        ranges.emplace_back(start, static_cast<std::int64_t>(i + 1));
+        start = static_cast<std::int64_t>(i + 1);
+        cells = 0;
+      }
+    }
+    if (start < static_cast<std::int64_t>(segs.size())) {
+      ranges.emplace_back(start, static_cast<std::int64_t>(segs.size()));
+    }
+    // Partials live in the storage type: std::vector<bool>'s packed bits
+    // must not be written concurrently from different chunks.
+    std::vector<storage> partials(ranges.size(), static_cast<storage>(neutral));
+    snetsac::runtime::parallel_for_each(
+        sac_pool(), 0, static_cast<std::int64_t>(ranges.size()), 1,
+        [&](std::int64_t c) {
+          T part = neutral;
+          std::vector<storage> scratch;
+          Index iv(static_cast<std::size_t>(rank), 0);
+          Index pre(rank > 0 ? static_cast<std::size_t>(rank - 1) : 0, 0);
+          const auto& [rlo, rhi] = ranges[static_cast<std::size_t>(c)];
+          for (std::int64_t i = rlo; i < rhi; ++i) {
+            part = eval_segment(segs[static_cast<std::size_t>(i)], std::move(part),
+                                scratch, iv, pre);
+          }
+          partials[static_cast<std::size_t>(c)] = static_cast<storage>(part);
+        });
+    for (const storage& p : partials) {
+      acc = combine(acc, static_cast<T>(p));
+    }
+    return acc;
+  }
+
+  // ---- interpreted/reference engine --------------------------------------
+
+  void apply_reference(Array<T>& result, const Context& ctx) const {
     const Shape& shp = result.shape();
     for (const auto& g : gens_) {
-      validate_against(g, shp);
-      if (element_estimate(g) == 0) {
+      validate_striding(g.spec);  // before any member-count division by step
+      const std::int64_t est = element_estimate(g.spec);
+      validate_against(g, shp, est);
+      if (est == 0) {
         continue;
       }
-      std::vector<storage>& buf = result.mutable_data();
+      auto& buf = result.mutable_data();
       const auto write = [&](const Index& iv) {
-        buf[static_cast<std::size_t>(shp.linearize(iv))] =
-            static_cast<storage>(g.body(iv));
+        buf[static_cast<std::size_t>(shp.linearize(iv))] = static_cast<storage>(
+            g.is_const ? g.const_val : g.body(iv));
       };
-      if (g.lb.empty()) {
-        iterate_rows(g, 0, 1, write);
+      if (g.spec.lb.empty()) {
+        iterate_rows(g.spec, 0, 1, write);
         continue;
       }
-      const std::int64_t rows = g.ub[0] - g.lb[0];
-      const std::int64_t per_row = rows > 0 ? element_estimate(g) / std::max<std::int64_t>(rows, 1) : 0;
+      const std::int64_t rows = g.spec.ub[0] - g.spec.lb[0];
+      const std::int64_t per_row = est / std::max<std::int64_t>(rows, 1);
       const std::int64_t row_grain =
-          per_row > 0 ? std::max<std::int64_t>(1, ctx.grain / std::max<std::int64_t>(per_row, 1)) : 1;
-      if (ctx.threads <= 1 || element_estimate(g) < ctx.grain) {
-        iterate_rows(g, g.lb[0], g.ub[0], write);
+          per_row > 0
+              ? std::max<std::int64_t>(1, ctx.grain / std::max<std::int64_t>(per_row, 1))
+              : 1;
+      if (ctx.threads <= 1 || est < ctx.grain) {
+        iterate_rows(g.spec, g.spec.lb[0], g.spec.ub[0], write);
       } else {
         snetsac::runtime::parallel_for_chunks(
-            sac_pool(), g.lb[0], g.ub[0], row_grain,
-            [&](std::int64_t lo, std::int64_t hi) { iterate_rows(g, lo, hi, write); },
+            sac_pool(), g.spec.lb[0], g.spec.ub[0], row_grain,
+            [&](std::int64_t lo, std::int64_t hi) {
+              iterate_rows(g.spec, lo, hi, write);
+            },
             ctx.threads);
       }
     }
   }
 
-  T fold_generator(const Generator& g, const std::function<T(T, T)>& combine, T acc,
-                   const T& neutral, const Context& ctx) const {
-    if (element_estimate(g) == 0) {
-      return acc;
-    }
-    if (g.lb.empty() || ctx.threads <= 1 || element_estimate(g) < ctx.grain) {
-      const std::int64_t lo = g.lb.empty() ? 0 : g.lb[0];
-      const std::int64_t hi = g.lb.empty() ? 1 : g.ub[0];
-      iterate_rows(g, lo, hi, [&](const Index& iv) { acc = combine(acc, g.body(iv)); });
+  T fold_generator_reference(const Generator& g,
+                             const std::function<T(T, T)>& combine, T acc,
+                             const T& neutral, const Context& ctx,
+                             std::int64_t est) const {
+    const auto eval = [&g](const Index& iv) {
+      return g.is_const ? g.const_val : g.body(iv);
+    };
+    if (g.spec.lb.empty() || ctx.threads <= 1 || est < ctx.grain) {
+      const std::int64_t lo = g.spec.lb.empty() ? 0 : g.spec.lb[0];
+      const std::int64_t hi = g.spec.lb.empty() ? 1 : g.spec.ub[0];
+      iterate_rows(g.spec, lo, hi,
+                   [&](const Index& iv) { acc = combine(acc, eval(iv)); });
       return acc;
     }
     // Parallel fold: fixed chunk ranges over axis 0, one partial per chunk,
     // partials combined in index order (associativity is enough).
-    const std::int64_t rows = g.ub[0] - g.lb[0];
+    const std::int64_t rows = g.spec.ub[0] - g.spec.lb[0];
     const std::int64_t chunks =
         std::min<std::int64_t>(ctx.threads, std::max<std::int64_t>(rows, 1));
     const std::int64_t chunk_rows = (rows + chunks - 1) / chunks;
     std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
-    for (std::int64_t lo = g.lb[0]; lo < g.ub[0]; lo += chunk_rows) {
-      ranges.emplace_back(lo, std::min(lo + chunk_rows, g.ub[0]));
+    for (std::int64_t lo = g.spec.lb[0]; lo < g.spec.ub[0]; lo += chunk_rows) {
+      ranges.emplace_back(lo, std::min(lo + chunk_rows, g.spec.ub[0]));
     }
-    // Partials live in the storage type: std::vector<bool>'s packed bits
-    // must not be written concurrently from different chunks.
-    std::vector<detail::storage_t<T>> partials(ranges.size(),
-                                               static_cast<detail::storage_t<T>>(neutral));
+    std::vector<storage> partials(ranges.size(), static_cast<storage>(neutral));
     snetsac::runtime::parallel_for_each(
         sac_pool(), 0, static_cast<std::int64_t>(ranges.size()), 1,
         [&](std::int64_t c) {
           T part = neutral;
-          iterate_rows(g, ranges[static_cast<std::size_t>(c)].first,
+          iterate_rows(g.spec, ranges[static_cast<std::size_t>(c)].first,
                        ranges[static_cast<std::size_t>(c)].second,
-                       [&](const Index& iv) { part = combine(part, g.body(iv)); });
-          partials[static_cast<std::size_t>(c)] = static_cast<detail::storage_t<T>>(part);
+                       [&](const Index& iv) { part = combine(part, eval(iv)); });
+          partials[static_cast<std::size_t>(c)] = static_cast<storage>(part);
         });
     for (std::size_t c = 0; c < partials.size(); ++c) {
       acc = combine(acc, static_cast<T>(partials[c]));
@@ -315,6 +1059,278 @@ class With {
 
   std::vector<Generator> gens_;
 };
+
+/// Fused with-loop chain: a lazy with-loop (or plain array) with a stack of
+/// elementwise post-stages. Terminals (`to_array`, `fold`) execute the whole
+/// chain in one segment pass of the root — chained producers never
+/// materialise. With `Context::compiled == false` the chain instead
+/// materialises the root with the interpreted engine and applies the stages
+/// elementwise (the unfused ablation), so compiled-vs-reference equivalence
+/// covers fusion too.
+template <class T, class Post>
+class Fused {
+ public:
+  using value_type =
+      std::decay_t<std::invoke_result_t<const Post&, T, std::int64_t>>;
+
+  const Shape& shape() const { return shape_; }
+
+  /// Chains an elementwise function: value' = f(value).
+  template <class F>
+  auto map(F f) const {
+    using NewPost = detail::ComposedStage<Post, detail::MapStage<F>>;
+    return Fused<T, NewPost>(with_, shape_, src_, def_, has_src_,
+                             NewPost{post_, detail::MapStage<F>{std::move(f)}});
+  }
+
+  /// Chains a binary elementwise function against a second array of the
+  /// same shape: value' = f(value, other[iv]).
+  template <class U, class F>
+  auto zip_with(const Array<U>& other, F f) const {
+    if (other.shape() != shape_) {
+      throw ShapeError("zip_with on shapes " + shape_.to_string() + " and " +
+                       other.shape().to_string());
+    }
+    using NewPost =
+        detail::ComposedStage<Post, detail::ZipStage<U, F>>;
+    detail::ZipStage<U, F> stage{other, other.data().data(), std::move(f)};
+    return Fused<T, NewPost>(with_, shape_, src_, def_, has_src_,
+                             NewPost{post_, std::move(stage)});
+  }
+
+  /// Materialises the chain: one pass, no intermediate arrays.
+  Array<value_type> to_array(const Context& ctx = default_context()) const {
+    using R = value_type;
+    using RS = detail::storage_t<R>;
+    Array<R> out(shape_, R{});
+    const std::int64_t n = shape_.element_count();
+    if (n == 0) {
+      return out;
+    }
+    if (!ctx.compiled) {
+      const Array<T> root = materialize_root(ctx);
+      auto& ob = out.mutable_data();
+      for (std::int64_t i = 0; i < n; ++i) {
+        ob[static_cast<std::size_t>(i)] =
+            static_cast<RS>(post_(root.linear(i), i));
+      }
+      return out;
+    }
+    if (with_.gens_.empty()) {
+      // Generator-less chain (lazy(a).map(...) and friends): one plain pass
+      // over the root storage, no plan.
+      RS* op = out.mutable_data().data();
+      if (has_src_) {
+        const detail::storage_t<T>* sp = src_.data().data();
+        for (std::int64_t i = 0; i < n; ++i) {
+          op[i] = static_cast<RS>(post_(static_cast<T>(sp[i]), i));
+        }
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) {
+          op[i] = static_cast<RS>(post_(def_, i));
+        }
+      }
+      return out;
+    }
+    with_.prevalidate(shape_);
+    const SegmentPlan plan =
+        with_.build_plan(shape_, /*resolve_overlap=*/true, /*with_complement=*/true);
+    with_.validate_all(shape_, plan);
+    RS* op = out.mutable_data().data();
+    const detail::storage_t<T>* sp = has_src_ ? src_.data().data() : nullptr;
+    const auto run = [&](std::int64_t lo, std::int64_t hi) {
+      run_segments(plan, lo, hi, sp,
+                   [&](std::int64_t linear, T v) {
+                     op[linear] = static_cast<RS>(post_(v, linear));
+                   });
+    };
+    detail::run_over_segments(plan, ctx, run);
+    return out;
+  }
+
+  /// Folds the chain's cells (each exactly once — overlap resolved, default
+  /// and source cells included) with \p combine. One pass, no arrays.
+  template <class C>
+  value_type fold(C combine, value_type neutral,
+                  const Context& ctx = default_context()) const {
+    using R = value_type;
+    using RS = detail::storage_t<R>;
+    const std::int64_t n = shape_.element_count();
+    if (n == 0) {
+      return neutral;
+    }
+    if (!ctx.compiled) {
+      const Array<T> root = materialize_root(ctx);
+      R acc = neutral;
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc = combine(acc, post_(root.linear(i), i));
+      }
+      return acc;
+    }
+    if (with_.gens_.empty()) {
+      R acc = neutral;
+      if (has_src_) {
+        const detail::storage_t<T>* sp = src_.data().data();
+        for (std::int64_t i = 0; i < n; ++i) {
+          acc = combine(acc, post_(static_cast<T>(sp[i]), i));
+        }
+      } else {
+        for (std::int64_t i = 0; i < n; ++i) {
+          acc = combine(acc, post_(def_, i));
+        }
+      }
+      return acc;
+    }
+    with_.prevalidate(shape_);
+    const SegmentPlan plan =
+        with_.build_plan(shape_, /*resolve_overlap=*/true, /*with_complement=*/true);
+    with_.validate_all(shape_, plan);
+    const detail::storage_t<T>* sp = has_src_ ? src_.data().data() : nullptr;
+    const auto& segs = plan.segments();
+
+    if (ctx.threads <= 1 || n < ctx.grain || segs.size() <= 1) {
+      R acc = neutral;
+      run_segments(plan, 0, static_cast<std::int64_t>(segs.size()), sp,
+                   [&](std::int64_t linear, T v) {
+                     acc = combine(acc, post_(v, linear));
+                   });
+      return acc;
+    }
+    // Segment ranges of >= grain cells; one partial per range, combined in
+    // plan order.
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+    std::int64_t start = 0;
+    std::int64_t cells = 0;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      cells += segs[i].count();
+      if (cells >= ctx.grain) {
+        ranges.emplace_back(start, static_cast<std::int64_t>(i + 1));
+        start = static_cast<std::int64_t>(i + 1);
+        cells = 0;
+      }
+    }
+    if (start < static_cast<std::int64_t>(segs.size())) {
+      ranges.emplace_back(start, static_cast<std::int64_t>(segs.size()));
+    }
+    std::vector<RS> partials(ranges.size(), static_cast<RS>(neutral));
+    snetsac::runtime::parallel_for_each(
+        sac_pool(), 0, static_cast<std::int64_t>(ranges.size()), 1,
+        [&](std::int64_t c) {
+          R part = neutral;
+          const auto& [rlo, rhi] = ranges[static_cast<std::size_t>(c)];
+          run_segments(plan, rlo, rhi, sp,
+                       [&](std::int64_t linear, T v) {
+                         part = combine(part, post_(v, linear));
+                       });
+          partials[static_cast<std::size_t>(c)] = static_cast<RS>(part);
+        });
+    R acc = neutral;
+    for (const RS& p : partials) {
+      acc = combine(acc, static_cast<R>(p));
+    }
+    return acc;
+  }
+
+ private:
+  friend class With<T>;
+  template <class, class>
+  friend class Fused;
+  template <class X>
+  friend Fused<X> lazy(const Array<X>& a);
+
+  Fused(With<T> w, Shape shp, Array<T> src, T def, bool has_src, Post post)
+      : with_(std::move(w)),
+        shape_(std::move(shp)),
+        src_(std::move(src)),
+        def_(std::move(def)),
+        has_src_(has_src),
+        post_(std::move(post)) {}
+
+  Array<T> materialize_root(const Context& ctx) const {
+    return has_src_ ? with_.modarray(src_, ctx)
+                    : with_.genarray(shape_, def_, ctx);
+  }
+
+  /// Drives segments [lo, hi), producing each cell's root value and linear
+  /// offset through \p emit (a template parameter, so the post chain and
+  /// the consumer inline into the loop).
+  template <class Emit>
+  void run_segments(const SegmentPlan& plan, std::int64_t lo, std::int64_t hi,
+                    const detail::storage_t<T>* sp, const Emit& emit) const {
+    using TS = detail::storage_t<T>;
+    const int rank = shape_.rank();
+    Index iv(static_cast<std::size_t>(rank), 0);
+    Index pre(rank > 0 ? static_cast<std::size_t>(rank - 1) : 0, 0);
+    std::vector<TS> scratch;
+    for (std::int64_t si = lo; si < hi; ++si) {
+      const Segment& s = plan.segments()[static_cast<std::size_t>(si)];
+      const std::int64_t len = s.count();
+      if (s.gen == SegmentPlan::kComplement) {
+        if (sp != nullptr) {
+          for (std::int64_t t = 0; t < len; ++t) {
+            emit(s.base + t, static_cast<T>(sp[s.base + t]));
+          }
+        } else {
+          for (std::int64_t t = 0; t < len; ++t) {
+            emit(s.base + t, def_);
+          }
+        }
+        continue;
+      }
+      const auto& g = with_.gens_[static_cast<std::size_t>(s.gen)];
+      if (g.is_const) {
+        for (std::int64_t t = 0; t < len; ++t) {
+          emit(s.base + t, g.const_val);
+        }
+      } else if (g.kernel) {
+        scratch.resize(static_cast<std::size_t>(len));
+        With<T>::load_prefix(plan, s, pre);
+        g.kernel(scratch.data(), 0, pre, s.col_lo, s.col_hi);
+        for (std::int64_t t = 0; t < len; ++t) {
+          emit(s.base + t, static_cast<T>(scratch[static_cast<std::size_t>(t)]));
+        }
+      } else if (rank == 0) {
+        const Index empty;
+        emit(s.base, g.body(empty));
+      } else {
+        With<T>::load_prefix(plan, s, iv);
+        std::int64_t at = s.base;
+        for (std::int64_t j = s.col_lo; j < s.col_hi; ++j, ++at) {
+          iv[static_cast<std::size_t>(rank - 1)] = j;
+          emit(at, g.body(iv));
+        }
+      }
+    }
+  }
+
+  With<T> with_;
+  Shape shape_;
+  Array<T> src_;  // engaged iff has_src_
+  T def_{};
+  bool has_src_ = false;
+  Post post_;
+};
+
+template <class T>
+inline Fused<T> With<T>::lazy_genarray(Shape result_shape, T default_value) const {
+  return Fused<T>(*this, std::move(result_shape), Array<T>(), std::move(default_value),
+                  /*has_src=*/false, detail::IdentityStage{});
+}
+
+template <class T>
+inline Fused<T> With<T>::lazy_modarray(Array<T> src) const {
+  Shape shp = src.shape();
+  return Fused<T>(*this, std::move(shp), std::move(src), T{},
+                  /*has_src=*/true, detail::IdentityStage{});
+}
+
+/// Lifts a plain array into a fusable chain (a generator-less lazy
+/// modarray): `lazy(a).map(f).zip_with(b, g).fold(...)` is one pass over
+/// `a`'s storage with everything inlined.
+template <class T>
+Fused<T> lazy(const Array<T>& a) {
+  return With<T>().lazy_modarray(a);
+}
 
 }  // namespace sac
 

@@ -30,16 +30,20 @@ std::vector<std::int64_t> Shape::strides() const {
 }
 
 std::int64_t Shape::linearize(const Index& iv) const {
-  if (static_cast<int>(iv.size()) != rank()) {
-    throw ShapeError("index " + index_to_string(iv) + " has rank " +
-                     std::to_string(iv.size()) + ", array has rank " +
+  return linearize(iv.data(), iv.size());
+}
+
+std::int64_t Shape::linearize(const std::int64_t* iv, std::size_t n) const {
+  if (static_cast<int>(n) != rank()) {
+    throw ShapeError("index " + index_to_string(Index(iv, iv + n)) +
+                     " has rank " + std::to_string(n) + ", array has rank " +
                      std::to_string(rank()));
   }
   std::int64_t off = 0;
   for (std::size_t a = 0; a < dims_.size(); ++a) {
     if (iv[a] < 0 || iv[a] >= dims_[a]) {
-      throw ShapeError("index " + index_to_string(iv) + " out of bounds for shape " +
-                       to_string());
+      throw ShapeError("index " + index_to_string(Index(iv, iv + n)) +
+                       " out of bounds for shape " + to_string());
     }
     off = off * dims_[a] + iv[a];
   }

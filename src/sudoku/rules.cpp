@@ -59,7 +59,9 @@ int options_at(const OptsArray& opts, int i, int j) {
   const std::int64_t N = opts.shape().extent(2);
   const std::int64_t I = i;
   const std::int64_t J = j;
-  // SaC: fold-with-loop over the option vector of one cell.
+  // SaC: fold-with-loop over the option vector of one cell. Kept in the
+  // paper's per-element form; the row is one contiguous run, which the
+  // compiled fold engine walks without building index vectors per element.
   return sac::With<int>()
       .gen({I, J, 0}, {I + 1, J + 1, N},
            [&](const sac::Index& iv) { return opts[iv] ? 1 : 0; })

@@ -40,6 +40,9 @@ RATIO_METRICS = {
     # bench_routing: end-to-end records/sec with the batched-quantum
     # pipeline on vs. the scalar ablation, same binary and topology.
     "e2e_batch_speedup",
+    # bench_withloop: compiled segment engine vs. the interpreted
+    # per-element reference on identical With objects (Context::compiled).
+    "withloop_compiled_speedup",
 }
 # Metrics enforced only with --absolute: machine-dependent throughput.
 ABSOLUTE_METRICS = {"records_per_sec"}
