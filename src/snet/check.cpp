@@ -17,18 +17,6 @@ void add_unique(std::vector<RecordType>& vs, const RecordType& v) {
   }
 }
 
-/// Best-match score of a (lower-bound) record type against an input
-/// multitype: mirrors MultiType::match_score but on types.
-int match_score_type(const MultiType& input, const RecordType& v) {
-  int best = -1;
-  for (const auto& w : input.variants()) {
-    if (w.included_in(v)) {
-      best = std::max(best, static_cast<int>(w.size()));
-    }
-  }
-  return best;
-}
-
 }  // namespace
 
 MultiType required_input(const Net& n) {
@@ -114,8 +102,11 @@ MultiType propagate(const Net& n, const MultiType& incoming) {
       std::vector<RecordType> to_left;
       std::vector<RecordType> to_right;
       for (const auto& v : incoming.variants()) {
-        const int ls = match_score_type(left_in, v);
-        const int rs = match_score_type(right_in, v);
+        // The type-level MultiType::match_score — the shared primitive the
+        // ParallelRouter's record-level decision mirrors, so the static
+        // tie verdict cannot drift from the runtime one.
+        const int ls = left_in.match_score(v);
+        const int rs = right_in.match_score(v);
         if (ls < 0 && rs < 0) {
           throw TypeCheckError("parallel combinator `" + describe(n) +
                                "`: records of type " + v.to_string() +

@@ -3,60 +3,120 @@
 #include <map>
 #include <sstream>
 
+#include "snet/verify.hpp"
+
 namespace snet {
 
 namespace {
 
+/// Escapes a string for use inside a double-quoted DOT attribute. Label
+/// and tag names are user-controlled (the programmatic API accepts any
+/// string), so besides quotes and backslashes, control characters must
+/// become escape sequences — a raw newline inside an attribute is a DOT
+/// syntax error, and the previous quote-only escaping both let those
+/// through and double-escaped intentional "\n" line breaks.
 std::string escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
     }
-    out.push_back(c);
   }
   return out;
 }
 
-/// Emits nodes/edges for \p n; returns (entry, exit) node ids.
+/// Emits nodes/edges for \p n; returns (entry, exit) node ids. When a
+/// verify report is supplied, components the verifier flagged are painted:
+/// errors red, warnings orange. Tree positions are tracked with the same
+/// instantiate-style paths the verifier reports, so a diagnostic at
+/// "net/parL" colours that whole branch subtree.
 struct DotBuilder {
   std::ostringstream& os;
+  const VerifyReport* report = nullptr;
   int next_id = 0;
 
+  /// The fill attribute for the component at \p path — the worst verdict
+  /// whose diagnostic path covers it (exact, or as a ".../" or "...["
+  /// subtree prefix).
+  std::string paint(const std::string& path) const {
+    if (report == nullptr) {
+      return {};
+    }
+    bool warn = false;
+    for (const auto& d : report->diagnostics) {
+      const bool covers =
+          path == d.path ||
+          (path.size() > d.path.size() && path.compare(0, d.path.size(), d.path) == 0 &&
+           (path[d.path.size()] == '/' || path[d.path.size()] == '['));
+      if (!covers) {
+        continue;
+      }
+      if (d.severity == LintSeverity::Error) {
+        return "style=filled, fillcolor=\"#ff9d9d\"";
+      }
+      warn = true;
+    }
+    return warn ? "style=filled, fillcolor=\"#ffd27f\"" : std::string{};
+  }
+
   std::string fresh(const std::string& label, const std::string& shape,
-                    const std::string& extra = {}) {
+                    const std::string& path, const std::string& extra = {}) {
     std::string id = "n";
     id += std::to_string(next_id++);
-    os << "  " << id << " [label=\"" << escape(label) << "\", shape=" << shape
-       << (extra.empty() ? "" : ", " + extra) << "];\n";
+    os << "  " << id << " [label=\"" << escape(label) << "\", shape=" << shape;
+    if (!extra.empty()) {
+      os << ", " << extra;
+    }
+    const std::string fill = paint(path);
+    if (!fill.empty()) {
+      os << ", " << fill;
+    }
+    os << "];\n";
     return id;
   }
 
-  std::pair<std::string, std::string> walk(const Net& n) {
+  std::pair<std::string, std::string> walk(const Net& n, const std::string& path) {
     switch (n->kind) {
       case NetNode::Kind::Box: {
-        const std::string id =
-            fresh("box " + n->name + "\\n" + n->sig.to_string(), "box");
+        const std::string id = fresh("box " + n->name + "\n" + n->sig.to_string(),
+                                     "box", path + "/box:" + n->name);
         return {id, id};
       }
       case NetNode::Kind::Filter: {
-        const std::string id = fresh(n->filter->to_string(), "cds");
+        const std::string id =
+            fresh(n->filter->to_string(), "cds", path + "/filter");
         return {id, id};
       }
       case NetNode::Kind::Serial: {
-        const auto l = walk(n->left);
-        const auto r = walk(n->right);
+        const auto l = walk(n->left, path);
+        const auto r = walk(n->right, path);
         os << "  " << l.second << " -> " << r.first << ";\n";
         return {l.first, r.second};
       }
       case NetNode::Kind::Parallel: {
-        const std::string in =
-            fresh(n->det ? "|" : "||", "diamond", "width=0.3, height=0.3");
-        const std::string out_node =
-            fresh("merge", "point", "width=0.12");
-        const auto l = walk(n->left);
-        const auto r = walk(n->right);
+        const std::string in = fresh(n->det ? "|" : "||", "diamond",
+                                     path + "/par", "width=0.3, height=0.3");
+        const std::string out_node = fresh("merge", "point", path + "/par",
+                                           "width=0.12");
+        const auto l = walk(n->left, path + "/parL");
+        const auto r = walk(n->right, path + "/parR");
         os << "  " << in << " -> " << l.first << ";\n";
         os << "  " << in << " -> " << r.first << ";\n";
         os << "  " << l.second << " -> " << out_node << ";\n";
@@ -66,8 +126,8 @@ struct DotBuilder {
       case NetNode::Kind::Star: {
         const std::string tap = fresh(std::string(n->det ? "*" : "**") + " " +
                                           n->exit.to_string(),
-                                      "diamond");
-        const auto c = walk(n->child);
+                                      "diamond", path + "/star");
+        const auto c = walk(n->child, path + "/star/rep*");
         os << "  " << tap << " -> " << c.first << " [label=\"no match\"];\n";
         os << "  " << c.second << " -> " << tap
            << " [style=dashed, label=\"unfold\"];\n";
@@ -76,9 +136,10 @@ struct DotBuilder {
       case NetNode::Kind::Split: {
         const std::string disp = fresh(std::string(n->det ? "!" : "!!") + " " +
                                            label_display(n->split_tag),
-                                       "triangle");
-        const std::string out_node = fresh("merge", "point", "width=0.12");
-        const auto c = walk(n->child);
+                                       "triangle", path + "/split");
+        const std::string out_node = fresh("merge", "point", path + "/split",
+                                           "width=0.12");
+        const auto c = walk(n->child, path + "/split[*]");
         os << "  " << disp << " -> " << c.first << " [label=\"per tag value\"];\n";
         os << "  " << c.second << " -> " << out_node << ";\n";
         return {disp, out_node};
@@ -92,29 +153,38 @@ struct DotBuilder {
           first = false;
         }
         lo << "|]";
-        const std::string label = lo.str();
-        const std::string id = fresh(label, "Msquare");
+        const std::string id = fresh(lo.str(), "Msquare", path + "/sync");
         return {id, id};
       }
     }
-    const std::string id = fresh("?", "box");
+    const std::string id = fresh("?", "box", path);
     return {id, id};
   }
 };
 
-}  // namespace
-
-std::string to_dot(const Net& net) {
+std::string render(const Net& net, const VerifyReport* report) {
   std::ostringstream os;
   os << "digraph snet {\n  rankdir=LR;\n  node [fontsize=10];\n";
-  DotBuilder b{os};
-  const auto [in, out] = b.walk(net);
+  DotBuilder b{os, report};
+  // Nested non-det parallels flatten at instantiation ("net/parL/parL"
+  // branch paths); the drawing keeps the binary structure, and the
+  // subtree-prefix rule in paint() makes flattened diagnostic paths land
+  // on the right nodes either way.
+  const auto [in, out] = b.walk(net, "net");
   os << "  __in [label=\"in\", shape=plaintext];\n";
   os << "  __out [label=\"out\", shape=plaintext];\n";
   os << "  __in -> " << in << ";\n";
   os << "  " << out << " -> __out;\n";
   os << "}\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Net& net) { return render(net, nullptr); }
+
+std::string to_dot(const Net& net, const VerifyReport& report) {
+  return render(net, &report);
 }
 
 std::string to_dot(const NetworkStats& stats) {

@@ -7,6 +7,10 @@
 ///  * `to_dot(Net)` — the *static* topology, drawn like the paper's
 ///    figures: boxes with signature inscriptions, filters, replicators
 ///    with their pattern/tag annotations.
+///  * `to_dot(Net, VerifyReport)` — the static topology with the
+///    verifier's findings painted on: components covered by an error
+///    diagnostic red, by a warning orange (dead branches, never-firing
+///    synchrocells, unroutable records, stars without progress).
 ///  * `to_dot(NetworkStats)` — the *dynamic* entity graph after a run:
 ///    every materialised replica with its record counters, which
 ///    visualises the demand-driven unfolding (e.g. Fig. 2's stage×k grid).
@@ -15,11 +19,15 @@
 
 #include "snet/net.hpp"
 #include "snet/network.hpp"
+#include "snet/verify.hpp"
 
 namespace snet {
 
 /// Renders the topology as a dot digraph (paper-figure style).
 std::string to_dot(const Net& net);
+
+/// The topology with the verifier's diagnostics overlaid (snetlint --dot).
+std::string to_dot(const Net& net, const VerifyReport& report);
 
 /// Renders the materialised entity graph of a finished run; edges are not
 /// reconstructed (entity wiring is dynamic), entities are grouped by their

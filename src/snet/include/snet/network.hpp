@@ -82,6 +82,22 @@ enum class OverflowPolicy {
   FailFast,
 };
 
+/// What Network construction does with the whole-topology shape-flow
+/// verifier's report (verify.hpp). Independent of the fail-fast signature
+/// inference, which always runs: a topology `infer` rejects never
+/// constructs, whatever this mode says.
+enum class VerifyMode {
+  /// Skip the verifier entirely.
+  Off,
+  /// Print every diagnostic to stderr, then construct anyway.
+  Warn,
+  /// Throw VerifyError when the verifier reports anything at all —
+  /// warnings included (errors alone already fail construction via
+  /// inference; strict mode is for promoting dead branches, never-firing
+  /// synchrocells and config lints to hard failures).
+  Strict,
+};
+
 struct Options {
   /// Max entity quanta of this network running concurrently on the shared
   /// executor (not a thread count — threads belong to the process-wide
@@ -120,6 +136,11 @@ struct Options {
   bool batching = true;
   /// Run static signature inference/checking at construction.
   bool type_check = true;
+  /// Whole-topology shape-flow verification at construction: dead
+  /// branches, never-firing synchrocells, unroutable records, star
+  /// non-progress, config lint (see verify.hpp for the catalogue and the
+  /// `snetlint` tool for the standalone front-end).
+  VerifyMode verify = VerifyMode::Warn;
   /// Optional per-stream observer: invoked for every record delivered to
   /// any entity ("all streams can be observed individually"). Called from
   /// worker threads; must be thread-safe.

@@ -212,10 +212,49 @@ class ParallelRouter {
   unsigned resets() const { return resets_; }
   bool caching_disabled() const { return disabled_; }
 
+  /// The argmax set — every branch sharing the best match score — for a
+  /// *lower-bound record type* instead of a concrete record. This is the
+  /// decision the topology verifier (verify.hpp) replays statically: it
+  /// runs the same argmax collection as `decide`, scoring with the
+  /// type-level `MultiType::match_score` overload, so the static tied set
+  /// equals the runtime tied set for any record of exactly that type by
+  /// construction. Empty result = unroutable (the runtime's npos).
+  /// Uncached — this runs at verify time, not on the record hot path.
+  static std::vector<std::uint32_t> tied_for(const std::vector<MultiType>& inputs,
+                                             const RecordType& v) {
+    std::vector<int> scores;
+    scores.reserve(inputs.size());
+    for (const MultiType& input : inputs) {
+      scores.push_back(input.match_score(v));
+    }
+    std::vector<std::uint32_t> tied;
+    collect_argmax(scores, tied);
+    return tied;
+  }
+
  private:
   struct Route {
     std::vector<std::uint32_t> tied;  // branches sharing the best score
   };
+
+  /// The one argmax-set collection both the runtime decision and the
+  /// static `tied_for` run: keep the branches sharing the best
+  /// non-negative score (empty when nothing matches).
+  static void collect_argmax(const std::vector<int>& scores,
+                             std::vector<std::uint32_t>& tied) {
+    int best = -1;
+    for (const int s : scores) {
+      best = s > best ? s : best;
+    }
+    tied.clear();
+    if (best >= 0) {
+      for (std::uint32_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] == best) {
+          tied.push_back(i);
+        }
+      }
+    }
+  }
 
   const Route& decide(ShapeId shape, const Record& r) {
     // Same-shape run: replay the previous decision without the hash
@@ -232,22 +271,12 @@ class ParallelRouter {
       }
     }
     // Fresh shape: score every branch once into the scratch vector, then
-    // collect the argmax set.
+    // collect the argmax set (the same collection tied_for runs on types).
     scores_.clear();
-    int best = -1;
     for (const MultiType& input : inputs_) {
-      const int score = input.match_score(r);
-      scores_.push_back(score);
-      best = score > best ? score : best;
+      scores_.push_back(input.match_score(r));
     }
-    scratch_.tied.clear();
-    if (best >= 0) {
-      for (std::uint32_t i = 0; i < scores_.size(); ++i) {
-        if (scores_[i] == best) {
-          scratch_.tied.push_back(i);
-        }
-      }
-    }
+    collect_argmax(scores_, scratch_.tied);
     if (disabled_) {
       return scratch_;
     }

@@ -106,6 +106,16 @@ class MultiType {
   /// type better matches the type of the record itself."
   int match_score(const Record& r) const;
 
+  /// The same best-match score on a *lower-bound record type* instead of a
+  /// concrete record: the size of the largest variant included in \p v, or
+  /// -1 when no variant is. This is the static twin of the record overload
+  /// — `RecordType::matches(r)` is label-set inclusion into `type_of(r)`,
+  /// so the two overloads agree on any record of exactly type \p v. The
+  /// static checker and the topology verifier score branches with this so
+  /// their verdicts track `ParallelRouter` by construction (previously a
+  /// file-local re-implementation in check.cpp that could drift).
+  int match_score(const RecordType& v) const;
+
   MultiType union_with(const MultiType& other) const;
 
   std::string to_string() const;

@@ -1,8 +1,10 @@
 #include "snet/network.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "snet/entities.hpp"
+#include "snet/verify.hpp"
 
 namespace snet {
 
@@ -27,6 +29,25 @@ Network::Network(Net topology, Options opts)
     : topology_(std::move(topology)), opts_(std::move(opts)) {
   if (!topology_) {
     throw std::invalid_argument("null topology");
+  }
+  // The shape-flow verifier runs before fail-fast inference so a broken
+  // topology surfaces its *complete* report (inference stops at the first
+  // violation; the verifier collects them all, plus the liveness and
+  // config diagnostics inference cannot express).
+  if (opts_.verify != VerifyMode::Off) {
+    VerifyOptions vo;
+    vo.det_capacity = opts_.det_capacity;
+    vo.det_fail_fast = opts_.det_overflow == OverflowPolicy::FailFast;
+    vo.output_capacity = opts_.output_capacity;
+    vo.inbox_capacity = opts_.inbox_capacity;
+    VerifyReport report = snet::verify(topology_, vo);
+    if (!report.empty()) {
+      if (opts_.verify == VerifyMode::Strict) {
+        throw VerifyError(std::move(report));
+      }
+      std::fprintf(stderr, "snet verify: %s\n%s",
+                   describe(topology_).c_str(), report.to_string().c_str());
+    }
   }
   signature_ = infer(topology_);  // always infer; doubles as a null check
   if (!opts_.type_check) {

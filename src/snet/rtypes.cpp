@@ -127,6 +127,16 @@ int MultiType::match_score(const Record& r) const {
   return best;
 }
 
+int MultiType::match_score(const RecordType& v) const {
+  int best = -1;
+  for (const auto& w : variants_) {
+    if (w.included_in(v)) {
+      best = std::max(best, static_cast<int>(w.size()));
+    }
+  }
+  return best;
+}
+
 MultiType MultiType::union_with(const MultiType& other) const {
   std::vector<RecordType> out = variants_;
   for (const auto& v : other.variants_) {

@@ -1,0 +1,346 @@
+/// Randomized static-vs-dynamic equivalence for the shape-flow verifier
+/// (verify.hpp): over generated topologies,
+///
+///  * the verifier's *error* verdict coincides with fail-fast inference —
+///    `verify(net).has_errors()` iff `infer(net)` throws;
+///  * every record the verifier calls routable is accepted at run time
+///    (the network drains without a type error, producing at least one
+///    output per injected record for the generated component set);
+///  * no branch the verifier pronounced dead ever receives a record
+///    (asserted through Options::trace against the diagnostic paths).
+///
+/// Generated boxes emit exactly their declared output variants, so runtime
+/// record types equal the static lower bounds and the equivalence is exact.
+/// Synchrocells and stars are exercised in the static half only: a sync
+/// merge may carry labels above its static lower bound (the documented
+/// reason dead-branch is a warning), and a star over emit-all boxes never
+/// drains.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "snet/check.hpp"
+#include "snet/net.hpp"
+#include "snet/network.hpp"
+#include "snet/verify.hpp"
+
+using namespace snet;
+
+namespace {
+
+const char* const kFields[] = {"f0", "f1", "f2"};
+const char* const kTags[] = {"t0", "t1"};
+
+struct Gen {
+  std::mt19937 rng;
+  int next_box = 0;
+
+  explicit Gen(unsigned seed) : rng(seed) {}
+
+  int pick(int n) { return std::uniform_int_distribution<int>(0, n - 1)(rng); }
+  bool chance(int percent) { return pick(100) < percent; }
+
+  RecordType rand_type(bool nonempty) {
+    RecordType v;
+    for (const char* f : kFields) {
+      if (chance(40)) {
+        v.add(field_label(f));
+      }
+    }
+    for (const char* t : kTags) {
+      if (chance(25)) {
+        v.add(tag_label(t));
+      }
+    }
+    if (nonempty && v.empty()) {
+      v.add(field_label(kFields[pick(3)]));
+    }
+    return v;
+  }
+
+  /// `(f0, <t0>)` in the variant's canonical label order — the same order
+  /// the emitting box function binds its arguments in.
+  static std::string sig_variant(const RecordType& v) {
+    std::string out = "(";
+    bool first = true;
+    for (const Label l : v.labels()) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += label_display(l);
+    }
+    return out + ")";
+  }
+
+  /// `{f0, <t0>}` for patterns and filter specifiers.
+  static std::string pattern_text(const RecordType& v) {
+    std::string out = "{";
+    bool first = true;
+    for (const Label l : v.labels()) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += label_display(l);
+    }
+    return out + "}";
+  }
+
+  /// A box emitting exactly its declared output variants, one record per
+  /// variant per input: the runtime realises the full static lower bound.
+  Net rand_box() {
+    const RecordType in = rand_type(true);
+    std::vector<RecordType> outs;
+    const int n = 1 + pick(2);
+    for (int i = 0; i < n; ++i) {
+      const RecordType o = rand_type(true);
+      if (std::find(outs.begin(), outs.end(), o) == outs.end()) {
+        outs.push_back(o);
+      }
+    }
+    std::string sig = sig_variant(in) + " ->";
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      sig += (i == 0 ? " " : " | ") + sig_variant(outs[i]);
+    }
+    const BoxFn fn = [outs](const BoxInput&, BoxOutput& out) {
+      for (std::size_t j = 0; j < outs.size(); ++j) {
+        std::vector<BoxArg> args;
+        for (const Label l : outs[j].labels()) {
+          if (l.kind == LabelKind::Tag) {
+            args.push_back(BoxArg::from_int(1));
+          } else {
+            args.push_back(BoxArg::from(make_value(1)));
+          }
+        }
+        out.emit(static_cast<int>(j) + 1, std::move(args));
+      }
+    };
+    return box("b" + std::to_string(next_box++), sig, fn);
+  }
+
+  Net rand_filter() {
+    const RecordType pat = rand_type(false);
+    std::string spec = pattern_text(pat) + " -> ";
+    const int n = 1 + pick(2);
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) {
+        spec += "; ";
+      }
+      RecordType out = pat;
+      // Sometimes mint a tag that is not in the pattern.
+      const Label mint = tag_label(kTags[pick(2)]);
+      if (chance(50) && !pat.contains(mint)) {
+        std::string text = pattern_text(pat);
+        text.pop_back();  // strip '}'
+        if (!pat.empty()) {
+          text += ", ";
+        }
+        spec += text + label_display(mint) + "=1}";
+      } else {
+        spec += pattern_text(out);
+      }
+    }
+    return filter(spec);
+  }
+
+  /// Acyclic topologies for the dynamic half: every record tree is finite.
+  Net rand_dag(int depth) {
+    if (depth == 0 || chance(35)) {
+      return chance(60) ? rand_box() : rand_filter();
+    }
+    switch (pick(5)) {
+      case 0:
+        return rand_dag(depth - 1) >> rand_dag(depth - 1);
+      case 1:
+        return parallel(rand_dag(depth - 1), rand_dag(depth - 1));
+      case 2:
+        // A box upstream constrains the parallel's reachable set to the
+        // box's declared outputs — the shape that produces dead branches.
+        return rand_box() >> parallel(rand_dag(depth - 1), rand_dag(depth - 1));
+      case 3:
+        return split(rand_dag(depth - 1), kTags[pick(2)]);
+      default:
+        return rand_box() >> rand_dag(depth - 1);
+    }
+  }
+
+  /// Adds the cyclic/stateful combinators for the static-only half.
+  Net rand_any(int depth) {
+    if (depth == 0) {
+      return rand_dag(0);
+    }
+    switch (pick(6)) {
+      case 0:
+        return star(rand_any(depth - 1), pattern_text(rand_type(true)));
+      case 1:
+        return sync({pattern_text(rand_type(true)),
+                     pattern_text(rand_type(true))});
+      default:
+        return rand_dag(depth);
+    }
+  }
+};
+
+Record record_of(const RecordType& v, int salt) {
+  Record r;
+  for (const Label l : v.labels()) {
+    if (l.kind == LabelKind::Tag) {
+      r.set_tag(l, salt % 3);
+    } else {
+      r.set_field(l, make_value(salt));
+    }
+  }
+  return r;
+}
+
+/// Translates a diagnostic path to a regex over runtime entity names: the
+/// static star position "rep*" covers every unfolded "repN", the static
+/// split position "[*]" every demand-created "[value]", and a dead branch
+/// covers every entity instantiated under its subtree prefix.
+std::regex path_regex(const std::string& path) {
+  std::string rx;
+  for (const char c : path) {
+    if (std::strchr("\\^$.|?*+()[]{}", c) != nullptr) {
+      rx += '\\';
+    }
+    rx += c;
+  }
+  auto replace_all = [&rx](const std::string& from, const std::string& to) {
+    for (std::size_t at = rx.find(from); at != std::string::npos;
+         at = rx.find(from, at + to.size())) {
+      rx.replace(at, from.size(), to);
+    }
+  };
+  replace_all("rep\\*", "rep[0-9]+");
+  replace_all("split\\[\\*\\]", "split\\[[^\\]]*\\]");
+  return std::regex("^" + rx + "([/\\[].*)?$");
+}
+
+struct DynamicRun {
+  std::size_t injected = 0;
+  std::size_t produced = 0;
+  std::vector<std::string> dead_hits;  // entities under a dead-branch path
+};
+
+DynamicRun run_traced(const Net& net, const VerifyReport& report,
+                      int per_variant) {
+  std::vector<std::pair<std::string, std::regex>> dead;
+  for (const auto& d : report.diagnostics) {
+    if (d.code == LintCode::DeadBranch) {
+      dead.emplace_back(d.path, path_regex(d.path));
+    }
+  }
+  DynamicRun run;
+  std::mutex mu;
+  Options opts;
+  opts.workers = 2;
+  opts.verify = VerifyMode::Off;  // the report is computed by the caller
+  opts.trace = [&](const std::string& entity, const Record&) {
+    for (const auto& [path, rx] : dead) {
+      if (std::regex_match(entity, rx)) {
+        const std::lock_guard<std::mutex> lock(mu);
+        run.dead_hits.push_back(entity + " (dead: " + path + ")");
+      }
+    }
+  };
+  Network network(net, opts);
+  const MultiType seed = required_input(net);
+  std::vector<Record> batch;
+  for (const auto& v : seed.variants()) {
+    for (int i = 0; i < per_variant; ++i) {
+      batch.push_back(record_of(v, i));
+    }
+  }
+  run.injected = batch.size();
+  network.input().inject_all(std::move(batch));
+  network.input().close();
+  run.produced = network.output().collect().size();
+  network.wait();
+  return run;
+}
+
+}  // namespace
+
+TEST(VerifyFuzz, ErrorVerdictMatchesInference) {
+  // Over the full combinator set (stars, syncs, splits included): the
+  // verifier reports at least one *error* exactly when fail-fast inference
+  // rejects the topology. Warnings never flip the verdict.
+  int rejected = 0;
+  for (unsigned trial = 0; trial < 300; ++trial) {
+    Gen g(trial);
+    const Net net = g.rand_any(3);
+    const VerifyReport report = verify(net);
+    bool threw = false;
+    try {
+      infer(net);
+    } catch (const TypeCheckError&) {
+      threw = true;
+    }
+    EXPECT_EQ(report.has_errors(), threw)
+        << "trial " << trial << ": " << describe(net) << "\n"
+        << report.to_string();
+    rejected += threw ? 1 : 0;
+  }
+  // The generator must exercise both verdicts for the assertion to mean
+  // anything.
+  EXPECT_GT(rejected, 20);
+  EXPECT_LT(rejected, 280);
+}
+
+TEST(VerifyFuzz, RoutableRecordsAcceptedDeadBranchesSilent) {
+  int ran = 0;
+  int with_dead = 0;
+  for (unsigned trial = 0; ran < 48 && trial < 600; ++trial) {
+    Gen g(1000 + trial);
+    const Net net = g.rand_dag(3);
+    const VerifyReport report = verify(net);
+    if (report.has_errors()) {
+      // Covered by ErrorVerdictMatchesInference; nothing to run.
+      EXPECT_THROW(infer(net), TypeCheckError) << describe(net);
+      continue;
+    }
+    ++ran;
+    with_dead += report.count(LintCode::DeadBranch) > 0 ? 1 : 0;
+    const DynamicRun run = run_traced(net, report, 6);
+    // Acceptance: every injected record drains (generated boxes and
+    // filters each emit >= 1 record per input, so a lost record means a
+    // routing failure the verifier did not predict).
+    EXPECT_GE(run.produced, run.injected) << describe(net);
+    // Silence: a verifier-dead branch never sees a record.
+    EXPECT_TRUE(run.dead_hits.empty())
+        << describe(net) << "\n"
+        << report.to_string() << "delivered: " << run.dead_hits.front();
+  }
+  EXPECT_GE(ran, 32) << "generator produced too few constructible nets";
+  EXPECT_GE(with_dead, 3)
+      << "generator produced too few live dead-branch witnesses";
+}
+
+TEST(VerifyFuzz, DeadBranchFixtureStaysSilentUnderLoad) {
+  // The deterministic anchor (the negative CI fixture's topology, with
+  // emitting boxes): every record classify emits is {x, a, b}, wide wins
+  // every time, narrow must never be traced.
+  const BoxFn emit_xab = [](const BoxInput&, BoxOutput& out) {
+    out.out(1, make_value(1), make_value(2), make_value(3));
+  };
+  const BoxFn emit_x = [](const BoxInput&, BoxOutput& out) {
+    out.out(1, make_value(1));
+  };
+  const Net net = box("classify", "(x) -> (x, a, b)", emit_xab) >>
+                  parallel(box("wide", "(x, a, b) -> (x)", emit_x),
+                           box("narrow", "(x, a) -> (x)", emit_x));
+  const VerifyReport report = verify(net);
+  ASSERT_EQ(report.count(LintCode::DeadBranch), 1U) << report.to_string();
+  const DynamicRun run = run_traced(net, report, 64);
+  EXPECT_EQ(run.injected, 64U);
+  EXPECT_EQ(run.produced, 64U);
+  EXPECT_TRUE(run.dead_hits.empty()) << run.dead_hits.front();
+}

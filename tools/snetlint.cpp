@@ -1,0 +1,156 @@
+/// \file snetlint.cpp
+/// Standalone front-end for the whole-topology shape-flow verifier
+/// (snet/verify.hpp): lint a textual S-Net program without running it.
+///
+/// Usage: snetlint [--strict] [--dot FILE] [--expect CODE] program.snet
+///
+///   --strict       warnings fail the lint (exit 1), not just errors
+///   --dot FILE     write the topology as Graphviz DOT with the verifier's
+///                  findings painted on (errors red, warnings orange)
+///   --expect CODE  negative-fixture mode: exit 0 iff the report contains
+///                  a diagnostic with this code (e.g. "dead-branch"),
+///                  exit 2 otherwise — how CI asserts that an
+///                  intentionally-broken example stays broken in exactly
+///                  the intended way
+///
+/// Box *declarations* in the program are bound to no-op stubs: the lint
+/// needs only the declared signatures (coordination is data; computation
+/// is irrelevant to shape flow). Exit codes: 0 clean (or expected
+/// diagnostic found), 1 diagnostics reported, 2 --expect not satisfied,
+/// 3 usage/parse/IO error.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snet/dot.hpp"
+#include "snet/lang.hpp"
+#include "snet/verify.hpp"
+
+namespace {
+
+/// Scans the program text for `box IDENT (`-shaped declarations and binds
+/// each name to a stub implementation. A crude token walk is enough: the
+/// keyword `box` in declaration position is always followed by an
+/// identifier and the signature's opening parenthesis (a *label* named
+/// "box" inside a pattern is followed by ',' or '}' instead).
+void bind_declared_boxes(const std::string& source, snet::lang::Bindings& bindings) {
+  std::vector<std::string> tokens;
+  for (std::size_t i = 0; i < source.size();) {
+    const char c = source[i];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) ||
+              source[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back(source.substr(i, j - i));
+      i = j;
+    } else if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        ++i;
+      }
+    } else {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        tokens.push_back(std::string(1, c));
+      }
+      ++i;
+    }
+  }
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i] == "box" && tokens[i + 2] == "(") {
+      bindings.bind_box(tokens[i + 1],
+                        [](const snet::BoxInput&, snet::BoxOutput&) {});
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: snetlint [--strict] [--dot FILE] [--expect CODE] "
+               "program.snet\n");
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::string dot_path;
+  std::string expect;
+  std::string program;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--expect" && i + 1 < argc) {
+      expect = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (program.empty()) {
+      program = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (program.empty()) {
+    return usage();
+  }
+
+  try {
+    std::ifstream in(program);
+    if (!in) {
+      std::fprintf(stderr, "snetlint: cannot open %s\n", program.c_str());
+      return 3;
+    }
+    std::ostringstream src;
+    src << in.rdbuf();
+
+    snet::lang::Bindings bindings;
+    bind_declared_boxes(src.str(), bindings);
+    const snet::Net topology = snet::lang::parse_network(src.str(), bindings);
+
+    const snet::VerifyReport report = snet::verify(topology);
+
+    if (!dot_path.empty()) {
+      std::ofstream dot(dot_path);
+      if (!dot) {
+        std::fprintf(stderr, "snetlint: cannot write %s\n", dot_path.c_str());
+        return 3;
+      }
+      dot << snet::to_dot(topology, report);
+    }
+
+    std::printf("network: %s\n", snet::describe(topology).c_str());
+    if (report.empty()) {
+      std::printf("clean: no diagnostics\n");
+    } else {
+      std::fputs(report.to_string().c_str(), stdout);
+    }
+
+    if (!expect.empty()) {
+      for (const auto& d : report.diagnostics) {
+        if (expect == snet::to_string(d.code)) {
+          std::printf("expected diagnostic [%s] present\n", expect.c_str());
+          return 0;
+        }
+      }
+      std::fprintf(stderr, "snetlint: expected diagnostic [%s] NOT present\n",
+                   expect.c_str());
+      return 2;
+    }
+    if (report.has_errors()) {
+      return 1;
+    }
+    return !report.empty() && strict ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "snetlint: %s\n", e.what());
+    return 3;
+  }
+}
