@@ -34,6 +34,11 @@ std::uint64_t next_rand() {
 }  // namespace
 
 Executor::Executor(unsigned threads) {
+  // Lock order (checked builds): every S-Net mutex ranks below the
+  // executor's own locks — a task body may submit (inject_mu_) or wake
+  // sleepers (park_mu_) while holding protocol locks, never vice versa.
+  inject_mu_.set_order(60, "executor.inject_mu");
+  park_mu_.set_order(70, "executor.park_mu");
   const unsigned count = threads == 0 ? 1U : threads;
   queues_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
@@ -49,7 +54,7 @@ Executor::~Executor() {
   stopping_.store(true);
   {
     // Taking park_mu_ orders the flag against a worker deciding to sleep.
-    const std::lock_guard lock(park_mu_);
+    const MutexLock lock(park_mu_);
   }
   park_cv_.notify_all();
   threads_.clear();  // jthread joins; workers exit only once drained
@@ -68,14 +73,14 @@ void Executor::submit(std::function<void()> task) {
     // Owner push: lock-free, no CAS on the fast path.
     queues_[t.index]->push(new TaskFn(std::move(task)));
   } else {
-    const std::lock_guard lock(inject_mu_);
+    const MutexLock lock(inject_mu_);
     inject_.push_back(std::move(task));
   }
   work_epoch_.fetch_add(1);  // seq_cst: must be visible before sleeper check
   if (sleepers_.load() > 0) {
     // Lock/unlock pairs the notify with a sleeper that passed its epoch
     // re-check but has not yet entered wait().
-    { const std::lock_guard lock(park_mu_); }
+    { const MutexLock lock(park_mu_); }
     park_cv_.notify_one();
   }
 }
@@ -96,7 +101,7 @@ bool Executor::pop_task(unsigned self, TaskFn& out, bool& stolen) {
   }
   // 2. Injector queue, oldest first (external submission order).
   {
-    const std::lock_guard lock(inject_mu_);
+    const MutexLock lock(inject_mu_);
     if (!inject_.empty()) {
       out = std::move(inject_.front());
       inject_.pop_front();
@@ -151,7 +156,7 @@ void Executor::worker_loop(unsigned index) {
     if (try_run_one(index)) {
       continue;
     }
-    std::unique_lock lock(park_mu_);
+    UniqueLock lock(park_mu_);
     sleepers_.fetch_add(1);  // seq_cst: registered before the final check
     const std::uint64_t now = work_epoch_.load();
     if (now != seen_epoch || stopping_.load()) {
@@ -172,17 +177,17 @@ void Executor::worker_loop(unsigned index) {
   }
 }
 
-void Executor::help_until(std::mutex& mu, std::condition_variable& cv,
+void Executor::help_until(Mutex& mu, CondVar& cv,
                           const std::function<bool()>& done) {
   if (!on_worker_thread()) {
-    std::unique_lock lock(mu);
+    UniqueLock lock(mu);
     cv.wait(lock, done);
     return;
   }
   const unsigned self = tls_worker.index;
   for (;;) {
     {
-      std::unique_lock lock(mu);
+      UniqueLock lock(mu);
       if (done()) {
         return;
       }
@@ -193,7 +198,7 @@ void Executor::help_until(std::mutex& mu, std::condition_variable& cv,
     // Nothing runnable anywhere: the tasks the join waits on are being
     // executed by other workers. Sleep briefly rather than spin; the
     // timeout also covers joins whose completion path under-notifies.
-    std::unique_lock lock(mu);
+    UniqueLock lock(mu);
     if (done()) {
       return;
     }

@@ -30,29 +30,67 @@
 /// A task is just a closure: an S-Net entity quantum, a with-loop chunk,
 /// or anything a client submits. Tasks must not block indefinitely on
 /// other tasks except via `help_until`.
+///
+/// `ExecutorIface` is the seam the S-Net scheduler and network program
+/// against: the production work-stealing pool implements it, and so does
+/// `SimExecutor` (sim_executor.hpp) — the seedable single-threaded
+/// scheduler the schedcheck harness uses to explore interleavings
+/// deterministically. Clients that only need "run this closure, join on
+/// that condition" take an ExecutorIface&.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "runtime/annotations.hpp"
 #include "runtime/chase_lev.hpp"
 
 namespace snetsac::runtime {
 
-class Executor {
+/// The executor contract: submit closures, cooperatively join. Virtual so
+/// the deterministic SimExecutor can slot in behind the S-Net scheduler
+/// without the protocol code knowing which world it runs in.
+class ExecutorIface {
+ public:
+  virtual ~ExecutorIface() = default;
+
+  /// Enqueues a task for asynchronous execution.
+  virtual void submit(std::function<void()> task) = 0;
+
+  /// Cooperative join: makes progress (runs queued tasks, or waits) until
+  /// `done()` returns true. `done()` is always evaluated under \p mu;
+  /// whatever makes it true must notify \p cv. A predicate that reads
+  /// mu-guarded state should open with `mu.assert_held()` so the clang
+  /// thread-safety analysis (which treats the lambda as a free function)
+  /// accepts the access — checked builds verify the claim dynamically.
+  virtual void help_until(Mutex& mu, CondVar& cv,
+                          const std::function<bool()>& done) = 0;
+
+  /// True when the calling thread is a worker of this executor (i.e. it
+  /// may execute queued tasks inline inside help_until).
+  virtual bool on_worker_thread() const = 0;
+
+  virtual unsigned size() const = 0;
+
+  /// True for schedule-exploration executors that serialise all tasks and
+  /// want every scheduling decision surfaced (the S-Net scheduler disables
+  /// quantum tail-chaining when this is set, so each quantum is a distinct
+  /// yield point the strategy can reorder).
+  virtual bool deterministic() const { return false; }
+};
+
+class Executor : public ExecutorIface {
  public:
   /// Spawns \p threads workers. A count of 0 is promoted to 1.
   explicit Executor(unsigned threads);
 
   /// Drains every queued task, then joins the workers. Submitted work is
   /// never dropped (tasks may keep spawning tasks during the drain).
-  ~Executor();
+  ~Executor() override;
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -60,7 +98,7 @@ class Executor {
   /// Enqueues a task. Called from a worker of this executor, the task
   /// lands on that worker's own deque (LIFO, cache-warm); from any other
   /// thread it lands on the shared injector queue.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) override;
 
   /// Cooperative join: runs queued tasks until `done()` returns true.
   ///
@@ -68,15 +106,14 @@ class Executor {
   /// own deque, the injector and other workers' deques between checks of
   /// `done()`, and only sleeps (briefly, on \p cv under \p mu) when no
   /// task is runnable anywhere. From a non-worker thread this degenerates
-  /// to a plain condition-variable wait. `done()` is always evaluated
-  /// under \p mu; whatever makes it true must notify \p cv.
-  void help_until(std::mutex& mu, std::condition_variable& cv,
-                  const std::function<bool()>& done);
+  /// to a plain condition-variable wait.
+  void help_until(Mutex& mu, CondVar& cv,
+                  const std::function<bool()>& done) override;
 
   /// True when the calling thread is one of this executor's workers.
-  bool on_worker_thread() const;
+  bool on_worker_thread() const override;
 
-  unsigned size() const { return static_cast<unsigned>(queues_.size()); }
+  unsigned size() const override { return static_cast<unsigned>(queues_.size()); }
 
   /// Tasks run over the executor's lifetime (observability).
   std::uint64_t tasks_executed() const {
@@ -112,15 +149,17 @@ class Executor {
 
   std::vector<std::unique_ptr<ChaseLevDeque<TaskFn*>>> queues_;
 
-  std::mutex inject_mu_;
-  std::deque<std::function<void()>> inject_;
+  Mutex inject_mu_;
+  std::deque<std::function<void()>> inject_ SNETSAC_GUARDED_BY(inject_mu_);
 
   // Parking lot. `work_epoch_` is bumped by every submit; a worker only
   // sleeps after re-reading the epoch while registered as a sleeper, so a
   // concurrent submit either sees the sleeper (and notifies) or the
-  // sleeper sees the new epoch (and rescans).
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
+  // sleeper sees the new epoch (and rescans). The wait predicate reads
+  // atomics only — nothing is guarded by park_mu_; the lock exists purely
+  // to sequence the sleeper/notifier handshake.
+  Mutex park_mu_;
+  CondVar park_cv_;
   std::atomic<std::uint64_t> work_epoch_{0};
   std::atomic<int> sleepers_{0};
   std::atomic<bool> stopping_{false};

@@ -27,10 +27,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace snetsac::runtime {
 
@@ -52,12 +53,12 @@ class MpscQueue {
   /// watermark is cap/2 — credit waiters fire only once the consumer has
   /// drained half the bound, so producers do not thrash at the boundary.
   void set_capacity(std::size_t cap) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     capacity_ = cap;
   }
 
   std::size_t capacity() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return capacity_;
   }
 
@@ -65,7 +66,7 @@ class MpscQueue {
   /// soft for in-flight producers). Reports both whether the queue was
   /// empty beforehand and whether it is now at/over capacity.
   PushResult push(T value) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     PushResult res;
     res.was_empty = len() == 0;
     items_.push_back(std::move(value));
@@ -84,13 +85,13 @@ class MpscQueue {
   PushResult push_all(std::vector<T>& values) {
     PushResult res;
     if (values.empty()) {
-      const std::lock_guard lock(mu_);
+      const MutexLock lock(mu_);
       res.was_empty = len() == 0;
       res.congested = capacity_ != 0 && len() >= capacity_;
       return res;
     }
     {
-      const std::lock_guard lock(mu_);
+      const MutexLock lock(mu_);
       res.was_empty = len() == 0;
       if (res.was_empty && items_.capacity() < values.capacity()) {
         // Empty queue: adopt the batch buffer outright — the producer's
@@ -112,7 +113,7 @@ class MpscQueue {
   /// is at capacity. This is the hard edge of the bound, used by client
   /// injection (`InputPort::try_inject`) rather than by in-flight records.
   bool try_push(T& value) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (capacity_ != 0 && len() >= capacity_) {
       return false;
     }
@@ -127,7 +128,7 @@ class MpscQueue {
   /// one per message. Call `take_released` afterwards to collect credit
   /// waiters the drain made runnable.
   std::size_t drain_into(std::vector<T>& out, std::size_t max_n) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     const std::size_t n = std::min(max_n, len());
     if (n == 0) {
       return 0;
@@ -145,7 +146,7 @@ class MpscQueue {
 
   /// Pops the oldest element if present.
   std::optional<T> try_pop() {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (len() == 0) {
       return std::nullopt;
     }
@@ -162,7 +163,7 @@ class MpscQueue {
   /// check the credit list each time. Waiters are invoked by the caller
   /// outside the lock.
   std::optional<T> try_pop_collect(std::vector<std::function<void()>>& released) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (len() == 0) {
       return std::nullopt;
     }
@@ -177,18 +178,18 @@ class MpscQueue {
   }
 
   bool empty() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return len() == 0;
   }
 
   std::size_t size() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return len();
   }
 
   /// True when bounded and currently at/over capacity.
   bool congested() const {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     return capacity_ != 0 && len() >= capacity_;
   }
 
@@ -198,7 +199,7 @@ class MpscQueue {
   /// below capacity): the caller should simply proceed/retry instead of
   /// waiting. At most one firing per registration.
   bool wait_for_credit(std::function<void()> cb) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (capacity_ == 0 || len() < capacity_) {
       return false;
     }
@@ -211,7 +212,7 @@ class MpscQueue {
   /// caller invokes them *outside* the lock — a waiter typically
   /// re-enqueues a suspended entity into the scheduler.
   void take_released(std::vector<std::function<void()>>& out) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (waiters_.empty() || (capacity_ != 0 && len() > capacity_ / 2)) {
       return;
     }
@@ -220,13 +221,36 @@ class MpscQueue {
     waiters_.clear();
   }
 
+  /// Diagnostic for the invariant layer: true when credit waiters are
+  /// registered although the queue is at/below the release watermark — a
+  /// drain happened and nobody collected the released waiters, i.e. a
+  /// producer will sleep forever on credit that already exists. Only
+  /// meaningful at a quiescent point (between consumer steps): mid-drain
+  /// the consumer simply has not called take_released *yet*.
+  bool lost_wakeup_suspected() const {
+    const MutexLock lock(mu_);
+    return !waiters_.empty() && (capacity_ == 0 || len() <= capacity_ / 2);
+  }
+
+  /// Registered-but-unfired credit waiters (observability/invariants).
+  std::size_t waiter_count() const {
+    const MutexLock lock(mu_);
+    return waiters_.size();
+  }
+
+  /// Declares the internal mutex's position in the global lock order
+  /// (checked builds; see Mutex::set_order).
+  void set_lock_order(unsigned rank, const char* name) {
+    mu_.set_order(rank, name);
+  }
+
  private:
-  std::size_t len() const { return items_.size() - head_; }
+  std::size_t len() const SNETSAC_REQUIRES(mu_) { return items_.size() - head_; }
 
   /// Consumes \p n elements from the front; resets the buffer once fully
   /// drained so the dead prefix of moved-from slots never grows past one
   /// producer burst.
-  void advance(std::size_t n) {
+  void advance(std::size_t n) SNETSAC_REQUIRES(mu_) {
     head_ += n;
     if (head_ == items_.size()) {
       items_.clear();
@@ -234,11 +258,11 @@ class MpscQueue {
     }
   }
 
-  mutable std::mutex mu_;
-  std::vector<T> items_;   // live elements are items_[head_..)
-  std::size_t head_ = 0;   // consumed prefix (moved-from slots)
-  std::size_t capacity_ = 0;  // 0 = unbounded
-  std::vector<std::function<void()>> waiters_;
+  mutable Mutex mu_;
+  std::vector<T> items_ SNETSAC_GUARDED_BY(mu_);   // live elements: items_[head_..)
+  std::size_t head_ SNETSAC_GUARDED_BY(mu_) = 0;   // consumed prefix
+  std::size_t capacity_ SNETSAC_GUARDED_BY(mu_) = 0;  // 0 = unbounded
+  std::vector<std::function<void()>> waiters_ SNETSAC_GUARDED_BY(mu_);
 };
 
 }  // namespace snetsac::runtime

@@ -1,0 +1,137 @@
+#include "runtime/invariants.hpp"
+
+#include <cstdio>
+
+#if SNETSAC_CHECKED
+#include <iterator>
+#include <vector>
+#endif
+
+namespace snetsac::runtime {
+
+[[noreturn]] void invariant_failure(const char* law,
+                                    const std::string& detail) {
+  std::string msg = "protocol invariant violated: ";
+  msg += law;
+  if (!detail.empty()) {
+    msg += " — ";
+    msg += detail;
+  }
+  std::fprintf(stderr, "[snetsac] %s\n", msg.c_str());
+  std::fflush(stderr);
+  throw ProtocolInvariantError(msg);
+}
+
+#if SNETSAC_CHECKED
+
+namespace checked {
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  unsigned rank;
+  const char* name;
+};
+
+// Static-duration objects (the default executor pool) lock mutexes from
+// atexit destructors, which glibc runs *after* this thread's TLS
+// destructors — by then the held stack's storage is gone. The flag is a
+// destructor-free POD thread_local, so it stays readable through exit;
+// once the stack's own destructor flips it, the registry goes inert for
+// the remainder of teardown instead of writing freed memory.
+thread_local bool tls_torn_down = false;
+
+struct HeldStack {
+  std::vector<HeldLock> locks;
+  ~HeldStack() { tls_torn_down = true; }
+};
+
+std::vector<HeldLock>& held_stack() {
+  thread_local HeldStack stack;
+  return stack.locks;
+}
+
+bool registry_inert() { return tls_torn_down; }
+
+}  // namespace
+
+void note_lock_attempt(const void* mu, unsigned rank, const char* name) {
+  if (registry_inert()) {
+    return;
+  }
+  auto& stack = held_stack();
+  for (const auto& held : stack) {
+    if (held.mu == mu) {
+      std::ostringstream os;
+      os << "mutex '" << name << "' (" << mu
+         << ") re-acquired by the thread already holding it";
+      invariant_failure("no recursive acquisition", os.str());
+    }
+    // Rank 0 mutexes are outside the declared order (leaf locks whose
+    // critical sections take no further locks); only ranked-vs-ranked
+    // inversions are cycles in the declared order.
+    if (rank != 0 && held.rank != 0 && held.rank >= rank) {
+      std::ostringstream os;
+      os << "acquiring '" << name << "' (rank " << rank << ") while holding '"
+         << held.name << "' (rank " << held.rank
+         << ") — lock order is by ascending rank; this inversion is half of "
+            "a deadlock cycle";
+      invariant_failure("lock-order (ascending rank)", os.str());
+    }
+  }
+}
+
+void note_locked(const void* mu, unsigned rank, const char* name) {
+  if (registry_inert()) {
+    return;
+  }
+  held_stack().push_back(HeldLock{mu, rank, name});
+}
+
+void note_unlocked(const void* mu) {
+  if (registry_inert()) {
+    return;
+  }
+  auto& stack = held_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "mutex " << mu << " released by a thread that does not hold it";
+  invariant_failure("release only held locks", os.str());
+}
+
+void assert_thread_holds(const void* mu, const char* name) {
+  if (registry_inert()) {
+    return;
+  }
+  if (!thread_holds(mu)) {
+    std::ostringstream os;
+    os << "capability '" << name << "' (" << mu
+       << ") asserted held but this thread does not hold it";
+    invariant_failure("assert_held", os.str());
+  }
+}
+
+bool thread_holds(const void* mu) {
+  if (registry_inert()) {
+    // Teardown-time queries can only say "unknown"; holding is the
+    // answer that keeps assert_held callers on the non-throwing path.
+    return true;
+  }
+  for (const auto& held : held_stack()) {
+    if (held.mu == mu) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace checked
+
+#endif  // SNETSAC_CHECKED
+
+}  // namespace snetsac::runtime

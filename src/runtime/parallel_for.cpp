@@ -1,10 +1,10 @@
 #include "runtime/parallel_for.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace snetsac::runtime {
 
@@ -14,15 +14,15 @@ namespace {
 /// here; the issuing thread helps or waits. Kept in a shared_ptr so stray
 /// tasks can never outlive the state they touch.
 struct JoinState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t remaining = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  std::size_t remaining SNETSAC_GUARDED_BY(mu) = 0;
+  std::exception_ptr error SNETSAC_GUARDED_BY(mu);
 
   void finish_one(std::exception_ptr err) {
     bool last = false;
     {
-      const std::lock_guard lock(mu);
+      const MutexLock lock(mu);
       if (err && !error) {
         error = err;
       }
@@ -92,9 +92,11 @@ void parallel_for_chunks(Executor& exec, std::int64_t begin, std::int64_t end,
   // Cooperative join: a worker keeps executing tasks (its own freshly
   // pushed chunks first) instead of blocking a pool slot; an external
   // thread waits on the condition variable as before.
-  exec.help_until(state->mu, state->cv,
-                  [&] { return state->remaining == 0; });
-  std::unique_lock lock(state->mu);
+  exec.help_until(state->mu, state->cv, [&] {
+    state->mu.assert_held();  // wait predicates run under the lock
+    return state->remaining == 0;
+  });
+  const MutexLock lock(state->mu);
   if (state->error) {
     std::rethrow_exception(state->error);
   }

@@ -1,0 +1,151 @@
+#include "runtime/sim_executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace snetsac::runtime {
+
+namespace {
+
+/// splitmix64: tiny, well-mixed, and trivially seedable — schedule
+/// decisions must depend on nothing but the seed.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SimExecutor::SimExecutor(Options opts)
+    : opts_(std::move(opts)), rng_state_(opts_.seed ^ 0xd1b54a32d192ed03ULL) {
+  if (opts_.strategy == Strategy::kPct) {
+    // Scatter the priority-change points over the first 1024 decisions
+    // (runs are short; a point past the end simply never fires).
+    change_steps_.reserve(opts_.pct_change_points);
+    for (unsigned i = 0; i < opts_.pct_change_points; ++i) {
+      change_steps_.push_back(next_rand() % 1024);
+    }
+    std::sort(change_steps_.begin(), change_steps_.end());
+  }
+}
+
+std::uint64_t SimExecutor::next_rand() { return splitmix64(rng_state_); }
+
+void SimExecutor::submit(std::function<void()> task) {
+  Pending p;
+  p.fn = std::move(task);
+  p.id = next_task_id_++;
+  // PCT: a task's priority is fixed at creation; the change points are
+  // the only later perturbation. Shift keeps it clear of the demotion
+  // band (demoted tasks get small values counting down from 1).
+  p.priority = (next_rand() >> 8) + 1024;
+  pending_.push_back(std::move(p));
+}
+
+std::size_t SimExecutor::pick() {
+  const std::size_t n = pending_.size();
+  std::size_t idx = 0;
+  switch (opts_.strategy) {
+    case Strategy::kRandom:
+      idx = static_cast<std::size_t>(next_rand() % n);
+      break;
+    case Strategy::kReplay: {
+      const std::uint32_t raw = replay_pos_ < opts_.replay.size()
+                                    ? opts_.replay[replay_pos_]
+                                    : 0U;
+      ++replay_pos_;
+      idx = std::min<std::size_t>(raw, n - 1);
+      break;
+    }
+    case Strategy::kPct: {
+      const bool change = std::binary_search(change_steps_.begin(),
+                                             change_steps_.end(), step_count_);
+      auto argmax = [&] {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+          if (pending_[i].priority > pending_[best].priority) {
+            best = i;
+          }
+        }
+        return best;
+      };
+      idx = argmax();
+      if (change) {
+        // Priority-change point: demote the task about to run below every
+        // live priority — the schedule perturbation PCT's depth guarantee
+        // comes from — and run whatever surfaces instead.
+        pending_[idx].priority = low_priority_ == 0 ? 1023 : --low_priority_;
+        if (low_priority_ == 0) {
+          low_priority_ = 1023;
+        }
+        idx = argmax();
+      }
+      break;
+    }
+  }
+  choices_.push_back(static_cast<std::uint32_t>(idx));
+  options_seen_.push_back(static_cast<std::uint32_t>(n));
+  return idx;
+}
+
+bool SimExecutor::step() {
+  if (pending_.empty()) {
+    return false;
+  }
+  const std::size_t idx = pick();
+  Pending task = std::move(pending_[idx]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+  trace_.push_back(TraceEntry{step_count_, task.id,
+                              choices_.back(), options_seen_.back()});
+  ++step_count_;
+  task.fn();
+  if (after_task_) {
+    after_task_();
+  }
+  return true;
+}
+
+void SimExecutor::drain() {
+  while (step()) {
+  }
+}
+
+void SimExecutor::help_until(Mutex& mu, CondVar& cv,
+                             const std::function<bool()>& done) {
+  (void)cv;  // nobody sleeps in simulation: progress is always a task run
+  for (;;) {
+    {
+      UniqueLock lock(mu);
+      if (done()) {
+        return;
+      }
+    }
+    if (!step()) {
+      wedged("a help_until join predicate");
+    }
+  }
+}
+
+void SimExecutor::wedged(const char* waiting_on) {
+  std::ostringstream os;
+  os << "no pending task can ever satisfy " << waiting_on
+     << " — a deadlock or lost wakeup (seed " << opts_.seed << ", "
+     << step_count_ << " steps taken)\n"
+     << format_trace();
+  invariant_failure("progress (no deadlock / lost wakeup)", os.str());
+}
+
+std::string SimExecutor::format_trace() const {
+  std::ostringstream os;
+  os << "schedule trace (" << trace_.size() << " decisions):\n";
+  for (const TraceEntry& e : trace_) {
+    os << "  step " << e.step << ": task " << e.task_id << " (choice "
+       << e.chosen << " of " << e.pending << " pending)\n";
+  }
+  return os.str();
+}
+
+}  // namespace snetsac::runtime

@@ -7,7 +7,7 @@
 namespace snet {
 
 std::uint64_t DetScope::open_group() {
-  const std::lock_guard lock(mu_);
+  const snetsac::runtime::MutexLock lock(mu_);
   const std::uint64_t seq = next_++;
   // Starts at zero: the entry entity's send() immediately bumps it for the
   // stamped record itself.
@@ -21,7 +21,7 @@ void DetScope::adjust(std::uint64_t seq, std::int64_t delta) {
   }
   bool completed = false;
   {
-    const std::lock_guard lock(mu_);
+    const snetsac::runtime::MutexLock lock(mu_);
     const auto it = pending_.find(seq);
     if (it == pending_.end()) {
       // Invariant: any record carrying a stamp keeps its group's pending
@@ -42,12 +42,12 @@ void DetScope::adjust(std::uint64_t seq, std::int64_t delta) {
 }
 
 bool DetScope::complete(std::uint64_t seq) const {
-  const std::lock_guard lock(mu_);
+  const snetsac::runtime::MutexLock lock(mu_);
   return seq < next_ && pending_.find(seq) == pending_.end();
 }
 
 std::uint64_t DetScope::groups_opened() const {
-  const std::lock_guard lock(mu_);
+  const snetsac::runtime::MutexLock lock(mu_);
   return next_;
 }
 

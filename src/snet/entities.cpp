@@ -12,6 +12,9 @@ bool OutputEntity::try_push(Record& r, bool from_deferred) {
 }
 
 void OutputEntity::on_record(Record r) {
+  // Virtual dispatch severs the REQUIRES chain: every override re-asserts
+  // the quantum role at entry (here and in every on_record/on_poke below).
+  quantum_role_.assert_held();
   // Stamps must not escape to the client: det regions are closed by their
   // collectors before this point; clearing here is belt-and-braces.
   r.det_stack().clear();
@@ -43,6 +46,7 @@ void OutputEntity::on_record(Record r) {
 }
 
 void OutputEntity::on_quantum_end() {
+  quantum_role_.assert_held();
   if (staged_.empty()) {
     return;
   }
@@ -60,10 +64,12 @@ void OutputEntity::on_quantum_end() {
 }
 
 void OutputEntity::on_poke() {
+  quantum_role_.assert_held();
   // Credit returned for some session (or one was released/failed): retry
   // the deferred records. A refusal re-registers the waiter atomically,
   // so stopping at the first refusal per session is safe.
   flush_deferred([this](SessionState*, Record& r) {
+    quantum_role_.assert_held();  // lambda analysed as a free function
     return try_push(r, /*from_deferred=*/true);
   });
 }
@@ -71,6 +77,7 @@ void OutputEntity::on_poke() {
 // ----------------------------------------------------------------- Input
 
 void InputDispatchEntity::on_record(Record) {
+  quantum_role_.assert_held();
   // Clients reach the entry only through the staging queues; nothing may
   // deliver records to the dispatcher itself.
   throw std::logic_error("input dispatcher received a record");
@@ -91,6 +98,7 @@ void InputDispatchEntity::drop_staged(SessionState* s) {
 }
 
 void InputDispatchEntity::on_poke() {
+  quantum_role_.assert_held();
   // Weighted deficit-round-robin over the sessions with staged input.
   // Each turn grants deficit proportional to the session's weight and
   // forwards that many staged records into the shared entry; a hot
@@ -167,6 +175,7 @@ BoxEntity::BoxEntity(Network& net, std::string name, Net node, Entity* successor
       input_type_(node_->sig.input.type()) {}
 
 void BoxEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   // Bind declared input labels; their presence is a type obligation. The
   // mask-then-subset match settles the common case; the per-label rescan
   // on failure only serves the error message.
@@ -191,6 +200,7 @@ void BoxEntity::on_record(Record r) {
 }
 
 void BoxEntity::emit(int variant, std::vector<BoxArg> args) {
+  quantum_role_.assert_held();
   if (current_ == nullptr) {
     throw BoxError("box " + node_->name + " called snet_out outside processing");
   }
@@ -219,7 +229,10 @@ void BoxEntity::emit(int variant, std::vector<BoxArg> args) {
   // present in the output record") is compiled per input shape: the
   // contains probes and sorted inserts ran once, in compile_emit_plans.
   const auto plans =
-      emit_plans_.get_or(current_->shape(), [&] { return compile_emit_plans(); });
+      emit_plans_.get_or(current_->shape(), [&] {
+        quantum_role_.assert_held();
+        return compile_emit_plans();
+      });
   const CopyPlan& plan = (*plans)[static_cast<std::size_t>(variant - 1)];
   Record out = apply_copy_plan(
       plan, *current_,
@@ -269,6 +282,7 @@ FilterEntity::FilterEntity(Network& net, std::string name, Net node,
     : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor) {}
 
 void FilterEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   // One memo lookup settles both the pattern's type match and the
   // compiled plans for this shape (null = type mismatch). The guard (tag
   // values) cannot be memoized and is evaluated per record; both the
@@ -336,6 +350,7 @@ ParallelEntity::ParallelEntity(Network& net, std::string name,
 }
 
 void ParallelEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   // Best-match routing, memoized per shape: each branch is scored once
   // when a shape is first seen; afterwards the decision is a hash lookup.
   // "If both branches in the streaming network match equally well, one is
@@ -359,6 +374,7 @@ StarStageEntity::StarStageEntity(Network& net, std::string prefix, Net node,
       stage_(stage) {}
 
 void StarStageEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   // Exit-tap decision, memoized per shape (the Fig. 3 guard `<level> > 40`
   // still runs per record — only the label-set half is cached).
   const Pattern& exit = node_->exit;
@@ -390,6 +406,7 @@ SplitEntity::SplitEntity(Network& net, std::string prefix, Net node,
 std::size_t SplitEntity::replica_count() const { return replicas_.size(); }
 
 void SplitEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   if (!r.has_tag(node_->split_tag)) {
     throw NetTypeError("parallel replication " + name() + ": record " +
                        r.to_string() + " lacks the replication tag " +
@@ -411,6 +428,7 @@ DetEntryEntity::DetEntryEntity(Network& net, std::string name, DetScope* scope)
     : Entity(net, std::move(name)), scope_(scope) {}
 
 void DetEntryEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   const std::uint64_t seq = scope_->open_group();
   r.det_stack().push_back(DetStamp{scope_, seq});
   send(target_, std::move(r));
@@ -425,6 +443,7 @@ DetCollectorEntity::DetCollectorEntity(Network& net, std::string name,
 }
 
 void DetCollectorEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   auto& stack = r.det_stack();
   if (stack.empty() || stack.back().scope != &scope_) {
     throw std::logic_error("det collector " + name() +
@@ -467,7 +486,10 @@ void DetCollectorEntity::on_record(Record r) {
   (group.spilling ? group.spill : group.primary).push_back(std::move(r));
 }
 
-void DetCollectorEntity::on_poke() { release_ready(); }
+void DetCollectorEntity::on_poke() {
+  quantum_role_.assert_held();
+  release_ready();
+}
 
 void DetCollectorEntity::release_ready() {
   // Stall-aware: a transfer into a congested successor requests a stall;
@@ -499,6 +521,7 @@ SyncEntity::SyncEntity(Network& net, std::string name, Net node, Entity* success
       slots_(node_->sync_patterns.size()) {}
 
 void SyncEntity::on_poke() {
+  quantum_role_.assert_held();
   // Poked by fail_session / port_release: evict slots whose owning
   // session died. The stored record's accounting (det stamps, interior
   // charge, liveness) is unwound exactly as a merge-consume would, so
@@ -522,6 +545,7 @@ void SyncEntity::on_poke() {
 
 std::uint64_t SyncEntity::slot_type_matches(const Record& r) {
   return slot_match_.get_or(r.shape(), [&] {
+    quantum_role_.assert_held();
     std::uint64_t bits = 0;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (node_->sync_patterns[i].type.matches(r)) {
@@ -533,6 +557,7 @@ std::uint64_t SyncEntity::slot_type_matches(const Record& r) {
 }
 
 void SyncEntity::on_record(Record r) {
+  quantum_role_.assert_held();
   if (!fired_) {
     // Per-shape slot bitset when the cell is small enough; the guard of a
     // pattern is still evaluated per record.

@@ -9,6 +9,10 @@ namespace snet {
 
 Entity::Entity(Network& net, std::string name) : net_(net), name_(std::move(name)) {
   inbox_.set_capacity(net_.inbox_capacity());
+  // Inbox queue locks rank above every network lock (see Network's
+  // constructor): dispatch/output critical sections may push into an
+  // inbox, never the other way around.
+  inbox_.set_lock_order(50, "entity.inbox");
   batching_ = net_.batching();
   // Bounded inboxes keep batches small so the occupancy ceiling the stall
   // protocol guarantees (inbox bound + one quantum of overshoot) still
@@ -158,6 +162,12 @@ void Entity::release_inbox_credit() {
 }
 
 void Entity::run_quantum(unsigned max_messages) {
+  // The quantum frame: the state machine already guarantees a single
+  // runner (the scheduler only dispatches an entity after its CAS to
+  // queued); the guard turns that protocol fact into a capability, so the
+  // analysis proves every touch of worker-only state happens here — and
+  // checked builds catch a double-dispatch bug as a recursive acquisition.
+  const snetsac::runtime::RoleGuard quantum(quantum_role_);
   state_.store(kRunning, std::memory_order_release);
   if (resume_poke_.exchange(false, std::memory_order_acq_rel)) {
     try {

@@ -16,9 +16,10 @@
 /// between `||` and `|`.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "runtime/annotations.hpp"
 
 namespace snet {
 
@@ -51,9 +52,13 @@ class DetScope {
   std::string name_;
   Entity* collector_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::int64_t> pending_;
-  std::uint64_t next_ = 0;
+  /// Leaf in the lock order: nothing is acquired while mu_ is held (the
+  /// completion poke in adjust() fires after the lock drops), so it stays
+  /// unranked in checked builds.
+  mutable snetsac::runtime::Mutex mu_;
+  std::unordered_map<std::uint64_t, std::int64_t> pending_
+      SNETSAC_GUARDED_BY(mu_);
+  std::uint64_t next_ SNETSAC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace snet

@@ -42,14 +42,15 @@ class OutputEntity final : public Entity {
  private:
   /// push_output retry shared by the direct path and the deferred flush
   /// (the session resolves from the record's stamp).
-  bool try_push(Record& r, bool from_deferred);
+  bool try_push(Record& r, bool from_deferred) SNETSAC_REQUIRES(quantum_role_);
 
   /// Batched mode: records staged across the quantum, handed to
   /// Network::push_output_batch in one buffer-lock acquisition at quantum
   /// end (on_quantum_end runs before run_quantum's flush retires the
   /// records' live counts, so staged records are never dead). Worker-only.
-  std::vector<Record> staged_;
-  std::vector<Record> refused_;  // push_output_batch overflow, reused
+  std::vector<Record> staged_ SNETSAC_GUARDED_BY(quantum_role_);
+  /// push_output_batch overflow, reused.
+  std::vector<Record> refused_ SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// Head of the network: drains the per-session input staging queues into
@@ -70,13 +71,15 @@ class InputDispatchEntity final : public Entity {
 
  private:
   /// Drops every staged record of a released/errored session.
-  void drop_staged(SessionState* s);
+  void drop_staged(SessionState* s) SNETSAC_REQUIRES(quantum_role_);
   /// Fires staging-queue credit waiters collected during a turn.
-  void fire_released();
+  void fire_released() SNETSAC_REQUIRES(quantum_role_);
 
   Entity* entry_;
-  std::deque<SessionState*> active_;  ///< DRR ring; dispatcher worker only
-  std::vector<std::function<void()>> released_;  // staging credit scratch
+  /// DRR ring; dispatcher worker only.
+  std::deque<SessionState*> active_ SNETSAC_GUARDED_BY(quantum_role_);
+  /// Staging credit scratch.
+  std::vector<std::function<void()>> released_ SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// A box instance. Binds the declared input labels, runs the box function,
@@ -93,16 +96,19 @@ class BoxEntity final : public Entity, private BoxOutput {
   /// Compiles every output variant's emission layout (declared labels →
   /// box-arg slots, flow-inherited input slots) against the current input
   /// record's shape.
-  std::shared_ptr<const std::vector<CopyPlan>> compile_emit_plans() const;
+  std::shared_ptr<const std::vector<CopyPlan>> compile_emit_plans() const
+      SNETSAC_REQUIRES(quantum_role_);
 
   Net node_;
   Entity* succ_;
   RecordType input_type_;  // set view of the declared input (hoisted)
-  const Record* current_ = nullptr;  // input being processed (for inheritance)
+  /// Input being processed (for inheritance).
+  const Record* current_ SNETSAC_GUARDED_BY(quantum_role_) = nullptr;
   /// Per-input-shape emission plans, one per output variant: the flow
   /// inheritance loops (per-label contains probes + sorted inserts) run
   /// once per shape, then every emission is a flat slot copy.
-  ShapeMemo<std::shared_ptr<const std::vector<CopyPlan>>> emit_plans_;
+  ShapeMemo<std::shared_ptr<const std::vector<CopyPlan>>> emit_plans_
+      SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// A filter instance.
@@ -121,7 +127,8 @@ class FilterEntity final : public Entity {
   /// to apply() for the unmemoized error), non-null replays the compiled
   /// specifier + flow inheritance as flat slot moves. Guards, which depend
   /// on tag values rather than the label set, are evaluated per record.
-  ShapeMemo<std::shared_ptr<const FilterSpec::Compiled>> plans_;
+  ShapeMemo<std::shared_ptr<const FilterSpec::Compiled>> plans_
+      SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// Parallel-composition dispatcher: best-match routing over branch input
@@ -141,7 +148,7 @@ class ParallelEntity final : public Entity {
 
  private:
   std::vector<Entity*> entries_;
-  ParallelRouter router_;
+  ParallelRouter router_ SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// One stage of a serial replication: "the chain is tapped before every
@@ -162,9 +169,10 @@ class StarStageEntity final : public Entity {
   Net node_;  // the Star node
   Entity* exit_target_;
   unsigned stage_;
-  Entity* replica_entry_ = nullptr;  // lazily instantiated
+  /// Lazily instantiated.
+  Entity* replica_entry_ SNETSAC_GUARDED_BY(quantum_role_) = nullptr;
   /// Per-shape memo of the exit pattern's type match (guard per record).
-  ShapeMemo<bool> exit_type_match_;
+  ShapeMemo<bool> exit_type_match_ SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// Parallel replication dispatcher: routes on the value of the split tag;
@@ -174,7 +182,10 @@ class SplitEntity final : public Entity {
  public:
   SplitEntity(Network& net, std::string prefix, Net node, Entity* successor);
 
-  std::size_t replica_count() const;
+  /// Replica census for tests/diagnostics. Reads worker-only state
+  /// quiescently (after wait(), no quantum can be running), a protocol
+  /// argument the analysis cannot follow — annotated out rather than cast.
+  std::size_t replica_count() const SNETSAC_NO_TSA;
 
  protected:
   void on_record(Record r) override;
@@ -183,7 +194,10 @@ class SplitEntity final : public Entity {
   std::string prefix_;
   Net node_;  // the Split node
   Entity* succ_;
-  std::map<std::int64_t, Entity*> replicas_;  // only touched by the runner
+  /// Only touched by the worker currently running the entity;
+  /// replica_count() reads it quiescently (after wait()), which the
+  /// analysis cannot see — hence the annotation opt-out there.
+  std::map<std::int64_t, Entity*> replicas_ SNETSAC_GUARDED_BY(quantum_role_);
 };
 
 /// Entry of a deterministic region: stamps records with fresh group
@@ -240,12 +254,12 @@ class DetCollectorEntity final : public Entity {
     }
   };
 
-  void release_ready();
+  void release_ready() SNETSAC_REQUIRES(quantum_role_);
 
   DetScope scope_;
   Entity* succ_;
-  std::map<std::uint64_t, Group> buffer_;
-  std::uint64_t next_release_ = 0;
+  std::map<std::uint64_t, Group> buffer_ SNETSAC_GUARDED_BY(quantum_role_);
+  std::uint64_t next_release_ SNETSAC_GUARDED_BY(quantum_role_) = 0;
 };
 
 /// Synchrocell: stores one record per pattern; when all patterns are
@@ -266,13 +280,14 @@ class SyncEntity final : public Entity {
   /// Pattern indices whose *type* matches records of a given shape, as a
   /// bitset (synchrocells have a handful of patterns; >64 falls back to
   /// unmemoized matching). Guards are evaluated per record.
-  std::uint64_t slot_type_matches(const Record& r);
+  std::uint64_t slot_type_matches(const Record& r)
+      SNETSAC_REQUIRES(quantum_role_);
 
   Net node_;
   Entity* succ_;
-  std::vector<std::optional<Record>> slots_;
-  ShapeMemo<std::uint64_t> slot_match_;
-  bool fired_ = false;
+  std::vector<std::optional<Record>> slots_ SNETSAC_GUARDED_BY(quantum_role_);
+  ShapeMemo<std::uint64_t> slot_match_ SNETSAC_GUARDED_BY(quantum_role_);
+  bool fired_ SNETSAC_GUARDED_BY(quantum_role_) = false;
 };
 
 }  // namespace snet::detail

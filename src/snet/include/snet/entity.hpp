@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/annotations.hpp"
 #include "runtime/mpsc_queue.hpp"
 #include "snet/stream.hpp"
 
@@ -107,8 +108,34 @@ class Entity {
   std::uint64_t records_in() const { return in_count_.load(std::memory_order_relaxed); }
   std::uint64_t records_out() const { return out_count_.load(std::memory_order_relaxed); }
 
+  /// Records parked on (this, session) credit keys, readable from any
+  /// thread (the invariant layer correlates it with the sessions' parked
+  /// counters at safe points).
+  std::size_t deferred_depth() const {
+    return deferred_total_.load(std::memory_order_acquire);
+  }
+
+  /// Lost-wakeup query for the invariant layer: true when a producer is
+  /// still registered for this inbox's credit although the queue has
+  /// drained to (or below) the release watermark — the wakeup its
+  /// registration guaranteed will never come. Valid at safe points only
+  /// (between quanta): mid-drain the release simply has not fired yet.
+  bool inbox_lost_wakeup_suspected() const {
+    return inbox_.lost_wakeup_suspected();
+  }
+
  protected:
+  /// The *protocol* capability serialising all worker-only state below:
+  /// the idle/queued/running CAS handshake guarantees at most one worker
+  /// runs this entity at a time, and run_quantum's RoleGuard is where the
+  /// guarantee becomes a capability the analysis can track. Virtual
+  /// override bodies (on_record and friends) re-assert it at entry —
+  /// clang does not propagate attributes through virtual dispatch — which
+  /// doubles as a dynamic single-runner check in SNETSAC_CHECKED builds.
+  snetsac::runtime::ThreadRole quantum_role_;
+
   /// Consumes one record. Emissions go through send()/transfer().
+  /// Implementations open with `quantum_role_.assert_held()`.
   virtual void on_record(Record r) = 0;
   /// Handles a control poke (det group completion, stall resumption...).
   virtual void on_poke() {}
@@ -121,12 +148,12 @@ class Entity {
   /// Emits a derived record downstream: counted as an emission of the
   /// record currently being consumed (det accounting, live accounting).
   /// A congested target requests a stall of this entity.
-  void send(Entity* target, Record r);
+  void send(Entity* target, Record r) SNETSAC_REQUIRES(quantum_role_);
 
   /// Moves a record the entity had previously buffered (and manually
   /// accounted for) downstream without counting it as a fresh emission.
   /// A congested target requests a stall of this entity.
-  void transfer(Entity* target, Record r);
+  void transfer(Entity* target, Record r) SNETSAC_REQUIRES(quantum_role_);
 
   /// Attempts to register this entity with a credit source; it must
   /// return false when credit is (again) available, in which case the
@@ -136,10 +163,14 @@ class Entity {
   /// Asks the runtime to suspend this entity at the end of the message
   /// currently being processed (honoured by run_quantum; unprocessed
   /// batch remainder and inbox survive the suspension).
-  void request_stall(StallGate gate) { stall_gate_ = std::move(gate); }
+  void request_stall(StallGate gate) SNETSAC_REQUIRES(quantum_role_) {
+    stall_gate_ = std::move(gate);
+  }
   /// True once the current quantum has a pending suspension — long
   /// release loops (det collectors) should yield when they see this.
-  bool stall_requested() const { return static_cast<bool>(stall_gate_); }
+  bool stall_requested() const SNETSAC_REQUIRES(quantum_role_) {
+    return static_cast<bool>(stall_gate_);
+  }
 
   /// True when the network runs with batched emission (Options::batching);
   /// entities that stage per-quantum work (the output demux) key their
@@ -157,16 +188,19 @@ class Entity {
   /// True when records of \p s are currently deferred — later records of
   /// the same session must defer too (per-session FIFO, the
   /// batch-remainder ordering rule of the stall protocol).
-  bool defer_pending(const SessionState* s) const;
+  bool defer_pending(const SessionState* s) const SNETSAC_REQUIRES(quantum_role_);
   /// Parks \p r on the (this, s) credit key.
-  void defer_record(SessionState* s, Record r);
+  void defer_record(SessionState* s, Record r) SNETSAC_REQUIRES(quantum_role_);
   /// Retries every deferred session through \p attempt (true = consumed:
   /// the record was delivered or dropped). Stops per session at the first
   /// refusal; a refusal re-registered the credit waiter, so a later poke
   /// re-enters here. Respects stall_requested().
-  void flush_deferred(const std::function<bool(SessionState*, Record&)>& attempt);
+  void flush_deferred(const std::function<bool(SessionState*, Record&)>& attempt)
+      SNETSAC_REQUIRES(quantum_role_);
   /// Records currently parked across all sessions.
-  std::size_t deferred_count() const { return deferred_total_; }
+  std::size_t deferred_count() const {
+    return deferred_total_.load(std::memory_order_relaxed);
+  }
 
   Network& net_;
 
@@ -175,7 +209,7 @@ class Entity {
   /// try_deliver once the message is in the inbox.
   void schedule_after_push();
   /// Fires credit waiters the last drain made runnable.
-  void release_inbox_credit();
+  void release_inbox_credit() SNETSAC_REQUIRES(quantum_role_);
 
   // --- batched emission (see file comment) ------------------------------
   // All of this is only touched by the single worker currently running
@@ -209,52 +243,61 @@ class Entity {
 
   /// Stages a message for \p target, flushing when the buffered total
   /// reaches the threshold.
-  void buffer_message(Entity* target, Message m);
+  void buffer_message(Entity* target, Message m) SNETSAC_REQUIRES(quantum_role_);
   /// Accumulates the emission-side accounting of \p r (det +1 per stamp,
   /// live +1 for its session).
-  void note_emit_accounting(const Record& r);
-  void det_delta_add(DetScope* scope, std::uint64_t seq);
-  void det_delta_sub(DetScope* scope, std::uint64_t seq);
-  void live_delta_add(SessionState* session);
-  void live_delta_sub(SessionState* session);
+  void note_emit_accounting(const Record& r) SNETSAC_REQUIRES(quantum_role_);
+  void det_delta_add(DetScope* scope, std::uint64_t seq)
+      SNETSAC_REQUIRES(quantum_role_);
+  void det_delta_sub(DetScope* scope, std::uint64_t seq)
+      SNETSAC_REQUIRES(quantum_role_);
+  void live_delta_add(SessionState* session) SNETSAC_REQUIRES(quantum_role_);
+  void live_delta_sub(SessionState* session) SNETSAC_REQUIRES(quantum_role_);
   /// Applies pending increments, pushes every buffer (one push_all per
   /// target; a congested bounded target requests a stall), then applies
   /// pending decrements and clears the accumulators.
-  void flush_all();
+  void flush_all() SNETSAC_REQUIRES(quantum_role_);
 
   std::string name_;
   snetsac::runtime::MpscQueue<Message> inbox_;
   /// Quantum drain buffer (reused across quanta; only the worker currently
-  /// running the entity touches it). batch_pos_ marks the resume point
-  /// after a stall — messages past it are still owned by the entity.
-  std::vector<Message> batch_;
-  std::size_t batch_pos_ = 0;
-  std::vector<std::function<void()>> released_;  // scratch for credit firing
+  /// running the entity touches it — guarded by the quantum role).
+  /// batch_pos_ marks the resume point after a stall — messages past it
+  /// are still owned by the entity.
+  std::vector<Message> batch_ SNETSAC_GUARDED_BY(quantum_role_);
+  std::size_t batch_pos_ SNETSAC_GUARDED_BY(quantum_role_) = 0;
+  /// Scratch for credit firing.
+  std::vector<std::function<void()>> released_ SNETSAC_GUARDED_BY(quantum_role_);
 
   /// (entity, session)-deferred records; only touched by the worker
   /// currently running the entity (like batch_).
-  std::unordered_map<SessionState*, std::deque<Record>> deferred_;
-  std::size_t deferred_total_ = 0;
+  std::unordered_map<SessionState*, std::deque<Record>> deferred_
+      SNETSAC_GUARDED_BY(quantum_role_);
+  /// Atomic mirror of the deferred map's total so deferred_depth() is
+  /// readable from any thread; mutated only inside quanta.
+  std::atomic<std::size_t> deferred_total_{0};
 
   /// Batched-emission state (worker-only, like batch_). The delta vectors
   /// are linear-scanned: a quantum touches a handful of (scope, seq) and
   /// session keys, and the vectors are reused so steady state allocates
-  /// nothing.
+  /// nothing. batching_/flush_threshold_ are fixed in the constructor and
+  /// read-only afterwards, so they stay outside the role.
   bool batching_ = true;
   std::size_t flush_threshold_ = 256;
-  std::vector<EmitBuffer> emit_bufs_;
-  std::size_t emit_pending_ = 0;
-  std::size_t last_buf_ = 0;  // index of the most recent emission target
-  std::vector<DetDelta> det_deltas_;
-  std::vector<LiveDelta> live_deltas_;
+  std::vector<EmitBuffer> emit_bufs_ SNETSAC_GUARDED_BY(quantum_role_);
+  std::size_t emit_pending_ SNETSAC_GUARDED_BY(quantum_role_) = 0;
+  /// Index of the most recent emission target.
+  std::size_t last_buf_ SNETSAC_GUARDED_BY(quantum_role_) = 0;
+  std::vector<DetDelta> det_deltas_ SNETSAC_GUARDED_BY(quantum_role_);
+  std::vector<LiveDelta> live_deltas_ SNETSAC_GUARDED_BY(quantum_role_);
   /// Reused stamp snapshot of the record being consumed — replaces the
   /// per-record heap copy the scalar loop used to make (skipped entirely
   /// for unstamped records).
-  std::vector<DetStamp> stamp_scratch_;
+  std::vector<DetStamp> stamp_scratch_ SNETSAC_GUARDED_BY(quantum_role_);
 
   /// Set while a quantum is processing; honoured at the next message
   /// boundary. Only touched by the worker currently running the entity.
-  StallGate stall_gate_;
+  StallGate stall_gate_ SNETSAC_GUARDED_BY(quantum_role_);
   /// Set by resume_from_stall: the next quantum starts with an on_poke so
   /// entities with internal backlogs (det collectors) resume draining
   /// even when no new message arrives.
@@ -270,12 +313,12 @@ class Entity {
   std::atomic<int> state_{kIdle};
 
   // Only touched by the single worker currently running the entity.
-  std::uint64_t emitted_in_step_ = 0;
+  std::uint64_t emitted_in_step_ SNETSAC_GUARDED_BY(quantum_role_) = 0;
 
   /// Emissions since the last counter publish; send/transfer bump this
   /// plain counter and run_quantum folds it into out_count_ once per
   /// quantum — stats stay atomic reads without a per-record RMW.
-  std::uint64_t quantum_out_ = 0;
+  std::uint64_t quantum_out_ SNETSAC_GUARDED_BY(quantum_role_) = 0;
 
   std::atomic<std::uint64_t> in_count_{0};
   std::atomic<std::uint64_t> out_count_{0};

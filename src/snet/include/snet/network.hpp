@@ -32,19 +32,18 @@
 /// buffering with a Spill-or-FailFast overflow policy.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/annotations.hpp"
 #include "runtime/env.hpp"
 #include "snet/check.hpp"
 #include "snet/entity.hpp"
@@ -145,6 +144,11 @@ struct Options {
   /// any entity ("all streams can be observed individually"). Called from
   /// worker threads; must be thread-safe.
   std::function<void(const std::string& entity, const Record&)> trace;
+  /// The executor the network schedules on. Null selects the process-wide
+  /// work-stealing pool (Executor::global()); schedcheck scenarios pass a
+  /// SimExecutor to explore interleavings deterministically. The executor
+  /// must outlive the network.
+  snetsac::runtime::ExecutorIface* executor = nullptr;
 };
 
 struct EntityStats {
@@ -243,6 +247,19 @@ class Network {
 
   NetworkStats stats() const;
 
+  /// Verifies the protocol conservation laws and throws
+  /// ProtocolInvariantError on the first violation. Always compiled (the
+  /// per-operation inline checks are what SNETSAC_CHECKED gates); valid at
+  /// *safe points* only — between entity quanta, after wait(), or while
+  /// the network is idle — because the laws are stated over multi-lock
+  /// snapshots. Checks, per live session: output credit account ==
+  /// buffered output + parked (deferred) records; live/interior/account
+  /// counters non-negative; with \p expect_quiescent, that live records
+  /// and open sessions are exactly zero; and that no staging queue holds
+  /// registered credit waiters below the release watermark (a lost
+  /// wakeup: credit exists, nobody was notified).
+  void check_protocol_invariants(bool expect_quiescent) const;
+
   // ------- deprecated single-funnel shims (default session) ------------
 
   [[deprecated("use input().inject(); ports carry the bounded-stream "
@@ -260,6 +277,15 @@ class Network {
 
   // ------- runtime-internal interface (used by entities/ports) ---------
   Scheduler& scheduler() { return *sched_; }
+  /// The capabilities SessionState's guarded fields alias (session state
+  /// lives under the network's locks; see SessionState::out_mu_).
+  snetsac::runtime::Mutex& output_mutex() SNETSAC_RETURN_CAPABILITY(out_mu_) {
+    return out_mu_;
+  }
+  snetsac::runtime::Mutex& dispatch_mutex()
+      SNETSAC_RETURN_CAPABILITY(dispatch_mu_) {
+    return dispatch_mu_;
+  }
   void live_add(SessionState* session, std::int64_t n = 1);
   void live_sub(SessionState* session, std::int64_t n = 1);
 
@@ -353,10 +379,13 @@ class Network {
   SessionState* new_session_state(std::uint32_t id, SessionOptions opts);
   /// The lazily created default session (id 0).
   SessionState* default_state();
-  /// Pops the front of \p s's buffer, releases output credit and pokes
-  /// producers deferred on it once the buffer crosses the release
-  /// watermark. \p lock is released.
-  Record pop_output_locked(SessionState& s, std::unique_lock<std::mutex>& lock);
+  /// Pops the front of \p s's buffer and releases output credit. Entities
+  /// deferred on the session's credit are moved into \p resumed and
+  /// \p crossed reports whether the pop crossed the credit bound — the
+  /// caller pokes/notifies *after* dropping out_mu_ (callbacks never run
+  /// under the lock; the thread-safety analysis enforces the shape).
+  Record pop_output_locked(SessionState& s, std::vector<Entity*>& resumed,
+                           bool& crossed) SNETSAC_REQUIRES(out_mu_);
   /// Lists \p s with the input dispatcher (idempotent) and pokes it when
   /// the listing is new.
   void dispatch_list(SessionState* s);
@@ -374,13 +403,16 @@ class Network {
   Net topology_;
   Options opts_;
   NetSignature signature_;
+  /// The executor every quantum and cooperative wait goes through
+  /// (Options::executor, defaulting to the global work-stealing pool).
+  snetsac::runtime::ExecutorIface& exec_;
 
-  mutable std::mutex reg_mu_;
-  std::vector<std::unique_ptr<Entity>> entities_;
-  /// Synchrocell instances (guarded by reg_mu_): fail_session and
-  /// port_release poke them so slots stored by a dead session are
-  /// evicted instead of holding its liveness forever.
-  std::vector<Entity*> sync_entities_;
+  mutable snetsac::runtime::Mutex reg_mu_;
+  std::vector<std::unique_ptr<Entity>> entities_ SNETSAC_GUARDED_BY(reg_mu_);
+  /// Synchrocell instances: fail_session and port_release poke them so
+  /// slots stored by a dead session are evicted instead of holding its
+  /// liveness forever.
+  std::vector<Entity*> sync_entities_ SNETSAC_GUARDED_BY(reg_mu_);
 
   std::unique_ptr<Scheduler> sched_;
   Entity* entry_ = nullptr;
@@ -400,22 +432,23 @@ class Network {
   /// records carry raw SessionState pointers, and live > 0 guarantees
   /// the pointee survives (the last consumer's decrement never touches
   /// the state afterwards, see live_sub).
-  std::unordered_map<std::uint32_t, std::unique_ptr<SessionState>> sessions_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<SessionState>> sessions_
+      SNETSAC_GUARDED_BY(out_mu_);
   std::atomic<SessionState*> default_session_{nullptr};
-  std::uint64_t sessions_opened_ = 0;  // guarded by out_mu_ (monotone)
+  std::uint64_t sessions_opened_ SNETSAC_GUARDED_BY(out_mu_) = 0;  // monotone
   std::atomic<std::uint32_t> next_session_id_{1};
   std::atomic<std::int64_t> open_sessions_{0};
 
   /// Input-credit handshake for blocking inject on a full staging queue.
-  std::mutex in_mu_;
-  std::condition_variable in_cv_;
-  std::uint64_t in_credit_epoch_ = 0;  // guarded by in_mu_
+  mutable snetsac::runtime::Mutex in_mu_;
+  snetsac::runtime::CondVar in_cv_;
+  std::uint64_t in_credit_epoch_ SNETSAC_GUARDED_BY(in_mu_) = 0;
 
   /// Sessions newly listed for input dispatch (handed to the DRR
   /// dispatcher by dispatch_take_ready). Ordered before out_mu_ when both
   /// are needed.
-  std::mutex dispatch_mu_;
-  std::vector<SessionState*> dispatch_ready_;
+  mutable snetsac::runtime::Mutex dispatch_mu_;
+  std::vector<SessionState*> dispatch_ready_ SNETSAC_GUARDED_BY(dispatch_mu_);
   /// Sessions currently listed (staged backlog anywhere). While zero,
   /// injects may bypass the staging queue and deliver straight to the
   /// entry — the DRR detour costs nothing until there is actual
@@ -423,10 +456,10 @@ class Network {
   /// record slip ahead of a freshly staged backlog.
   std::atomic<std::int64_t> listed_count_{0};
 
-  mutable std::mutex out_mu_;
-  std::condition_variable out_cv_;
-  std::uint64_t produced_ = 0;  // across all sessions
-  std::exception_ptr error_;
+  mutable snetsac::runtime::Mutex out_mu_;
+  snetsac::runtime::CondVar out_cv_;
+  std::uint64_t produced_ SNETSAC_GUARDED_BY(out_mu_) = 0;  // all sessions
+  std::exception_ptr error_ SNETSAC_GUARDED_BY(out_mu_);
 
   bool done_locked() const {
     return open_sessions_.load(std::memory_order_acquire) == 0 &&

@@ -15,14 +15,18 @@
 /// fairness cap: a single network cannot monopolise the shared pool).
 /// Each dispatched task runs one Entity::run_quantum, then refills the
 /// dispatch window.
+///
+/// The executor behind the facade is an `ExecutorIface`: production
+/// networks run on the work-stealing pool, schedcheck scenarios on the
+/// deterministic SimExecutor — under which tail-chaining is disabled so
+/// every quantum is a separate scheduling decision.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "runtime/annotations.hpp"
 #include "runtime/executor.hpp"
 
 namespace snet {
@@ -34,7 +38,7 @@ class Scheduler {
   /// \p max_concurrency caps how many entity quanta of this network may
   /// run in the executor simultaneously (0 is promoted to 1); \p quantum
   /// is the per-dispatch message budget of an entity.
-  Scheduler(snetsac::runtime::Executor& exec, unsigned max_concurrency,
+  Scheduler(snetsac::runtime::ExecutorIface& exec, unsigned max_concurrency,
             unsigned quantum);
   ~Scheduler();
 
@@ -66,29 +70,29 @@ class Scheduler {
 
  private:
   /// Moves ready entities into \p batch while the dispatch window has
-  /// room, reserving a window slot and a lifetime pin for each (mu_ held).
-  void fill_locked(std::vector<Entity*>& batch);
+  /// room, reserving a window slot and a lifetime pin for each.
+  void fill_locked(std::vector<Entity*>& batch) SNETSAC_REQUIRES(mu_);
   /// Submits a batch collected by fill_locked to the executor.
   void submit_batch(const std::vector<Entity*>& batch);
   void run_one(Entity* entity);
 
-  snetsac::runtime::Executor& exec_;
+  snetsac::runtime::ExecutorIface& exec_;
   const unsigned limit_;
   const unsigned quantum_;
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;  // notified when active_ drains to 0
-  std::deque<Entity*> ready_;
+  mutable snetsac::runtime::Mutex mu_;
+  snetsac::runtime::CondVar idle_cv_;  // notified when active_ drains to 0
+  std::deque<Entity*> ready_ SNETSAC_GUARDED_BY(mu_);
   /// Quanta occupying the concurrency window (<= limit_). Released right
   /// after a quantum runs, *before* the finishing task refills the window,
   /// so dispatch responsibility always lies with the most recent finisher.
-  unsigned slots_ = 0;
+  unsigned slots_ SNETSAC_GUARDED_BY(mu_) = 0;
   /// Quanta still touching the scheduler, including their post-run
   /// dispatch work. stop() waits on this; it only reaches zero when no
   /// task will touch `this` again.
-  unsigned active_ = 0;
-  bool stopping_ = false;
-  std::uint64_t quanta_ = 0;
+  unsigned active_ SNETSAC_GUARDED_BY(mu_) = 0;
+  bool stopping_ SNETSAC_GUARDED_BY(mu_) = false;
+  std::uint64_t quanta_ SNETSAC_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> steals_{0};
 };
 

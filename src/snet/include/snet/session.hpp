@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/annotations.hpp"
 #include "runtime/mpsc_queue.hpp"
 #include "snet/record.hpp"
 
@@ -210,11 +211,37 @@ class SessionState {
   /// region drains below the watermark.
   bool throttled() const { return throttled_.load(std::memory_order_acquire); }
 
+  /// Static+dynamic hand-off for the cross-object guard: Network locks its
+  /// own out_mu_ member, but this session's guarded fields are annotated
+  /// against the *reference* below — asserting tells clang (and, checked,
+  /// verifies) they name the same capability.
+  void assert_output_locked() const SNETSAC_ASSERT_CAPABILITY(out_mu_) {
+    out_mu_.assert_held();
+  }
+  /// Same hand-off for Network::dispatch_mu_ (guards listed_).
+  void assert_dispatch_locked() const SNETSAC_ASSERT_CAPABILITY(dispatch_mu_) {
+    dispatch_mu_.assert_held();
+  }
+
  private:
   friend class Network;
   friend class InputPort;
   friend class OutputPort;
   friend class detail::InputDispatchEntity;
+
+  /// Invokes the installed on_output sink *outside* out_mu_. Safe without
+  /// the capability because a sink is install-once (port_on_output rejects
+  /// re-installation), the caller observed the install under the lock, and
+  /// only the single worker running the output entity reaches here —
+  /// exactly the protocol argument the analysis cannot follow, so the
+  /// access is annotated away instead of laundered through a cast.
+  void deliver_to_sink(Record r) SNETSAC_NO_TSA { sink_(std::move(r)); }
+
+  /// Aliases of Network::out_mu_ / Network::dispatch_mu_ — the capabilities
+  /// the guarded fields below are annotated against (a session has no
+  /// locks of its own; its state lives under the network's).
+  snetsac::runtime::Mutex& out_mu_;
+  snetsac::runtime::Mutex& dispatch_mu_;
 
   const std::uint32_t id_;
   const unsigned weight_;
@@ -237,7 +264,8 @@ class SessionState {
   /// only queue this session's inject can block on, so a full one throttles
   /// exactly this tenant. Drained by the input dispatcher under DRR.
   snetsac::runtime::MpscQueue<Record> staging_;
-  bool listed_ = false;       ///< on the dispatcher's radar (Network::dispatch_mu_)
+  /// On the dispatcher's radar.
+  bool listed_ SNETSAC_GUARDED_BY(dispatch_mu_) = false;
   std::int64_t deficit_ = 0;  ///< DRR deficit; input-dispatcher worker only
 
   /// Records buffered inside det collectors / synchrocells on behalf of
@@ -259,12 +287,16 @@ class SessionState {
   std::atomic<std::uint64_t> drr_turns_{0};     ///< DRR turns this session received
   std::atomic<std::uint64_t> spilled_{0};       ///< det/sync records spilled over the cap
 
-  // --- guarded by Network::out_mu_ ------------------------------------
-  std::deque<Record> buffer_;          ///< demuxed outputs awaiting the client
-  std::uint64_t produced_ = 0;
-  std::function<void(Record)> sink_;   ///< on_output callback, if any
-  std::vector<Entity*> out_waiters_;   ///< entities awaiting this session's credit
-  std::exception_ptr error_;           ///< fail-fast error, if any
+  // --- guarded by Network::out_mu_ (via the out_mu_ alias) -------------
+  /// Demuxed outputs awaiting the client.
+  std::deque<Record> buffer_ SNETSAC_GUARDED_BY(out_mu_);
+  std::uint64_t produced_ SNETSAC_GUARDED_BY(out_mu_) = 0;
+  /// on_output callback, if any.
+  std::function<void(Record)> sink_ SNETSAC_GUARDED_BY(out_mu_);
+  /// Entities awaiting this session's output credit.
+  std::vector<Entity*> out_waiters_ SNETSAC_GUARDED_BY(out_mu_);
+  /// Fail-fast error, if any.
+  std::exception_ptr error_ SNETSAC_GUARDED_BY(out_mu_);
 
   InputPort in_;
   OutputPort out_;

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "runtime/invariants.hpp"
 #include "snet/entities.hpp"
 #include "snet/verify.hpp"
 
 namespace snet {
+
+using snetsac::runtime::MutexLock;
+using snetsac::runtime::UniqueLock;
 
 std::size_t NetworkStats::count_containing(std::string_view needle) const {
   return static_cast<std::size_t>(
@@ -26,10 +31,25 @@ std::uint64_t NetworkStats::records_in_containing(std::string_view needle) const
 }
 
 Network::Network(Net topology, Options opts)
-    : topology_(std::move(topology)), opts_(std::move(opts)) {
+    : topology_(std::move(topology)),
+      opts_(std::move(opts)),
+      exec_(opts_.executor != nullptr
+                ? *opts_.executor
+                : static_cast<snetsac::runtime::ExecutorIface&>(
+                      snetsac::runtime::Executor::global())) {
   if (!topology_) {
     throw std::invalid_argument("null topology");
   }
+  // Declared lock order (checked builds verify it dynamically): entity
+  // registry, then dispatch listing, then the output/session lock, then
+  // the input-credit handshake; staging/inbox queues (50) and the
+  // executor's internals (60/70) rank above all of them. Any acquisition
+  // against ascending rank is half of a deadlock cycle and aborts the
+  // first schedule that exercises it.
+  reg_mu_.set_order(5, "network.reg_mu");
+  dispatch_mu_.set_order(10, "network.dispatch_mu");
+  out_mu_.set_order(20, "network.out_mu");
+  in_mu_.set_order(30, "network.in_mu");
   // The shape-flow verifier runs before fail-fast inference so a broken
   // topology surfaces its *complete* report (inference stops at the first
   // violation; the verifier collects them all, plus the liveness and
@@ -54,10 +74,10 @@ Network::Network(Net topology, Options opts)
     // Inference already ran; the flag only controls whether a mismatch is
     // fatal. Keep it simple: inference throws either way. (Documented.)
   }
-  // All networks (and all with-loops) share the process-wide executor;
-  // opts_.workers survives as this network's concurrency cap.
-  sched_ = std::make_unique<Scheduler>(snetsac::runtime::Executor::global(),
-                                       opts_.workers, opts_.quantum);
+  // All networks (and all with-loops) share the process-wide executor by
+  // default; opts_.workers survives as this network's concurrency cap.
+  // Schedcheck scenarios substitute a deterministic SimExecutor here.
+  sched_ = std::make_unique<Scheduler>(exec_, opts_.workers, opts_.quantum);
   out_entity_ = adopt(std::make_unique<detail::OutputEntity>(*this));
   entry_ = instantiate(topology_, out_entity_, "net");
   dispatch_ = adopt(std::make_unique<detail::InputDispatchEntity>(*this, entry_));
@@ -75,7 +95,7 @@ SessionState* Network::new_session_state(std::uint32_t id, SessionOptions opts) 
   auto state = std::make_unique<SessionState>(*this, id, opts);
   SessionState* raw = state.get();
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
     sessions_.emplace(id, std::move(state));
     ++sessions_opened_;
   }
@@ -95,7 +115,7 @@ SessionState* Network::default_state() {
   so.output_capacity = opts_.output_capacity;
   auto state = std::make_unique<SessionState>(*this, 0, so);
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
     s = default_session_.load(std::memory_order_relaxed);
     if (s != nullptr) {
       return s;  // another thread won the race
@@ -125,7 +145,8 @@ Session Network::open_session(SessionOptions opts) {
 void Network::dispatch_list(SessionState* s) {
   bool fresh = false;
   {
-    const std::lock_guard lock(dispatch_mu_);
+    const MutexLock lock(dispatch_mu_);
+    s->assert_dispatch_locked();
     if (!s->listed_) {
       s->listed_ = true;
       listed_count_.fetch_add(1, std::memory_order_acq_rel);
@@ -140,7 +161,8 @@ void Network::dispatch_list(SessionState* s) {
 
 void Network::dispatch_wake(SessionState* s) {
   {
-    const std::lock_guard lock(dispatch_mu_);
+    const MutexLock lock(dispatch_mu_);
+    s->assert_dispatch_locked();
     if (!s->listed_) {
       s->listed_ = true;
       listed_count_.fetch_add(1, std::memory_order_acq_rel);
@@ -151,7 +173,7 @@ void Network::dispatch_wake(SessionState* s) {
 }
 
 void Network::dispatch_take_ready(std::deque<SessionState*>& out) {
-  const std::lock_guard lock(dispatch_mu_);
+  const MutexLock lock(dispatch_mu_);
   out.insert(out.end(), dispatch_ready_.begin(), dispatch_ready_.end());
   dispatch_ready_.clear();
 }
@@ -165,12 +187,17 @@ bool Network::dispatch_delist(SessionState* s) {
   // dispatcher touch of *s happens while s is listed (ring membership ⟺
   // listed_), which is what lets port_release reclaim an unlisted,
   // drained session without racing a use after free.
-  const std::lock_guard lock(dispatch_mu_);
+  const MutexLock lock(dispatch_mu_);
+  s->assert_dispatch_locked();
   if (!s->staging_.empty()) {
     return false;  // the caller keeps the session on its active ring
   }
   s->listed_ = false;
-  listed_count_.fetch_sub(1, std::memory_order_acq_rel);
+  const std::int64_t listed =
+      listed_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  SNETSAC_INVARIANT(listed >= 0,
+                    "listed-session count went negative (" << listed
+                        << ") delisting session " << s->id());
   return true;
 }
 
@@ -181,34 +208,36 @@ void Network::await_output_account(SessionState& s) {
     return;
   }
   // All predicate state is either atomic or guarded by out_mu_ (sink_),
-  // and both wait paths evaluate it under the lock.
+  // and both wait paths evaluate it under the lock — the asserts are the
+  // hand-off that tells the analysis so (and verify it in checked builds).
   const auto pred = [&] {
+    out_mu_.assert_held();
+    s.assert_output_locked();
     return failed_.load(std::memory_order_acquire) || s.errored() ||
            s.abandoned() || static_cast<bool>(s.sink_) ||
            s.out_account_.load(std::memory_order_relaxed) <
                static_cast<std::int64_t>(s.out_cap_);
   };
-  auto& exec = snetsac::runtime::Executor::global();
   {
-    std::unique_lock lock(out_mu_);
+    UniqueLock lock(out_mu_);
     if (!pred()) {
       // The session's un-consumed output is at its credit bound: the
       // inject waits for the client to pop. This is the per-session
       // analogue of write(2) against a full pipe — and the whole point:
       // only *this* tenant waits, nobody else's stream is touched.
       s.credit_waits_.fetch_add(1, std::memory_order_relaxed);
-      if (!exec.on_worker_thread()) {
+      if (!exec_.on_worker_thread()) {
         out_cv_.wait(lock, pred);
       } else {
         lock.unlock();
-        exec.help_until(out_mu_, out_cv_, pred);
+        exec_.help_until(out_mu_, out_cv_, pred);
       }
     }
   }
   if (failed_.load(std::memory_order_acquire)) {
     std::exception_ptr err;
     {
-      const std::lock_guard lock(out_mu_);
+      const MutexLock lock(out_mu_);
       err = error_;
     }
     std::rethrow_exception(err);
@@ -216,7 +245,8 @@ void Network::await_output_account(SessionState& s) {
   if (s.errored()) {
     std::exception_ptr err;
     {
-      const std::lock_guard lock(out_mu_);
+      const MutexLock lock(out_mu_);
+      s.assert_output_locked();
       err = s.error_;
     }
     std::rethrow_exception(err);
@@ -228,7 +258,8 @@ void Network::port_inject(SessionState& s, Record r) {
     throw std::logic_error("inject after close_input");
   }
   if (s.errored()) {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s.assert_output_locked();
     std::rethrow_exception(s.error_);
   }
   // Per-session output credit gate: a slow reader blocks its own producer
@@ -260,13 +291,12 @@ void Network::port_inject(SessionState& s, Record r) {
     // session failing fast — wakes the wait too (both bump the epoch):
     // a dead pipeline may never release credit, so a blocked inject must
     // rethrow rather than hang.
-    auto& exec = snetsac::runtime::Executor::global();
     for (;;) {
       if (failed_.load(std::memory_order_acquire)) {
         live_sub(&s, 1);  // the record never became visible downstream
         std::exception_ptr err;
         {
-          const std::lock_guard lock(out_mu_);
+          const MutexLock lock(out_mu_);
           err = error_;
         }
         std::rethrow_exception(err);
@@ -275,26 +305,29 @@ void Network::port_inject(SessionState& s, Record r) {
         live_sub(&s, 1);
         std::exception_ptr err;
         {
-          const std::lock_guard lock(out_mu_);
+          const MutexLock lock(out_mu_);
+          s.assert_output_locked();
           err = s.error_;
         }
         std::rethrow_exception(err);
       }
       std::uint64_t epoch;
       {
-        const std::lock_guard lock(in_mu_);
+        const MutexLock lock(in_mu_);
         epoch = in_credit_epoch_;
       }
       const bool registered = s.staging_.wait_for_credit([this] {
         {
-          const std::lock_guard lock(in_mu_);
+          const MutexLock lock(in_mu_);
           ++in_credit_epoch_;
         }
         in_cv_.notify_all();
       });
       if (registered) {
-        exec.help_until(in_mu_, in_cv_,
-                        [&] { return in_credit_epoch_ != epoch; });
+        exec_.help_until(in_mu_, in_cv_, [&] {
+          in_mu_.assert_held();
+          return in_credit_epoch_ != epoch;
+        });
       }
       if (s.staging_.try_push(r)) {
         break;
@@ -341,7 +374,8 @@ bool Network::port_try_inject(SessionState& s, Record& r) {
     throw std::logic_error("inject after close_input");
   }
   if (s.errored()) {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s.assert_output_locked();
     std::rethrow_exception(s.error_);
   }
   if (s.out_cap_ != 0 &&
@@ -349,7 +383,8 @@ bool Network::port_try_inject(SessionState& s, Record& r) {
           static_cast<std::int64_t>(s.out_cap_)) {
     // Output credit exhausted — "full" for a non-blocking caller, unless
     // a sink consumes directly (checked under the lock to be exact).
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s.assert_output_locked();
     if (!s.sink_ && !s.abandoned() &&
         s.out_account_.load(std::memory_order_relaxed) >=
             static_cast<std::int64_t>(s.out_cap_)) {
@@ -384,38 +419,38 @@ void Network::port_close(SessionState& s) {
   // A session that was already drained must wake its output waiters (and
   // wait() waiters watching for whole-network quiescence).
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
   }
   out_cv_.notify_all();
 }
 
 // ---------------------------------------------------------- output (demux)
 
-Record Network::pop_output_locked(SessionState& s,
-                                  std::unique_lock<std::mutex>& lock) {
+Record Network::pop_output_locked(SessionState& s, std::vector<Entity*>& resumed,
+                                  bool& crossed) {
+  s.assert_output_locked();
   Record r = std::move(s.buffer_.front());
   s.buffer_.pop_front();
-  const std::int64_t before = s.out_account_.fetch_sub(1, std::memory_order_relaxed);
-  std::vector<Entity*> resumed;
+  const std::int64_t before =
+      s.out_account_.fetch_sub(1, std::memory_order_relaxed);
+  SNETSAC_INVARIANT(before >= 1, "session " << s.id()
+                                            << " output account underflow: pop "
+                                               "with account "
+                                            << before);
   if (!s.out_waiters_.empty() &&
       (s.out_cap_ == 0 || s.buffer_.size() <= s.out_cap_ / 2)) {
+    // The waiters deferred records on the (entity, session) credit key; a
+    // poke (done by the caller, outside the lock) makes their next quantum
+    // retry them. It is not a wholesale stall, so this is a nudge, not a
+    // resume.
     resumed.swap(s.out_waiters_);
   }
-  lock.unlock();
   // Wake the session's gated injects only when this pop actually crossed
   // the credit bound (account cap → cap-1); pops above or below the
   // boundary cannot change the gate predicate, and an unconditional
-  // notify here would wake every blocked inject, next() and wait()
-  // caller per consumed record.
-  if (s.out_cap_ != 0 && before == static_cast<std::int64_t>(s.out_cap_)) {
-    out_cv_.notify_all();
-  }
-  for (Entity* e : resumed) {
-    // The waiter deferred records on the (entity, session) credit key; a
-    // poke makes its next quantum retry them. It is not a wholesale
-    // stall, so this is a nudge, not a resume.
-    e->poke();
-  }
+  // notify would wake every blocked inject, next() and wait() caller per
+  // consumed record.
+  crossed = s.out_cap_ != 0 && before == static_cast<std::int64_t>(s.out_cap_);
   return r;
 }
 
@@ -429,13 +464,18 @@ std::size_t Network::port_drain(SessionState& s, std::vector<Record>& out) {
   std::size_t n = 0;
   bool gated = false;
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s.assert_output_locked();
     n = s.buffer_.size();
     if (n == 0) {
       return 0;
     }
     const std::int64_t before = s.out_account_.fetch_sub(
         static_cast<std::int64_t>(n), std::memory_order_relaxed);
+    SNETSAC_INVARIANT(
+        before >= static_cast<std::int64_t>(n),
+        "session " << s.id() << " output account underflow: drained " << n
+                   << " with account " << before);
     // Whole-span release: wake gated injects whenever the account *was* at
     // or over the bound (the bulk pop may open the gate; a spurious wake
     // re-checks the predicate under the lock).
@@ -458,28 +498,42 @@ std::size_t Network::port_drain(SessionState& s, std::vector<Record>& out) {
 }
 
 std::optional<Record> Network::port_next(SessionState& s) {
-  auto& exec = snetsac::runtime::Executor::global();
   const auto session_done = [&] {
     return s.closed_.load(std::memory_order_acquire) &&
            s.live_.load(std::memory_order_acquire) == 0;
   };
   const auto ready = [&] {
+    out_mu_.assert_held();
+    s.assert_output_locked();
     return error_ || s.error_ || !s.buffer_.empty() || session_done();
   };
-  if (!exec.on_worker_thread()) {
-    // Client thread: classic single-lock wait-and-pop.
-    std::unique_lock lock(out_mu_);
-    out_cv_.wait(lock, ready);
-    if (error_) {
-      std::rethrow_exception(error_);
+  if (!exec_.on_worker_thread()) {
+    // Client thread: classic single-lock wait-and-pop. The pop's wakeups
+    // (credit-bound notify, deferred-producer pokes) run after the lock is
+    // dropped — callbacks never run under out_mu_.
+    std::optional<Record> r;
+    std::vector<Entity*> resumed;
+    bool crossed = false;
+    {
+      UniqueLock lock(out_mu_);
+      out_cv_.wait(lock, ready);
+      if (error_) {
+        std::rethrow_exception(error_);
+      }
+      if (s.error_) {
+        std::rethrow_exception(s.error_);
+      }
+      if (!s.buffer_.empty()) {
+        r = pop_output_locked(s, resumed, crossed);
+      }
     }
-    if (s.error_) {
-      std::rethrow_exception(s.error_);
+    if (crossed) {
+      out_cv_.notify_all();
     }
-    if (!s.buffer_.empty()) {
-      return pop_output_locked(s, lock);
+    for (Entity* e : resumed) {
+      e->poke();
     }
-    return std::nullopt;
+    return r;  // nullopt ⟺ session closed and drained
   }
   // Executor worker (a box draining a nested network): wait cooperatively —
   // execute queued tasks, including this network's own quanta, instead of
@@ -487,18 +541,35 @@ std::optional<Record> Network::port_next(SessionState& s) {
   // wait and the pop: a concurrent consumer may take the output we were
   // woken for.
   for (;;) {
-    exec.help_until(out_mu_, out_cv_, ready);
-    std::unique_lock lock(out_mu_);
-    if (error_) {
-      std::rethrow_exception(error_);
+    exec_.help_until(out_mu_, out_cv_, ready);
+    std::optional<Record> r;
+    bool done = false;
+    std::vector<Entity*> resumed;
+    bool crossed = false;
+    {
+      UniqueLock lock(out_mu_);
+      if (error_) {
+        std::rethrow_exception(error_);
+      }
+      if (s.error_) {
+        std::rethrow_exception(s.error_);
+      }
+      if (!s.buffer_.empty()) {
+        r = pop_output_locked(s, resumed, crossed);
+      } else if (session_done()) {
+        done = true;
+      }
     }
-    if (s.error_) {
-      std::rethrow_exception(s.error_);
+    if (crossed) {
+      out_cv_.notify_all();
     }
-    if (!s.buffer_.empty()) {
-      return pop_output_locked(s, lock);
+    for (Entity* e : resumed) {
+      e->poke();
     }
-    if (session_done()) {
+    if (r.has_value()) {
+      return r;
+    }
+    if (done) {
       return std::nullopt;
     }
   }
@@ -514,7 +585,8 @@ void Network::port_on_output(SessionState& s, std::function<void(Record)> callba
   for (;;) {
     std::deque<Record> pending;
     {
-      const std::lock_guard lock(out_mu_);
+      const MutexLock lock(out_mu_);
+      s.assert_output_locked();
       if (s.sink_) {
         // Install-once: push_output calls through the stored sink
         // without copying it, which is only safe if it never changes.
@@ -568,9 +640,11 @@ std::vector<Record> Network::collect() {
 // -------------------------------------------------------------------------
 
 void Network::wait() {
-  snetsac::runtime::Executor::global().help_until(
-      out_mu_, out_cv_, [&] { return error_ || done_locked(); });
-  std::unique_lock lock(out_mu_);
+  exec_.help_until(out_mu_, out_cv_, [&] {
+    out_mu_.assert_held();
+    return error_ || done_locked();
+  });
+  const MutexLock lock(out_mu_);
   if (error_) {
     std::rethrow_exception(error_);
   }
@@ -579,7 +653,7 @@ void Network::wait() {
 NetworkStats Network::stats() const {
   NetworkStats s;
   {
-    const std::lock_guard lock(reg_mu_);
+    const MutexLock lock(reg_mu_);
     s.entities.reserve(entities_.size());
     for (const auto& e : entities_) {
       s.entities.push_back(EntityStats{e->name(), e->records_in(), e->records_out()});
@@ -587,11 +661,12 @@ NetworkStats Network::stats() const {
   }
   s.injected = injected_.load();
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
     s.produced = produced_;
     s.sessions = sessions_opened_;  // cumulative, survives reclamation
     s.session_stats.reserve(sessions_.size());
     for (const auto& [id, state] : sessions_) {
+      state->assert_output_locked();
       SessionStats row;
       row.id = id;
       row.weight = state->weight();
@@ -621,6 +696,8 @@ void Network::live_add(SessionState* session, std::int64_t n) {
     session->live_.fetch_add(n, std::memory_order_acq_rel);
   }
   const std::int64_t now = live_.fetch_add(n, std::memory_order_acq_rel) + n;
+  SNETSAC_INVARIANT(now >= n, "network live counter was negative before add: "
+                                  << now - n);
   std::int64_t peak = peak_live_.load(std::memory_order_relaxed);
   while (now > peak &&
          !peak_live_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
@@ -637,13 +714,18 @@ void Network::live_sub(SessionState* session, std::int64_t n) {
     // re-check closed/live under out_mu_ (spurious wakeups are cheap,
     // and the close path notifies too — between them every transition
     // of "closed && live == 0" is covered).
-    session_drained = session->live_.fetch_sub(n, std::memory_order_acq_rel) - n == 0;
+    const std::int64_t after =
+        session->live_.fetch_sub(n, std::memory_order_acq_rel) - n;
+    SNETSAC_INVARIANT(after >= 0,
+                      "session live counter went negative: " << after);
+    session_drained = after == 0;
   }
   const std::int64_t now = live_.fetch_sub(n, std::memory_order_acq_rel) - n;
+  SNETSAC_INVARIANT(now >= 0, "network live counter went negative: " << now);
   const bool network_drained =
       now == 0 && open_sessions_.load(std::memory_order_acquire) == 0;
   if (session_drained || network_drained) {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
     out_cv_.notify_all();
   }
 }
@@ -657,11 +739,17 @@ Network::PushOutcome Network::push_output(Record& r, Entity* producer,
   }
   bool has_sink = false;
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s->assert_output_locked();
     const auto retire_deferred = [&] {
       if (from_deferred) {
-        s->parked_.fetch_sub(1, std::memory_order_relaxed);
+        const std::int64_t parked =
+            s->parked_.fetch_sub(1, std::memory_order_relaxed) - 1;
         s->out_account_.fetch_sub(1, std::memory_order_relaxed);
+        SNETSAC_INVARIANT(parked >= 0, "session " << s->id()
+                                                  << " parked counter went "
+                                                     "negative: "
+                                                  << parked);
       }
     };
     if (s->abandoned() || s->errored()) {
@@ -694,8 +782,13 @@ Network::PushOutcome Network::push_output(Record& r, Entity* producer,
       ++s->produced_;
       s->buffer_.push_back(std::move(r));
       if (from_deferred) {
-        s->parked_.fetch_sub(1, std::memory_order_relaxed);
+        const std::int64_t parked =
+            s->parked_.fetch_sub(1, std::memory_order_relaxed) - 1;
         // account unchanged: the park charge becomes the buffer charge
+        SNETSAC_INVARIANT(parked >= 0, "session " << s->id()
+                                                  << " parked counter went "
+                                                     "negative: "
+                                                  << parked);
       } else {
         s->out_account_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -712,7 +805,7 @@ Network::PushOutcome Network::push_output(Record& r, Entity* producer,
     // and the record in hand keeps the session state alive (live > 0
     // until the output entity's consume decrement). Serialised: only the
     // single worker currently running the output entity reaches here.
-    s->sink_(std::move(r));
+    s->deliver_to_sink(std::move(r));
   } else {
     out_cv_.notify_all();
   }
@@ -740,10 +833,11 @@ void Network::push_output_batch(std::vector<Record>& records, Entity* producer,
   std::vector<SessionState*> refused_sessions;
   bool any_buffered = false;
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
     for (Record& r : records) {
       SessionState* const stamped = r.session_state();
       SessionState* const s = stamped != nullptr ? stamped : fallback;
+      s->assert_output_locked();
       if (s->abandoned() || s->errored()) {
         continue;  // dropped: nobody can ever consume this session's output
       }
@@ -782,7 +876,7 @@ void Network::push_output_batch(std::vector<Record>& records, Entity* producer,
     }
   }
   for (auto& [s, rec] : sink_calls) {
-    s->sink_(std::move(rec));
+    s->deliver_to_sink(std::move(rec));
   }
   if (any_buffered) {
     out_cv_.notify_all();
@@ -791,7 +885,7 @@ void Network::push_output_batch(std::vector<Record>& records, Entity* producer,
 }
 
 void Network::note_deferred_output(SessionState* s) {
-  const std::lock_guard lock(out_mu_);
+  const MutexLock lock(out_mu_);
   s->parked_.fetch_add(1, std::memory_order_relaxed);
   s->out_account_.fetch_add(1, std::memory_order_relaxed);
   s->output_parks_.fetch_add(1, std::memory_order_relaxed);
@@ -804,6 +898,10 @@ bool Network::interior_admit(SessionState* s) {
     return true;
   }
   const std::int64_t now = s->interior_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  SNETSAC_INVARIANT(now >= 1, "session " << s->id()
+                                         << " interior account was negative "
+                                            "before admit: "
+                                         << now - 1);
   return now <= static_cast<std::int64_t>(opts_.det_capacity);
 }
 
@@ -812,6 +910,9 @@ void Network::interior_release(SessionState* s, std::int64_t n) {
     return;
   }
   const std::int64_t now = s->interior_.fetch_sub(n, std::memory_order_acq_rel) - n;
+  SNETSAC_INVARIANT(now >= 0, "session " << s->id()
+                                         << " interior account went negative: "
+                                         << now);
   if (now <= static_cast<std::int64_t>(opts_.det_capacity / 2) &&
       s->throttled_.exchange(false, std::memory_order_acq_rel)) {
     dispatch_wake(s);  // resume the session's input dispatch
@@ -842,13 +943,20 @@ void Network::fail_session(SessionState* s, std::exception_ptr err) {
   std::vector<Entity*> resumed;
   bool flush_deferred = false;
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s->assert_output_locked();
     if (!s->error_) {
       s->error_ = err;
     }
     s->errored_.store(true, std::memory_order_release);
-    s->out_account_.fetch_sub(static_cast<std::int64_t>(s->buffer_.size()),
-                              std::memory_order_relaxed);
+    const std::int64_t after = s->out_account_.fetch_sub(
+                                   static_cast<std::int64_t>(s->buffer_.size()),
+                                   std::memory_order_relaxed) -
+                               static_cast<std::int64_t>(s->buffer_.size());
+    SNETSAC_INVARIANT(after >= 0, "session " << s->id()
+                                             << " output account went negative "
+                                                "discarding its buffer: "
+                                             << after);
     s->buffer_.clear();
     resumed.swap(s->out_waiters_);
     flush_deferred = s->parked_.load(std::memory_order_relaxed) > 0;
@@ -857,7 +965,7 @@ void Network::fail_session(SessionState* s, std::exception_ptr err) {
   // Wake injects blocked on staging credit; they observe errored() and
   // rethrow instead of hanging on a session that will never drain.
   {
-    const std::lock_guard lock(in_mu_);
+    const MutexLock lock(in_mu_);
     ++in_credit_epoch_;
   }
   in_cv_.notify_all();
@@ -874,7 +982,7 @@ void Network::fail_session(SessionState* s, std::exception_ptr err) {
 void Network::poke_sync_entities() {
   std::vector<Entity*> cells;
   {
-    const std::lock_guard lock(reg_mu_);
+    const MutexLock lock(reg_mu_);
     cells = sync_entities_;
   }
   for (Entity* e : cells) {
@@ -886,20 +994,23 @@ void Network::port_release(SessionState& s) {
   port_close(s);  // idempotent; decrements open_sessions_ once
   const std::uint32_t id = s.id();
   s.abandoned_.store(true, std::memory_order_release);
-  // Lock order: dispatch_mu_ before out_mu_. A session still on the
-  // dispatcher's radar must not be reclaimed under it; listed_ implies
-  // staged records in every steady state (and a transiently listed empty
-  // session merely defers reclamation to network teardown).
+  // Lock order: dispatch_mu_ before out_mu_ (ranks 10 < 20). A session
+  // still on the dispatcher's radar must not be reclaimed under it;
+  // listed_ implies staged records in every steady state (and a
+  // transiently listed empty session merely defers reclamation to network
+  // teardown).
   bool listed;
   {
-    const std::lock_guard lock(dispatch_mu_);
+    const MutexLock lock(dispatch_mu_);
+    s.assert_dispatch_locked();
     listed = s.listed_;
   }
   std::vector<Entity*> resumed;
   bool reclaimed = false;
   bool flush_deferred = false;
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
+    s.assert_output_locked();
     s.out_account_.fetch_sub(static_cast<std::int64_t>(s.buffer_.size()),
                              std::memory_order_relaxed);
     s.buffer_.clear();  // unconsumed output is discarded
@@ -942,7 +1053,7 @@ void Network::port_release(SessionState& s) {
 
 void Network::fail(std::exception_ptr err) {
   {
-    const std::lock_guard lock(out_mu_);
+    const MutexLock lock(out_mu_);
     if (!error_) {
       error_ = err;
     }
@@ -952,10 +1063,108 @@ void Network::fail(std::exception_ptr err) {
   // Wake producers blocked on staging credit (see port_inject): a failed
   // pipeline may never drain, and they must observe the error.
   {
-    const std::lock_guard lock(in_mu_);
+    const MutexLock lock(in_mu_);
     ++in_credit_epoch_;
   }
   in_cv_.notify_all();
+}
+
+// ---------------------------------------------------- protocol invariants
+
+void Network::check_protocol_invariants(bool expect_quiescent) const {
+  using snetsac::runtime::invariant_failure;
+  const std::int64_t live = live_.load(std::memory_order_acquire);
+  const std::int64_t open = open_sessions_.load(std::memory_order_acquire);
+  if (live < 0) {
+    invariant_failure("live-record counter non-negative",
+                      "network live counter is " + std::to_string(live));
+  }
+  if (open < 0) {
+    invariant_failure("open-session counter non-negative",
+                      "open_sessions is " + std::to_string(open));
+  }
+  if (expect_quiescent && (live != 0 || open != 0)) {
+    invariant_failure(
+        "quiescence only at true zero",
+        "expected a quiescent network but live=" + std::to_string(live) +
+            " open_sessions=" + std::to_string(open));
+  }
+  {
+    const MutexLock lock(out_mu_);
+    for (const auto& [id, state] : sessions_) {
+      state->assert_output_locked();
+      const std::string where = "session " + std::to_string(id) + ": ";
+      const std::int64_t account =
+          state->out_account_.load(std::memory_order_acquire);
+      const std::int64_t parked = state->parked_.load(std::memory_order_acquire);
+      const std::int64_t slive = state->live_.load(std::memory_order_acquire);
+      const std::int64_t interior =
+          state->interior_.load(std::memory_order_acquire);
+      const auto buffered = static_cast<std::int64_t>(state->buffer_.size());
+      if (slive < 0) {
+        invariant_failure("live-record counter non-negative",
+                          where + "live=" + std::to_string(slive));
+      }
+      if (interior < 0) {
+        invariant_failure("interior (det/sync) account non-negative",
+                          where + "interior=" + std::to_string(interior));
+      }
+      if (parked < 0) {
+        invariant_failure("parked (deferred output) counter non-negative",
+                          where + "parked=" + std::to_string(parked));
+      }
+      if (account < 0) {
+        invariant_failure("output credit account non-negative",
+                          where + "account=" + std::to_string(account));
+      }
+      // The conservation law of the output credit protocol: every charge
+      // against the account is either a buffered record awaiting the
+      // client or a record parked (deferred) at the output entity. Holds
+      // under out_mu_ at every instant — all three quantities mutate in
+      // the same critical sections — including for abandoned/errored
+      // sessions (their discard paths retire buffer and park charges
+      // symmetrically).
+      if (account != buffered + parked) {
+        invariant_failure(
+            "output credit conservation (account == buffered + parked)",
+            where + "account=" + std::to_string(account) + " buffered=" +
+                std::to_string(buffered) + " parked=" + std::to_string(parked));
+      }
+      if (expect_quiescent && slive != 0) {
+        invariant_failure("quiescence only at true zero",
+                          where + "live=" + std::to_string(slive) +
+                              " in a supposedly quiescent network");
+      }
+      // Lost-wakeup law: a credit waiter registered on a staging queue
+      // that has drained to (or below) the release watermark was never
+      // notified — the wakeup its registration guaranteed is gone. Valid
+      // at safe points only: mid-drain the collector has not fired yet.
+      if (state->staging_.lost_wakeup_suspected()) {
+        invariant_failure(
+            "no lost wakeup on staging credit",
+            where + std::to_string(state->staging_.waiter_count()) +
+                " credit waiter(s) registered below the release watermark");
+      }
+    }
+  }
+  // Same lost-wakeup law for the interior inbox credit: a producer parked
+  // on a consumer's inbox that has drained below the watermark will never
+  // be poked again.
+  std::vector<Entity*> ents;
+  {
+    const MutexLock lock(reg_mu_);
+    ents.reserve(entities_.size());
+    for (const auto& e : entities_) {
+      ents.push_back(e.get());
+    }
+  }
+  for (const Entity* e : ents) {
+    if (e->inbox_lost_wakeup_suspected()) {
+      invariant_failure("no lost wakeup on inbox credit",
+                        "entity " + e->name() +
+                            ": producer(s) parked below the release watermark");
+    }
+  }
 }
 
 void Network::trace_record(const Entity& target, const Record& r) {
@@ -963,7 +1172,7 @@ void Network::trace_record(const Entity& target, const Record& r) {
 }
 
 Entity* Network::adopt(std::unique_ptr<Entity> entity) {
-  const std::lock_guard lock(reg_mu_);
+  const MutexLock lock(reg_mu_);
   entities_.push_back(std::move(entity));
   return entities_.back().get();
 }
@@ -1077,7 +1286,7 @@ Entity* Network::instantiate(const Net& node, Entity* successor,
       Entity* cell = adopt(
           std::make_unique<SyncEntity>(*this, prefix + "/sync", node, successor));
       {
-        const std::lock_guard lock(reg_mu_);
+        const MutexLock lock(reg_mu_);
         sync_entities_.push_back(cell);
       }
       return cell;

@@ -6,17 +6,21 @@
 
 namespace snet {
 
-Scheduler::Scheduler(snetsac::runtime::Executor& exec, unsigned max_concurrency,
-                     unsigned quantum)
+using snetsac::runtime::MutexLock;
+
+Scheduler::Scheduler(snetsac::runtime::ExecutorIface& exec,
+                     unsigned max_concurrency, unsigned quantum)
     : exec_(exec),
       limit_(max_concurrency == 0 ? 1U : max_concurrency),
-      quantum_(quantum == 0 ? 1U : quantum) {}
+      quantum_(quantum == 0 ? 1U : quantum) {
+  mu_.set_order(40, "scheduler.mu");
+}
 
 Scheduler::~Scheduler() { stop(); }
 
 void Scheduler::fill_locked(std::vector<Entity*>& batch) {
-  // Caller holds mu_. Reserves a window slot AND a lifetime pin per
-  // dispatched entity; the matching releases happen in run_one.
+  // Reserves a window slot AND a lifetime pin per dispatched entity; the
+  // matching releases happen in run_one.
   while (!stopping_ && slots_ < limit_ && !ready_.empty()) {
     batch.push_back(ready_.front());
     ready_.pop_front();
@@ -38,7 +42,7 @@ void Scheduler::submit_batch(const std::vector<Entity*>& batch) {
 void Scheduler::enqueue(Entity* entity, bool urgent) {
   std::vector<Entity*> batch;
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     if (stopping_) {
       return;  // teardown: pending entities are dropped, as before
     }
@@ -58,7 +62,10 @@ void Scheduler::run_one(Entity* entity) {
   // the executor (the common S-Net shape: a record walking a pipeline).
   // Bounded so a busy network still yields the worker; everything beyond
   // the inline continuation is submitted for other workers to pick up.
-  constexpr int kMaxChain = 64;
+  // Under a deterministic (schedule-exploration) executor chaining is
+  // disabled outright: every quantum must surface as its own task so the
+  // strategy can interleave it against the rest of the pending set.
+  const int kMaxChain = exec_.deterministic() ? 0 : 64;
   // Attribute the executor-level steal (if any) to this network. Only the
   // dispatched task itself can have been stolen; tail-chained entities run
   // inline on the same worker.
@@ -74,7 +81,7 @@ void Scheduler::run_one(Entity* entity) {
     std::vector<Entity*> batch;
     Entity* next = nullptr;
     {
-      const std::lock_guard lock(mu_);
+      const MutexLock lock(mu_);
       // Release the window slot *before* refilling: the finishing task
       // must take dispatch responsibility for whatever is ready, even when
       // quanta dispatched earlier have not released their slots yet (they
@@ -102,7 +109,7 @@ void Scheduler::run_one(Entity* entity) {
 
 void Scheduler::stop() {
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
     ready_.clear();  // teardown drops not-yet-dispatched entities, as before
   }
@@ -110,11 +117,14 @@ void Scheduler::stop() {
   // are on an executor worker (e.g. a network destroyed inside a box), so
   // the quanta we wait for can still be run. Idempotent: a second call
   // sees active_ == 0 and returns immediately.
-  exec_.help_until(mu_, idle_cv_, [&] { return active_ == 0; });
+  exec_.help_until(mu_, idle_cv_, [&] {
+    mu_.assert_held();
+    return active_ == 0;
+  });
 }
 
 std::uint64_t Scheduler::quanta_executed() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return quanta_;
 }
 

@@ -9,7 +9,9 @@ namespace snet {
 // shares the same mutexes.
 
 SessionState::SessionState(Network& net, std::uint32_t id, SessionOptions opts)
-    : id_(id),
+    : out_mu_(net.output_mutex()),
+      dispatch_mu_(net.dispatch_mutex()),
+      id_(id),
       weight_(opts.weight == 0 ? 1U : opts.weight),
       out_cap_(opts.output_capacity),
       in_(net, *this),
@@ -17,6 +19,7 @@ SessionState::SessionState(Network& net, std::uint32_t id, SessionOptions opts)
   // The staging queue shares the interior inbox bound: a session can stage
   // at most one inbox worth of records before its own inject blocks.
   staging_.set_capacity(net.inbox_capacity());
+  staging_.set_lock_order(50, "session.staging");
 }
 
 void InputPort::inject(Record r) { net_->port_inject(*state_, std::move(r)); }

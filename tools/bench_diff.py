@@ -45,7 +45,7 @@ RATIO_METRICS = {
     "withloop_compiled_speedup",
 }
 # Metrics enforced only with --absolute: machine-dependent throughput.
-ABSOLUTE_METRICS = {"records_per_sec"}
+ABSOLUTE_METRICS = {"records_per_sec", "elements_per_sec"}
 # Keys that identify a row (everything string-valued plus these ints).
 IDENTITY_KEYS = ("bench", "mode", "branches", "threads", "bound")
 
@@ -60,9 +60,59 @@ def row_identity(row):
     return tuple(ident)
 
 
+class SchemaError(Exception):
+    """A BENCH_*.json file that does not match the bench_json.hpp shape."""
+
+
+def validate_rows(path, data):
+    """Checks the bench_json.hpp schema before any metric is touched.
+
+    A malformed file (hand-edited baseline, truncated CI artifact, a bench
+    emitting a new shape) should fail with a message naming the file, the
+    row, and the violated rule — not with a KeyError/TypeError traceback
+    halfway through the diff.
+    """
+    if not isinstance(data, list):
+        raise SchemaError(
+            f"{path}: top level must be a JSON array of rows, "
+            f"got {type(data).__name__}")
+    known_metrics = RATIO_METRICS | ABSOLUTE_METRICS
+    any_metric = False
+    for i, row in enumerate(data):
+        if not isinstance(row, dict):
+            raise SchemaError(
+                f"{path}: row {i} must be an object, "
+                f"got {type(row).__name__}")
+        if "bench" not in row:
+            raise SchemaError(
+                f"{path}: row {i} lacks the 'bench' identity key "
+                f"(has: {sorted(row)})")
+        any_metric = any_metric or any(m in row for m in known_metrics)
+        for metric in known_metrics:
+            if metric not in row:
+                continue
+            value = row[metric]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(
+                    f"{path}: row {i} metric '{metric}' must be a number, "
+                    f"got {value!r}")
+    # Per-file, not per-row: ablation/reference rows legitimately carry
+    # only identity keys plus throughput the ratio rows divide by.
+    if data and not any_metric:
+        raise SchemaError(
+            f"{path}: no row carries any known metric key "
+            f"{sorted(known_metrics)} — nothing to diff; if the bench emits "
+            f"a new metric, add it to RATIO_METRICS or ABSOLUTE_METRICS")
+
+
 def load_rows(path):
     with open(path) as f:
-        return {row_identity(r): r for r in json.load(f)}
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SchemaError(f"{path}: not valid JSON: {e}") from e
+    validate_rows(path, data)
+    return {row_identity(r): r for r in data}
 
 
 def main():
@@ -97,8 +147,12 @@ def main():
             # A bench that no longer runs is a regression of its own.
             failures.append(f"{base_path.name}: missing from {current_dir}")
             continue
-        base_rows = load_rows(base_path)
-        cur_rows = load_rows(cur_path)
+        try:
+            base_rows = load_rows(base_path)
+            cur_rows = load_rows(cur_path)
+        except SchemaError as e:
+            print(f"bench_diff: schema error: {e}", file=sys.stderr)
+            return 2
         for ident, base_row in base_rows.items():
             cur_row = cur_rows.get(ident)
             if cur_row is None:

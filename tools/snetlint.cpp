@@ -2,16 +2,18 @@
 /// Standalone front-end for the whole-topology shape-flow verifier
 /// (snet/verify.hpp): lint a textual S-Net program without running it.
 ///
-/// Usage: snetlint [--strict] [--dot FILE] [--expect CODE] program.snet
+/// Usage: snetlint [--strict] [--dot FILE] [--expect CODES] program.snet
 ///
-///   --strict       warnings fail the lint (exit 1), not just errors
-///   --dot FILE     write the topology as Graphviz DOT with the verifier's
-///                  findings painted on (errors red, warnings orange)
-///   --expect CODE  negative-fixture mode: exit 0 iff the report contains
-///                  a diagnostic with this code (e.g. "dead-branch"),
-///                  exit 2 otherwise — how CI asserts that an
-///                  intentionally-broken example stays broken in exactly
-///                  the intended way
+///   --strict        warnings fail the lint (exit 1), not just errors
+///   --dot FILE      write the topology as Graphviz DOT with the verifier's
+///                   findings painted on (errors red, warnings orange)
+///   --expect CODES  negative-fixture mode: CODES is a comma-separated
+///                   list of diagnostic codes (e.g.
+///                   "dead-branch,never-firing-sync"); exit 0 iff the
+///                   report contains a diagnostic with *every* listed
+///                   code, exit 2 otherwise — how CI asserts that an
+///                   intentionally-broken example stays broken in exactly
+///                   the intended ways
 ///
 /// Box *declarations* in the program are bound to no-op stubs: the lint
 /// needs only the declared signatures (coordination is data; computation
@@ -69,9 +71,30 @@ void bind_declared_boxes(const std::string& source, snet::lang::Bindings& bindin
   }
 }
 
+/// Splits the --expect operand on commas; empty segments (a stray
+/// trailing comma) are dropped rather than becoming never-matchable codes.
+std::vector<std::string> split_codes(const std::string& list) {
+  std::vector<std::string> codes;
+  std::string cur;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) {
+        codes.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    codes.push_back(cur);
+  }
+  return codes;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: snetlint [--strict] [--dot FILE] [--expect CODE] "
+               "usage: snetlint [--strict] [--dot FILE] [--expect CODES] "
                "program.snet\n");
   return 3;
 }
@@ -135,15 +158,29 @@ int main(int argc, char** argv) {
     }
 
     if (!expect.empty()) {
-      for (const auto& d : report.diagnostics) {
-        if (expect == snet::to_string(d.code)) {
-          std::printf("expected diagnostic [%s] present\n", expect.c_str());
-          return 0;
+      const std::vector<std::string> codes = split_codes(expect);
+      if (codes.empty()) {
+        return usage();
+      }
+      bool all_present = true;
+      for (const auto& code : codes) {
+        bool present = false;
+        for (const auto& d : report.diagnostics) {
+          if (code == snet::to_string(d.code)) {
+            present = true;
+            break;
+          }
+        }
+        if (present) {
+          std::printf("expected diagnostic [%s] present\n", code.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "snetlint: expected diagnostic [%s] NOT present\n",
+                       code.c_str());
+          all_present = false;
         }
       }
-      std::fprintf(stderr, "snetlint: expected diagnostic [%s] NOT present\n",
-                   expect.c_str());
-      return 2;
+      return all_present ? 0 : 2;
     }
     if (report.has_errors()) {
       return 1;
