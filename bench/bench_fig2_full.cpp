@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "sudoku/corpus.hpp"
 #include "sudoku/nets.hpp"
 
@@ -19,6 +20,14 @@ namespace {
 
 void BM_Fig2(benchmark::State& state, const std::string& name, unsigned workers) {
   const auto puzzle = corpus_board(name);
+  // Snapshot/replay (tools/snetrec): with SNETSAC_SNAPSHOT_DIR set, the
+  // inject stream comes from the committed fixture instead of being built
+  // in code; with SNETSAC_RECORD_DIR set, the stream actually used is
+  // captured for committing. Unset, both are no-ops.
+  const std::vector<snet::Record> inputs =
+      benchjson::snapshot_inputs("fig2_" + name)
+          .value_or(std::vector<snet::Record>{board_record(puzzle)});
+  benchjson::snapshot_record("fig2_" + name, inputs);
   std::size_t instances = 0;
   std::size_t stages = 0;
   std::size_t max_per_stage = 0;
@@ -27,7 +36,9 @@ void BM_Fig2(benchmark::State& state, const std::string& name, unsigned workers)
     snet::Options opts;
     opts.workers = workers;
     snet::Network net(fig2_net(), std::move(opts));
-    net.input().inject(board_record(puzzle));
+    for (const auto& r : inputs) {
+      net.input().inject(r);
+    }
     net.output().collect();
     const auto stats = net.stats();
     instances = stats.count_containing("box:solveOneLevel");

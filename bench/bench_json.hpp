@@ -6,14 +6,66 @@
 /// string or numeric values, written to `BENCH_<name>.json` in the current
 /// directory so successive PRs can diff perf trajectories without parsing
 /// human-oriented bench logs.
+///
+/// Also the bench half of the snapshot/replay harness (tools/snetrec,
+/// snet/wire.hpp): `snapshot_inputs` lets a gated bench run from a
+/// committed, hardware-independent `.swire` input stream instead of
+/// rebuilding its inputs in code, and `snapshot_record` captures the
+/// inputs a bench actually used so the stream can be committed as a
+/// fixture. Both are opt-in via environment variables and cost nothing
+/// when unset.
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "snet/wire.hpp"
+
 namespace benchjson {
+
+/// Records loaded from `$SNETSAC_SNAPSHOT_DIR/<name>.swire` when the
+/// variable is set and the file exists; nullopt otherwise (the bench then
+/// builds its inputs in code as usual). Throws wire::WireError on a
+/// malformed stream — a broken fixture should fail loudly, not silently
+/// change what the bench measures.
+inline std::optional<std::vector<snet::Record>> snapshot_inputs(
+    const std::string& name) {
+  const char* dir = std::getenv("SNETSAC_SNAPSHOT_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return std::nullopt;
+  }
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (name + ".swire");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  return snet::wire::read_all(in);
+}
+
+/// When `$SNETSAC_RECORD_DIR` is set, serializes \p records to
+/// `$SNETSAC_RECORD_DIR/<name>.swire` (directories created as needed).
+inline void snapshot_record(const std::string& name,
+                            const std::vector<snet::Record>& records) {
+  const char* dir = std::getenv("SNETSAC_RECORD_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (name + ".swire");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  snet::wire::WireWriter w(out);
+  for (const auto& r : records) {
+    w.record(r);
+  }
+  w.finish();
+}
 
 using Value = std::variant<std::string, double, std::int64_t>;
 

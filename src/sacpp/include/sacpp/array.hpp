@@ -119,6 +119,19 @@ class Array {
     }
   }
 
+  /// Array of \p shape adopting an already-laid-out storage buffer
+  /// (row-major, `bool` as one byte per element) without element
+  /// conversion — the import side of the record wire codec (snet/wire.hpp)
+  /// decodes straight into a `buffer_type` and hands it over here. Throws
+  /// on size mismatch.
+  Array(Shape shape, buffer_type storage) : shape_(std::move(shape)) {
+    if (static_cast<std::int64_t>(storage.size()) != shape_.element_count()) {
+      throw ShapeError("storage size " + std::to_string(storage.size()) +
+                       " does not match shape " + shape_.to_string());
+    }
+    data_ = std::make_shared<buffer_type>(std::move(storage));
+  }
+
   /// SaC `dim(array)`.
   int dim() const { return shape_.rank(); }
   /// SaC `shape(array)`.

@@ -479,11 +479,45 @@ void DetCollectorEntity::on_record(Record r) {
   if (!within) {
     // Spill: throttle the session's input dispatch and keep accepting.
     // The spilling latch keeps `primary` a strict prefix of the group's
-    // arrivals, so primary-then-spill release preserves order.
+    // arrivals, so primary-then-overflow release preserves order.
     net_.spill_session(session);
     group.spilling = true;
   }
-  (group.spilling ? group.spill : group.primary).push_back(std::move(r));
+  if (group.spilling) {
+    if (wire::SpillStore* store = net_.spill_store()) {
+      try {
+        group.overflow.emplace_back(store->spill(r));
+        return;  // the record's memory is released; only the frame stays
+      } catch (const wire::WireError&) {
+        // Undecodable payload (no codec) or I/O trouble: keep this one in
+        // memory. The single overflow queue preserves arrival order
+        // across the mix.
+      }
+    }
+    net_.det_buffer_add(1);
+    group.overflow.emplace_back(std::move(r));
+    return;
+  }
+  net_.det_buffer_add(1);
+  group.primary.push_back(std::move(r));
+}
+
+Record DetCollectorEntity::take_front(Group& group) {
+  if (!group.primary.empty()) {
+    Record r = std::move(group.primary.front());
+    group.primary.pop_front();
+    net_.det_buffer_sub(1);
+    return r;
+  }
+  Spilled entry = std::move(group.overflow.front());
+  group.overflow.pop_front();
+  if (auto* frame = std::get_if<wire::SpillFrame>(&entry)) {
+    // Restored records carry pointer-exact det stamps and session
+    // identity (the store resolves them against its write-side tables).
+    return net_.spill_store()->restore(*frame);
+  }
+  net_.det_buffer_sub(1);
+  return std::move(std::get<Record>(entry));
 }
 
 void DetCollectorEntity::on_poke() {
@@ -501,7 +535,7 @@ void DetCollectorEntity::release_ready() {
     if (it != buffer_.end()) {
       Group& group = it->second;
       while (!group.empty() && !stall_requested()) {
-        Record rec = group.pop_front();
+        Record rec = take_front(group);
         net_.interior_release(rec.session_state(), 1);
         transfer(succ_, std::move(rec));
       }
@@ -520,26 +554,43 @@ SyncEntity::SyncEntity(Network& net, std::string name, Net node, Entity* success
     : Entity(net, std::move(name)), node_(std::move(node)), succ_(successor),
       slots_(node_->sync_patterns.size()) {}
 
+Record SyncEntity::take_slot(Slot& slot) {
+  Record stored;
+  if (slot.rec.has_value()) {
+    stored = std::move(*slot.rec);
+    net_.det_buffer_sub(1);
+  } else {
+    stored = net_.spill_store()->restore(*slot.frame);
+  }
+  slot.rec.reset();
+  slot.frame.reset();
+  slot.session = nullptr;
+  return stored;
+}
+
 void SyncEntity::on_poke() {
   quantum_role_.assert_held();
   // Poked by fail_session / port_release: evict slots whose owning
   // session died. The stored record's accounting (det stamps, interior
   // charge, liveness) is unwound exactly as a merge-consume would, so
   // the dead session can drain to zero and the network can quiesce.
+  // The cached owner pointer keeps the liveness test cheap; a disk-backed
+  // slot is only restored (then discarded) when it actually needs
+  // unwinding — its det stamps live in the spill file.
   for (auto& slot : slots_) {
-    if (!slot.has_value()) {
+    if (!slot.filled()) {
       continue;
     }
-    SessionState* const s = slot->session_state();
+    SessionState* const s = slot.session;
     if (s == nullptr || (!s->errored() && !s->abandoned())) {
       continue;
     }
-    for (const auto& st : slot->det_stack()) {
+    const Record stored = take_slot(slot);
+    for (const auto& st : stored.det_stack()) {
       st.scope->adjust(st.seq, -1);
     }
     net_.interior_release(s, 1);
     net_.live_sub(s, 1);
-    slot.reset();
   }
 }
 
@@ -564,7 +615,7 @@ void SyncEntity::on_record(Record r) {
     const bool memoized = slots_.size() <= 64;
     const std::uint64_t bits = memoized ? slot_type_matches(r) : 0;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].has_value()) {
+      if (slots_[i].filled()) {
         continue;
       }
       const Pattern& pat = node_->sync_patterns[i];
@@ -574,7 +625,7 @@ void SyncEntity::on_record(Record r) {
       }
       const bool last_missing =
           std::count_if(slots_.begin(), slots_.end(),
-                        [](const auto& s) { return s.has_value(); }) ==
+                        [](const auto& s) { return s.filled(); }) ==
           static_cast<std::ptrdiff_t>(slots_.size()) - 1;
       if (!last_missing) {
         // Storing charges the record's session's interior account: a
@@ -587,6 +638,7 @@ void SyncEntity::on_record(Record r) {
           // (nor hold its own liveness in a slot nobody will complete).
           return;
         }
+        bool over_cap = false;
         if (!net_.interior_admit(session)) {
           if (net_.overflow_policy() == OverflowPolicy::FailFast) {
             net_.interior_release(session, 1);
@@ -599,6 +651,7 @@ void SyncEntity::on_record(Record r) {
             return;
           }
           net_.spill_session(session);
+          over_cap = true;
         }
         // Store; compensate the generic consume accounting (the record
         // survives inside the cell).
@@ -606,22 +659,35 @@ void SyncEntity::on_record(Record r) {
           s.scope->adjust(s.seq, +1);
         }
         net_.live_add(session, 1);
-        slots_[i] = std::move(r);
+        slots_[i].session = session;
+        if (over_cap) {
+          if (wire::SpillStore* store = net_.spill_store()) {
+            try {
+              slots_[i].frame = store->spill(r);
+              return;  // parked on disk; restored at merge/eviction
+            } catch (const wire::WireError&) {
+              // No codec / I/O trouble: keep the contribution in memory.
+            }
+          }
+        }
+        net_.det_buffer_add(1);
+        slots_[i].rec = std::move(r);
         return;
       }
       // This record completes the cell: merge all stored records into it
       // (slot order precedence for duplicate labels).
       Record merged = std::move(r);
       for (auto& slot : slots_) {
-        if (!slot.has_value()) {
+        if (!slot.filled()) {
           continue;
         }
-        for (const auto& [label, value] : slot->fields()) {
+        const Record stored = take_slot(slot);
+        for (const auto& [label, value] : stored.fields()) {
           if (!merged.has_field(label)) {
             merged.set_field(label, value);
           }
         }
-        for (const auto& [label, value] : slot->tags()) {
+        for (const auto& [label, value] : stored.tags()) {
           if (!merged.has_tag(label)) {
             merged.set_tag(label, value);
           }
@@ -630,12 +696,11 @@ void SyncEntity::on_record(Record r) {
         // (A record stored by session A may complete a cell fired by
         // session B: the merged record belongs to B, A's contribution is
         // consumed here — synchrocells join across sessions by design.)
-        for (const auto& s : slot->det_stack()) {
+        for (const auto& s : stored.det_stack()) {
           s.scope->adjust(s.seq, -1);
         }
-        net_.interior_release(slot->session_state(), 1);
-        net_.live_sub(slot->session_state(), 1);
-        slot.reset();
+        net_.interior_release(stored.session_state(), 1);
+        net_.live_sub(stored.session_state(), 1);
       }
       fired_ = true;
       send(succ_, std::move(merged));

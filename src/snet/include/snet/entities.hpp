@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "snet/box.hpp"
@@ -20,6 +21,7 @@
 #include "snet/network.hpp"
 #include "snet/router.hpp"
 #include "snet/shapes.hpp"
+#include "snet/wire.hpp"
 
 namespace snet::detail {
 
@@ -223,10 +225,13 @@ class DetEntryEntity final : public Entity {
 ///
 /// Buffering is charged against the record's session
 /// (Options::det_capacity): over the cap, the overflow policy either
-/// spills the record to the group's secondary list and throttles the
-/// session's input dispatch (Spill — ordering preserved: once a group
-/// spills, all its later records spill too, and release drains primary
-/// before spill), or errors exactly the offending session (FailFast).
+/// spills the record — to the network's disk spill store when
+/// `Options::spill_to_disk` is on (the record's memory is released; only a
+/// 12-byte frame handle stays), to the group's in-memory overflow queue
+/// otherwise — and throttles the session's input dispatch (Spill —
+/// ordering preserved: once a group spills, all its later records spill
+/// too, and release drains primary before overflow, overflow in arrival
+/// order), or errors exactly the offending session (FailFast).
 class DetCollectorEntity final : public Entity {
  public:
   DetCollectorEntity(Network& net, std::string name, Entity* successor);
@@ -238,21 +243,25 @@ class DetCollectorEntity final : public Entity {
   void on_poke() override;
 
  private:
+  /// An overflow entry: on disk (the common case with spill_to_disk) or
+  /// in memory (throttle-only mode, or a payload with no wire codec).
+  /// One queue for both keeps arrival order across the mix.
+  using Spilled = std::variant<Record, wire::SpillFrame>;
+
   /// One det group's buffered output. `spilling` latches on first
   /// overflow so primary stays a strict prefix of the group's arrivals.
   struct Group {
     std::deque<Record> primary;
-    std::deque<Record> spill;
+    std::deque<Spilled> overflow;
     bool spilling = false;
 
-    bool empty() const { return primary.empty() && spill.empty(); }
-    Record pop_front() {
-      auto& q = primary.empty() ? spill : primary;
-      Record r = std::move(q.front());
-      q.pop_front();
-      return r;
-    }
+    bool empty() const { return primary.empty() && overflow.empty(); }
   };
+
+  /// Pops the group's next record in arrival order, restoring it from the
+  /// spill file when the front entry is a disk frame, and keeping the
+  /// in-memory gauge (Network::det_buffer_*) in step.
+  Record take_front(Group& group) SNETSAC_REQUIRES(quantum_role_);
 
   void release_ready() SNETSAC_REQUIRES(quantum_role_);
 
@@ -267,7 +276,9 @@ class DetCollectorEntity final : public Entity {
 /// charged to the record's session (Options::det_capacity), and a poke
 /// evicts slots stored by sessions that were failed fast or released —
 /// a dead tenant's contribution must not hold the shared cell (and its
-/// own liveness) forever.
+/// own liveness) forever. A record stored over the cap under the Spill
+/// policy is serialized to the network's spill store (when enabled) and
+/// restored at merge/eviction time.
 class SyncEntity final : public Entity {
  public:
   SyncEntity(Network& net, std::string name, Net node, Entity* successor);
@@ -277,15 +288,30 @@ class SyncEntity final : public Entity {
   void on_poke() override;
 
  private:
+  /// One pattern's stored contribution: in memory or parked on disk.
+  /// `session` is cached so the eviction sweep can test owner liveness
+  /// without restoring disk-backed slots.
+  struct Slot {
+    std::optional<Record> rec;
+    std::optional<wire::SpillFrame> frame;
+    SessionState* session = nullptr;
+
+    bool filled() const { return rec.has_value() || frame.has_value(); }
+  };
+
   /// Pattern indices whose *type* matches records of a given shape, as a
   /// bitset (synchrocells have a handful of patterns; >64 falls back to
   /// unmemoized matching). Guards are evaluated per record.
   std::uint64_t slot_type_matches(const Record& r)
       SNETSAC_REQUIRES(quantum_role_);
 
+  /// Moves the slot's record out (restoring from disk if parked) and
+  /// clears the slot. The stored record's accounting is NOT unwound here.
+  Record take_slot(Slot& slot) SNETSAC_REQUIRES(quantum_role_);
+
   Net node_;
   Entity* succ_;
-  std::vector<std::optional<Record>> slots_ SNETSAC_GUARDED_BY(quantum_role_);
+  std::vector<Slot> slots_ SNETSAC_GUARDED_BY(quantum_role_);
   ShapeMemo<std::uint64_t> slot_match_ SNETSAC_GUARDED_BY(quantum_role_);
   bool fired_ SNETSAC_GUARDED_BY(quantum_role_) = false;
 };

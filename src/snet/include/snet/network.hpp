@@ -53,6 +53,10 @@
 
 namespace snet {
 
+namespace wire {
+class SpillStore;  // wire.hpp; the disk half of OverflowPolicy::Spill
+}  // namespace wire
+
 /// Runtime type errors (no parallel branch matches, split tag missing...).
 class NetTypeError : public std::runtime_error {
  public:
@@ -126,6 +130,18 @@ struct Options {
   std::size_t det_capacity = 0;
   /// Policy when a session exceeds det_capacity.
   OverflowPolicy det_overflow = OverflowPolicy::Spill;
+  /// Under the Spill policy, serialize overflow det/sync records to a
+  /// per-network spill file (see snet/wire.hpp) and restore them on
+  /// release, so an over-cap region's interior leaves memory instead of
+  /// merely being throttled. False keeps the overflow in memory — the
+  /// throttle-only baseline the spill bench/test compares against.
+  /// Records whose field payloads have no registered wire codec stay in
+  /// memory either way (ordering is preserved across the mix).
+  bool spill_to_disk = true;
+  /// Directory for the spill file ("" = the system temp directory). The
+  /// file is created lazily on first overflow and removed with the
+  /// network.
+  std::string spill_dir;
   /// Batched-quantum emission (see entity.hpp): entities stage their
   /// emissions per target and flush them — one bounded inbox push and one
   /// coalesced live/det adjustment per (target, quantum) — at a bounded
@@ -197,6 +213,15 @@ struct NetworkStats {
   std::uint64_t suspensions = 0;
   /// Client sessions opened over this network (including the default).
   std::uint64_t sessions = 0;
+  /// Det/sync records currently held *in memory* inside det collectors
+  /// and synchrocells, and the high-water mark. Disk-spilled records are
+  /// excluded — `det_buffered_peak` staying near Options::det_capacity
+  /// while `spilled` grows is what "true spill" means.
+  std::int64_t det_buffered = 0;
+  std::int64_t det_buffered_peak = 0;
+  /// Records currently parked in the spill file / bytes ever spilled.
+  std::int64_t spill_on_disk = 0;
+  std::uint64_t spill_bytes = 0;
   /// Per-session QoS counters (live sessions only).
   std::vector<SessionStats> session_stats;
 
@@ -324,6 +349,15 @@ class Network {
   /// the input dispatcher) once it drains below the watermark.
   void interior_release(SessionState* s, std::int64_t n = 1);
   OverflowPolicy overflow_policy() const { return opts_.det_overflow; }
+  /// The per-network disk spill store (wire.hpp), shared by every det
+  /// collector and synchrocell; null when Options::spill_to_disk is off —
+  /// callers then keep overflow records in memory (throttle-only mode).
+  wire::SpillStore* spill_store() { return spill_store_.get(); }
+  /// In-memory interior buffering gauge (det-collector groups + sync
+  /// slots): charged when a record is held in memory, not when its bytes
+  /// are on disk. Feeds NetworkStats::det_buffered{,_peak}.
+  void det_buffer_add(std::int64_t n);
+  void det_buffer_sub(std::int64_t n);
   /// Spill policy: pauses the session's input dispatch until its interior
   /// account drains below the watermark, and counts the spilled record.
   void spill_session(SessionState* s);
@@ -421,6 +455,11 @@ class Network {
 
   std::atomic<std::int64_t> live_{0};
   std::atomic<std::int64_t> peak_live_{0};
+  std::atomic<std::int64_t> det_buffered_{0};
+  std::atomic<std::int64_t> det_buffered_peak_{0};
+  /// Created at construction when the Spill policy may engage
+  /// (spill_to_disk && det_capacity > 0); the file itself is lazy.
+  std::unique_ptr<wire::SpillStore> spill_store_;
   std::atomic<std::uint64_t> injected_{0};
   std::atomic<std::uint64_t> suspensions_{0};
   /// Lock-free mirror of `error_ != nullptr` so producers blocked on

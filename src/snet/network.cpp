@@ -7,6 +7,7 @@
 #include "runtime/invariants.hpp"
 #include "snet/entities.hpp"
 #include "snet/verify.hpp"
+#include "snet/wire.hpp"
 
 namespace snet {
 
@@ -78,6 +79,11 @@ Network::Network(Net topology, Options opts)
   // default; opts_.workers survives as this network's concurrency cap.
   // Schedcheck scenarios substitute a deterministic SimExecutor here.
   sched_ = std::make_unique<Scheduler>(exec_, opts_.workers, opts_.quantum);
+  if (opts_.det_overflow == OverflowPolicy::Spill && opts_.spill_to_disk &&
+      opts_.det_capacity > 0) {
+    // The store is cheap to hold: no file exists until the first overflow.
+    spill_store_ = std::make_unique<wire::SpillStore>(opts_.spill_dir);
+  }
   out_entity_ = adopt(std::make_unique<detail::OutputEntity>(*this));
   entry_ = instantiate(topology_, out_entity_, "net");
   dispatch_ = adopt(std::make_unique<detail::InputDispatchEntity>(*this, entry_));
@@ -688,7 +694,29 @@ NetworkStats Network::stats() const {
   s.quanta = sched_->quanta_executed();
   s.steals = sched_->steals();
   s.suspensions = suspensions_.load(std::memory_order_relaxed);
+  s.det_buffered = det_buffered_.load(std::memory_order_relaxed);
+  s.det_buffered_peak = det_buffered_peak_.load(std::memory_order_relaxed);
+  if (spill_store_ != nullptr) {
+    s.spill_on_disk = spill_store_->on_disk();
+    s.spill_bytes = spill_store_->bytes_written();
+  }
   return s;
+}
+
+void Network::det_buffer_add(std::int64_t n) {
+  const std::int64_t now =
+      det_buffered_.fetch_add(n, std::memory_order_relaxed) + n;
+  std::int64_t peak = det_buffered_peak_.load(std::memory_order_relaxed);
+  while (now > peak && !det_buffered_peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void Network::det_buffer_sub(std::int64_t n) {
+  const std::int64_t now =
+      det_buffered_.fetch_sub(n, std::memory_order_relaxed) - n;
+  SNETSAC_INVARIANT(now >= 0,
+                    "interior buffering gauge went negative: " << now);
 }
 
 void Network::live_add(SessionState* session, std::int64_t n) {
